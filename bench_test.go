@@ -1,0 +1,579 @@
+package calibro
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (§4). Each BenchmarkTableN/BenchmarkFigureN prints the
+// corresponding table in the paper's layout (rows = configurations,
+// columns = the six apps) and reports its headline number as a custom
+// metric.
+//
+// Scale: apps are generated at CALIBRO_SCALE (default 0.25; `-short` uses
+// 0.05) of the ~1:220 reproduction scale. Ratios, not absolute sizes, are
+// the reproduction target; see EXPERIMENTS.md for the recorded comparison
+// against the paper.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/outline"
+	"repro/internal/report"
+	"repro/internal/suffixtree"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("CALIBRO_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	if testing.Short() {
+		return 0.05
+	}
+	return 0.25
+}
+
+// scriptRounds is the paper's "run the test script 20 times".
+const scriptRounds = 20
+
+type appBundle struct {
+	prof   AppProfile
+	app    *App
+	man    *AppManifest
+	script []ScriptRun
+}
+
+type buildKey struct {
+	app    string
+	config string
+}
+
+var bench struct {
+	mu     sync.Mutex
+	scale  float64
+	apps   []*appBundle
+	builds map[buildKey]*BuildResult
+	profs  map[string]*Profile
+}
+
+// suite generates the six apps once per scale.
+func suite(tb testing.TB) []*appBundle {
+	bench.mu.Lock()
+	defer bench.mu.Unlock()
+	s := benchScale()
+	if bench.apps != nil && bench.scale == s {
+		return bench.apps
+	}
+	bench.scale = s
+	bench.apps = nil
+	bench.builds = map[buildKey]*BuildResult{}
+	bench.profs = map[string]*Profile{}
+	for _, prof := range AppProfiles(s) {
+		app, man, err := GenerateApp(prof)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		bench.apps = append(bench.apps, &appBundle{
+			prof: prof, app: app, man: man,
+			script: Script(man, scriptRounds, 1),
+		})
+	}
+	return bench.apps
+}
+
+// build memoizes builds per (app, config name).
+func build(tb testing.TB, ab *appBundle, name string) *BuildResult {
+	bench.mu.Lock()
+	defer bench.mu.Unlock()
+	key := buildKey{ab.prof.Name, name}
+	if r, ok := bench.builds[key]; ok {
+		return r
+	}
+	var res *BuildResult
+	var err error
+	switch name {
+	case "baseline":
+		res, err = Build(ab.app, Baseline())
+	case "cto":
+		res, err = Build(ab.app, CTOOnly())
+	case "ltbo":
+		res, err = Build(ab.app, CTOLTBO())
+	case "plopti":
+		res, err = Build(ab.app, CTOLTBOPl(8))
+	case "hfopti":
+		var p *Profile
+		res, p, err = ProfileGuidedBuild(ab.app, CTOLTBOPl(8), ab.script)
+		bench.profs[ab.prof.Name] = p
+	default:
+		tb.Fatalf("unknown config %q", name)
+	}
+	if err != nil {
+		tb.Fatal(err)
+	}
+	bench.builds[key] = res
+	return res
+}
+
+// runScript executes the app's script on an image, summing measurements.
+func runScript(tb testing.TB, img *Image, script []ScriptRun) (cycles, insts int64, residentBytes int64) {
+	var maxPages int
+	for _, r := range script {
+		out, err := Execute(img, r.Entry, r.Args[:])
+		if err != nil {
+			tb.Fatal(err)
+		}
+		cycles += out.Cycles
+		insts += out.Insts
+		if p := out.CodePages + out.DataPages; p > maxPages {
+			maxPages = p
+		}
+	}
+	return cycles, insts, int64(maxPages) * 4096
+}
+
+func appNames(apps []*appBundle) []string {
+	names := make([]string, len(apps))
+	for i, ab := range apps {
+		names[i] = ab.prof.Name
+	}
+	return names
+}
+
+// BenchmarkTable1_EstimatedRedundancy reproduces the §2.2 estimated code
+// size reduction ratios (paper: avg 25.4%).
+func BenchmarkTable1_EstimatedRedundancy(b *testing.B) {
+	apps := suite(b)
+	for i := 0; i < b.N; i++ {
+		t := &report.Table{
+			Title:  "\nTable 1: estimated code size reduction ratios (paper avg: 25.4%)",
+			Header: append([]string{""}, append(appNames(apps), "AVG")...),
+		}
+		row := []string{"Estimated reduction"}
+		var sum float64
+		for _, ab := range apps {
+			res := build(b, ab, "baseline")
+			a := AnalyzeRedundancy(res, false)
+			row = append(row, report.Pct(a.EstimatedReduction))
+			sum += a.EstimatedReduction
+		}
+		avg := sum / float64(len(apps))
+		row = append(row, report.Pct(avg))
+		t.AddRow(row...)
+		if i == 0 {
+			fmt.Println(t)
+		}
+		b.ReportMetric(100*avg, "avg-est-reduction-%")
+	}
+}
+
+// BenchmarkFigure3_LengthVsRepeats reproduces the sequence-length vs
+// number-of-repeats distribution for the WeChat app (Observation 2: short
+// sequences dominate).
+func BenchmarkFigure3_LengthVsRepeats(b *testing.B) {
+	apps := suite(b)
+	var wechat *appBundle
+	for _, ab := range apps {
+		if ab.prof.Name == "Wechat" {
+			wechat = ab
+		}
+	}
+	res := build(b, wechat, "baseline")
+	for i := 0; i < b.N; i++ {
+		a := AnalyzeRedundancy(res, false)
+		lengths := make([]int, 0, len(a.OccurrencesByLength))
+		for l := range a.OccurrencesByLength {
+			lengths = append(lengths, l)
+		}
+		sort.Ints(lengths)
+		var short, long, max int64
+		for _, l := range lengths {
+			occ := a.OccurrencesByLength[l]
+			if l <= 4 {
+				short += occ
+			} else if l >= 10 {
+				long += occ
+			}
+			if occ > max {
+				max = occ
+			}
+		}
+		if i == 0 {
+			fmt.Println("\nFigure 3: sequence length vs number of repeats (Wechat)")
+			for _, l := range lengths {
+				if l > 20 {
+					break
+				}
+				occ := a.OccurrencesByLength[l]
+				fmt.Printf("  len %2d %9d |%s\n", l, occ, bar(occ, max, 40))
+			}
+		}
+		b.ReportMetric(float64(short)/float64(long+1), "short-vs-long-ratio")
+	}
+}
+
+func bar(v, max int64, width int) string {
+	n := int(v * int64(width) / max)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}
+
+// BenchmarkFigure4_PatternCounts reproduces the ART-specific pattern site
+// counts (paper WeChat: java-call 1006k, stack-check 173k, allocObject
+// 217k — ratios 5.8 : 1.0 : 1.25 per stack check).
+func BenchmarkFigure4_PatternCounts(b *testing.B) {
+	apps := suite(b)
+	var wechat *appBundle
+	for _, ab := range apps {
+		if ab.prof.Name == "Wechat" {
+			wechat = ab
+		}
+	}
+	res := build(b, wechat, "baseline")
+	for i := 0; i < b.N; i++ {
+		pc := CountPatterns(res)
+		if i == 0 {
+			fmt.Println("\nFigure 4: ART-specific repetitive pattern sites (Wechat)")
+			fmt.Printf("  Java function call pattern:   %6d sites (paper: 1006k, ratio 5.8x stack checks)\n", pc.JavaCall)
+			fmt.Printf("  stack overflow check pattern: %6d sites (paper: 173k)\n", pc.StackCheck)
+			fmt.Printf("  pAllocObjectResolved pattern: %6d sites (paper: 217k, ratio 1.25x)\n", pc.NativeAlloc)
+		}
+		b.ReportMetric(float64(pc.JavaCall)/float64(pc.StackCheck), "javacall-per-stackcheck")
+	}
+}
+
+// BenchmarkTable4_CodeSize reproduces the on-disk code size reductions
+// (paper: CTO+LTBO 19.19%, +PlOpti 16.40%, +PlOpti+HfOpti 15.19%).
+func BenchmarkTable4_CodeSize(b *testing.B) {
+	apps := suite(b)
+	for i := 0; i < b.N; i++ {
+		t := &report.Table{
+			Title:  "\nTable 4: code size reduction of the OAT text segment",
+			Header: append([]string{""}, append(appNames(apps), "AVG")...),
+		}
+		configs := []string{"baseline", "cto", "ltbo", "plopti", "hfopti"}
+		sizes := map[string][]int{}
+		for _, cfg := range configs {
+			row := []string{rowName(cfg)}
+			for _, ab := range apps {
+				res := build(b, ab, cfg)
+				sizes[cfg] = append(sizes[cfg], res.TextBytes())
+				row = append(row, report.Bytes(res.TextBytes()))
+			}
+			row = append(row, "/")
+			t.AddRow(row...)
+		}
+		var avgRed = map[string]float64{}
+		for _, cfg := range configs[1:] {
+			row := []string{rowName(cfg) + " reduction"}
+			var sum float64
+			for k := range apps {
+				r := float64(sizes["baseline"][k]-sizes[cfg][k]) / float64(sizes["baseline"][k])
+				row = append(row, report.Pct(r))
+				sum += r
+			}
+			avgRed[cfg] = sum / float64(len(apps))
+			row = append(row, report.Pct(avgRed[cfg]))
+			t.AddRow(row...)
+		}
+		if i == 0 {
+			fmt.Println(t)
+			fmt.Println("paper: CTO 3.56%, CTO+LTBO 19.19%, +PlOpti 16.40%, +PlOpti+HfOpti 15.19%")
+		}
+		b.ReportMetric(100*avgRed["ltbo"], "ltbo-reduction-%")
+		b.ReportMetric(100*avgRed["plopti"], "plopti-reduction-%")
+		b.ReportMetric(100*avgRed["hfopti"], "hfopti-reduction-%")
+	}
+}
+
+func rowName(cfg string) string {
+	switch cfg {
+	case "baseline":
+		return "Baseline"
+	case "cto":
+		return "CTO"
+	case "ltbo":
+		return "CTO+LTBO"
+	case "plopti":
+		return "CTO+LTBO+PlOpti"
+	case "hfopti":
+		return "CTO+LTBO+PlOpti+HfOpti"
+	}
+	return cfg
+}
+
+// BenchmarkTable5_Memory reproduces the resident-memory reduction during
+// the scripted runs (paper: CTO 2.03%, CTO+LTBO 6.82%).
+func BenchmarkTable5_Memory(b *testing.B) {
+	apps := suite(b)
+	for i := 0; i < b.N; i++ {
+		t := &report.Table{
+			Title:  "\nTable 5: memory usage during the scripted workload",
+			Header: append([]string{""}, append(appNames(apps), "AVG")...),
+		}
+		configs := []string{"baseline", "cto", "ltbo"}
+		resident := map[string][]int64{}
+		for _, cfg := range configs {
+			row := []string{rowName(cfg)}
+			for _, ab := range apps {
+				res := build(b, ab, cfg)
+				_, _, mem := runScript(b, res.Image, ab.script)
+				resident[cfg] = append(resident[cfg], mem)
+				row = append(row, report.Bytes(int(mem)))
+			}
+			row = append(row, "/")
+			t.AddRow(row...)
+		}
+		var avgLTBO float64
+		for _, cfg := range configs[1:] {
+			row := []string{rowName(cfg) + " reduction"}
+			var sum float64
+			for k := range apps {
+				r := float64(resident["baseline"][k]-resident[cfg][k]) / float64(resident["baseline"][k])
+				row = append(row, report.Pct(r))
+				sum += r
+			}
+			avg := sum / float64(len(apps))
+			if cfg == "ltbo" {
+				avgLTBO = avg
+			}
+			row = append(row, report.Pct(avg))
+			t.AddRow(row...)
+		}
+		if i == 0 {
+			fmt.Println(t)
+			fmt.Println("paper: CTO 2.03%, CTO+LTBO 6.82%")
+		}
+		b.ReportMetric(100*avgLTBO, "ltbo-memory-reduction-%")
+	}
+}
+
+// BenchmarkTable6_BuildTime reproduces the build-time growth (paper:
+// single-tree CTO+LTBO +489.5%, +PlOpti +70.8%).
+func BenchmarkTable6_BuildTime(b *testing.B) {
+	apps := suite(b)
+	for i := 0; i < b.N; i++ {
+		t := &report.Table{
+			Title:  "\nTable 6: building time",
+			Header: append([]string{""}, append(appNames(apps), "AVG")...),
+		}
+		configs := []string{"baseline", "ltbo", "plopti"}
+		times := map[string][]float64{}
+		for _, cfg := range configs {
+			row := []string{rowName(cfg)}
+			for _, ab := range apps {
+				res := build(b, ab, cfg)
+				d := res.TotalTime()
+				times[cfg] = append(times[cfg], d.Seconds())
+				row = append(row, report.Dur(d))
+			}
+			row = append(row, "/")
+			t.AddRow(row...)
+		}
+		var growthLTBO, growthPl float64
+		for _, cfg := range configs[1:] {
+			row := []string{rowName(cfg) + " growth"}
+			var sum float64
+			for k := range apps {
+				g := (times[cfg][k] - times["baseline"][k]) / times["baseline"][k]
+				row = append(row, report.Pct(g))
+				sum += g
+			}
+			avg := sum / float64(len(apps))
+			if cfg == "ltbo" {
+				growthLTBO = avg
+			} else {
+				growthPl = avg
+			}
+			row = append(row, report.Pct(avg))
+			t.AddRow(row...)
+		}
+		if i == 0 {
+			fmt.Println(t)
+			fmt.Printf("paper: CTO+LTBO +489.5%%, CTO+LTBO+PlOpti +70.8%% (on %d-thread host %s)\n",
+				runtime.NumCPU(), runtime.GOARCH)
+		}
+		b.ReportMetric(100*growthLTBO, "ltbo-build-growth-%")
+		b.ReportMetric(100*growthPl, "plopti-build-growth-%")
+	}
+}
+
+// BenchmarkTable7_Cycles reproduces the runtime performance degradation in
+// CPU cycles (paper: +1.51% without HfOpti, +0.90% with).
+func BenchmarkTable7_Cycles(b *testing.B) {
+	apps := suite(b)
+	for i := 0; i < b.N; i++ {
+		t := &report.Table{
+			Title:  "\nTable 7: runtime performance (total CPU cycles over the scripted workload)",
+			Header: append([]string{""}, append(appNames(apps), "AVG")...),
+		}
+		configs := []string{"baseline", "plopti", "hfopti"}
+		cycles := map[string][]int64{}
+		for _, cfg := range configs {
+			row := []string{rowName(cfg)}
+			for _, ab := range apps {
+				res := build(b, ab, cfg)
+				c, _, _ := runScript(b, res.Image, ab.script)
+				cycles[cfg] = append(cycles[cfg], c)
+				row = append(row, report.Count(c))
+			}
+			row = append(row, "/")
+			t.AddRow(row...)
+		}
+		var degPl, degHf float64
+		for _, cfg := range configs[1:] {
+			row := []string{rowName(cfg) + " degradation"}
+			var sum float64
+			for k := range apps {
+				d := float64(cycles[cfg][k]-cycles["baseline"][k]) / float64(cycles["baseline"][k])
+				row = append(row, report.Pct(d))
+				sum += d
+			}
+			avg := sum / float64(len(apps))
+			if cfg == "plopti" {
+				degPl = avg
+			} else {
+				degHf = avg
+			}
+			row = append(row, report.Pct(avg))
+			t.AddRow(row...)
+		}
+		if i == 0 {
+			fmt.Println(t)
+			fmt.Println("paper: CTO+LTBO+PlOpti +1.51%, +HfOpti +0.90%")
+		}
+		b.ReportMetric(100*degPl, "plopti-cycle-degradation-%")
+		b.ReportMetric(100*degHf, "hfopti-cycle-degradation-%")
+	}
+}
+
+// --- component microbenchmarks ---
+
+// BenchmarkSuffixTreeBuild measures Ukkonen construction throughput on a
+// whole-app instruction sequence.
+func BenchmarkSuffixTreeBuild(b *testing.B) {
+	apps := suite(b)
+	res := build(b, apps[1], "baseline") // Taobao, the smallest
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := outline.Analyze(res.Methods, true)
+		if a.TotalWords == 0 {
+			b.Fatal("no code")
+		}
+	}
+}
+
+// BenchmarkCompile measures the dex2oat-like pipeline.
+func BenchmarkCompile(b *testing.B) {
+	apps := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(apps[1].app, Baseline()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOutlineGlobal measures LTBO with one global suffix tree.
+func BenchmarkOutlineGlobal(b *testing.B) {
+	apps := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(apps[1].app, CTOLTBO()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOutlineParallel8 measures LTBO with 8 partitioned trees.
+func BenchmarkOutlineParallel8(b *testing.B) {
+	apps := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(apps[1].app, CTOLTBOPl(8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuffixTreeScaling demonstrates the §3.4.1 mechanism behind
+// Table 6: suffix-tree construction cost per symbol grows with sequence
+// length as the working set falls out of cache — the effect that makes one
+// global tree over millions of instructions far slower than K small trees,
+// and that dominates on the paper's 8 GB device. Run the sub-benchmarks
+// and compare ns/symbol across sizes.
+func BenchmarkSuffixTreeScaling(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 18, 1 << 20, 1 << 21} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			// Instruction-like symbol stream: modest alphabet with heavy
+			// reuse plus unique separators sprinkled like basic blocks.
+			seq := make([]uint32, n)
+			state := uint32(12345)
+			sep := uint32(1 << 20)
+			for i := range seq {
+				state = state*1664525 + 1013904223
+				if i%12 == 11 {
+					sep++
+					seq[i] = sep
+				} else {
+					seq[i] = state % 4096
+				}
+			}
+			sep++
+			seq[n-1] = sep // unique final symbol so every suffix has a leaf
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tree := suffixtree.Build(seq)
+				if tree.NumLeaves() != n {
+					b.Fatal("bad tree")
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/symbol")
+		})
+	}
+}
+
+// BenchmarkEmulator measures emulated instruction throughput.
+func BenchmarkEmulator(b *testing.B) {
+	apps := suite(b)
+	res := build(b, apps[1], "baseline")
+	run := apps[1].script[0]
+	var insts int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := Execute(res.Image, run.Entry, run.Args[:])
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += out.Insts
+	}
+	b.ReportMetric(float64(insts)/float64(b.N), "insts/op")
+}
+
+// BenchmarkTable3_Setup prints the experimental setup in the Table 3
+// layout: ours is the emulated device configuration standing in for the
+// Pixel 7.
+func BenchmarkTable3_Setup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if i == 0 {
+			t := &report.Table{
+				Title:  "\nTable 3: experimental setup (emulated device standing in for the Pixel 7)",
+				Header: []string{"parameter", "configuration"},
+			}
+			t.AddRow("Experiment device", "internal/emu AArch64-subset emulator")
+			t.AddRow("I-cache", "32 KiB direct-mapped, 64 B lines, 20-cycle fill")
+			t.AddRow("Call/branch cost", "+1 cycle (bl/blr/br/ret, taken branches)")
+			t.AddRow("Memory model", "4 KiB page touch tracking; 1 MiB guarded stack; bump heap")
+			t.AddRow("Android version", "modeled ART ABI (abi package)")
+			t.AddRow("Test set", fmt.Sprintf("6 synthetic app profiles at scale %.2f (~1:220 of the paper)", benchScale()))
+			t.AddRow("Host", fmt.Sprintf("%s/%s, %d CPUs", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()))
+			fmt.Println(t)
+		}
+	}
+}

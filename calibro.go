@@ -1,0 +1,174 @@
+// Package calibro is a Go reproduction of "Calibro: Compilation-Assisted
+// Linking-Time Binary Code Outlining for Code Size Reduction in Android
+// Applications" (CGO 2025).
+//
+// The package exposes the complete pipeline the paper describes — a
+// dex2oat-like compiler with compilation-time outlining (CTO) of the three
+// ART-specific repetitive patterns, a linking-time binary outliner (LTBO)
+// driven by compile-time metadata, paralleled suffix trees, and
+// hot-function filtering — together with everything needed to evaluate it:
+// a synthetic Android app generator, an AArch64-subset emulator with cycle
+// and resident-memory models, and a simpleperf-style profiler.
+//
+// # Quick start
+//
+//	app, man, _ := calibro.GenerateApp(calibro.AppProfiles(0.25)[5]) // WeChat
+//	base, _ := calibro.Build(app, calibro.Baseline())
+//	opt, _ := calibro.Build(app, calibro.FullOptimization(8))
+//	fmt.Printf("text: %d -> %d bytes\n", base.TextBytes(), opt.TextBytes())
+//
+// Correctness of every transformation is checkable by construction: a
+// built image can be executed (Execute) and compared against the reference
+// bytecode interpreter (Interpret) on the same inputs.
+package calibro
+
+import (
+	"repro/internal/core"
+	"repro/internal/dex"
+	"repro/internal/emu"
+	"repro/internal/hgraph"
+	"repro/internal/oat"
+	"repro/internal/outline"
+	"repro/internal/profiler"
+	"repro/internal/workload"
+)
+
+// Re-exported core types. The aliases make the internal packages' types
+// part of the public API without duplicating them.
+type (
+	// App is a synthetic Android application: dex files plus the
+	// program-wide method table.
+	App = dex.App
+	// MethodID indexes the app-wide method table.
+	MethodID = dex.MethodID
+	// AppProfile parameterizes the synthetic app generator.
+	AppProfile = workload.Profile
+	// AppManifest records generation ground truth (drivers, hot methods).
+	AppManifest = workload.Manifest
+	// Config selects the build configuration (CTO/LTBO/PlOpti/HfOpti).
+	Config = core.Config
+	// BuildResult is a completed build: the OAT image plus statistics.
+	BuildResult = core.Result
+	// Image is a linked OAT image.
+	Image = oat.Image
+	// OutlineStats reports what the link-time outliner did.
+	OutlineStats = outline.Stats
+	// Analysis is the §2.2 redundancy study output.
+	Analysis = outline.Analysis
+	// PatternCounts counts the Figure 4 ART-specific pattern sites.
+	PatternCounts = outline.PatternCounts
+	// RunResult is the observable outcome and measurements of an emulated
+	// execution.
+	RunResult = emu.Result
+	// InterpResult is the reference interpreter's outcome.
+	InterpResult = hgraph.Result
+	// Profile is a collected execution profile.
+	Profile = profiler.Profile
+	// ScriptRun is one scripted operation (entry method + arguments).
+	ScriptRun = workload.Run
+	// Exception enumerates modeled runtime exceptions.
+	Exception = hgraph.Exception
+)
+
+// Exceptions raised by the modeled runtime.
+const (
+	ExcNone          = hgraph.ExcNone
+	ExcNullPointer   = hgraph.ExcNullPointer
+	ExcArrayBounds   = hgraph.ExcArrayBounds
+	ExcStackOverflow = hgraph.ExcStackOverflow
+)
+
+// GenerateApp builds a synthetic application from a profile.
+func GenerateApp(p AppProfile) (*App, *AppManifest, error) {
+	return workload.Generate(p)
+}
+
+// AppProfiles returns the paper's six benchmark apps (Toutiao, Taobao,
+// Fanqie, Meituan, Kuaishou, Wechat) at the given scale factor; 1.0 is the
+// full ~1:220 reproduction scale.
+func AppProfiles(scale float64) []AppProfile { return workload.Apps(scale) }
+
+// AppProfileByName looks up one of the six benchmark apps.
+func AppProfileByName(name string, scale float64) (AppProfile, bool) {
+	return workload.AppByName(name, scale)
+}
+
+// Script builds the scripted operation sequence used by the memory and
+// performance experiments.
+func Script(man *AppManifest, rounds int, seed int64) []ScriptRun {
+	return workload.Script(man, rounds, seed)
+}
+
+// Build compiles and links an app under the given configuration.
+func Build(app *App, cfg Config) (*BuildResult, error) { return core.Build(app, cfg) }
+
+// ProfileGuidedBuild runs the Figure 6 loop: build, profile the script,
+// rebuild with hot-function filtering.
+func ProfileGuidedBuild(app *App, cfg Config, script []ScriptRun) (*BuildResult, *Profile, error) {
+	return core.ProfileGuidedBuild(app, cfg, script)
+}
+
+// Configuration constructors mirroring the paper's evaluation ladder.
+var (
+	// Baseline is the original AOSP configuration with all available code
+	// size optimization enabled.
+	Baseline = core.Baseline
+	// CTOOnly adds compilation-time outlining of the ART patterns.
+	CTOOnly = core.CTOOnly
+	// CTOLTBO adds linking-time binary outlining with one global tree.
+	CTOLTBO = core.CTOLTBO
+	// CTOLTBOPl uses K paralleled suffix trees (PlOpti).
+	CTOLTBOPl = core.CTOLTBOPl
+)
+
+// FullOptimization is CTO+LTBO+PlOpti; pair with ProfileGuidedBuild to add
+// HfOpti.
+func FullOptimization(trees int) Config { return core.CTOLTBOPl(trees) }
+
+// Execute runs a built image on the emulated device.
+func Execute(img *Image, entry MethodID, args []int64) (RunResult, error) {
+	return emu.New(img).Run(entry, args)
+}
+
+// Interpret runs the reference bytecode interpreter, the semantic oracle
+// every binary transformation is validated against.
+func Interpret(app *App, entry MethodID, args []int64) (InterpResult, error) {
+	ip := &hgraph.Interp{App: app, MaxDepth: 10_000}
+	return ip.Run(entry, args)
+}
+
+// CollectProfile profiles a script on an image (simpleperf stand-in).
+func CollectProfile(img *Image, script []ScriptRun) (*Profile, error) {
+	return profiler.Collect(img, script, 0)
+}
+
+// AnalyzeRedundancy performs the §2.2 code-redundancy study on a build.
+// bounded=false reproduces the idealized Table 1 estimate; bounded=true
+// applies the outliner's correctness constraints.
+func AnalyzeRedundancy(res *BuildResult, bounded bool) *Analysis {
+	return outline.Analyze(res.Methods, bounded)
+}
+
+// CountPatterns counts the Figure 4 ART-specific pattern sites in a
+// (pre-CTO) build.
+func CountPatterns(res *BuildResult) PatternCounts {
+	return outline.CountPatterns(res.Methods)
+}
+
+// MarshalImage serializes an image to the on-disk ELF OAT format.
+func MarshalImage(img *Image) ([]byte, error) { return img.Marshal() }
+
+// UnmarshalImage parses a serialized OAT image.
+func UnmarshalImage(data []byte) (*Image, error) { return oat.Unmarshal(data) }
+
+// MarshalApp serializes an app to the binary dex container format.
+func MarshalApp(app *App) ([]byte, error) { return dex.Marshal(app) }
+
+// UnmarshalApp parses a binary dex container.
+func UnmarshalApp(data []byte) (*App, error) { return dex.UnmarshalApp(data) }
+
+// Assemble parses the smali-like text format into an app.
+func Assemble(src string) (*App, error) { return dex.ParseText(src) }
+
+// Disassemble renders an app in the smali-like text format.
+func Disassemble(app *App) string { return dex.DumpText(app) }

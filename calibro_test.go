@@ -1,0 +1,177 @@
+package calibro
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd exercises the full public surface the way the
+// README quick start does.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	prof, ok := AppProfileByName("Taobao", 0.03)
+	if !ok {
+		t.Fatal("profile lookup failed")
+	}
+	app, man, err := GenerateApp(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := Script(man, 2, 1)
+
+	base, err := Build(app, Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _, err := ProfileGuidedBuild(app, FullOptimization(4), script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.TextBytes() >= base.TextBytes() {
+		t.Errorf("no reduction: %d >= %d", opt.TextBytes(), base.TextBytes())
+	}
+	if opt.Outline == nil || opt.Outline.OutlinedFunctions == 0 {
+		t.Error("no outlining happened")
+	}
+
+	// Behaviour equivalence through the public API.
+	for _, run := range script {
+		want, err := Interpret(app, run.Entry, run.Args[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, img := range []*Image{base.Image, opt.Image} {
+			got, err := Execute(img, run.Entry, run.Args[:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Ret != want.Ret || got.Exc != want.Exc || !reflect.DeepEqual(got.Log, want.Log) {
+				t.Fatalf("execution diverges from interpreter")
+			}
+		}
+	}
+
+	// Analysis APIs.
+	a := AnalyzeRedundancy(base, false)
+	if a.EstimatedReduction <= 0 {
+		t.Error("no estimated redundancy")
+	}
+	pc := CountPatterns(base)
+	if pc.JavaCall == 0 || pc.StackCheck == 0 {
+		t.Errorf("pattern counting inert: %+v", pc)
+	}
+
+	// Serialization round trip.
+	data, err := MarshalImage(opt.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalImage(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Text, opt.Image.Text) {
+		t.Error("image text did not round trip")
+	}
+	res, err := Execute(back, script[0].Entry, script[0].Args[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Interpret(app, script[0].Entry, script[0].Args[:])
+	if res.Ret != want.Ret {
+		t.Error("unmarshaled image misbehaves")
+	}
+
+	// Profiling API.
+	p, err := CollectProfile(base.Image, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalSamples == 0 || len(p.HotSet(0.8)) == 0 {
+		t.Error("profiler inert")
+	}
+}
+
+func TestExceptionsExported(t *testing.T) {
+	if ExcNone.String() != "none" || ExcNullPointer.String() != "null-pointer" ||
+		ExcArrayBounds.String() != "array-bounds" || ExcStackOverflow.String() != "stack-overflow" {
+		t.Error("exception names broken")
+	}
+}
+
+// TestFullScaleKuaishou is the soak test: the largest app at full
+// reproduction scale through the complete pipeline, with behavioural
+// verification. Skipped under -short.
+func TestFullScaleKuaishou(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale soak test")
+	}
+	prof, _ := AppProfileByName("Kuaishou", 1.0)
+	app, man, err := GenerateApp(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Build(app, Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := Script(man, 2, 1)
+	opt, _, err := ProfileGuidedBuild(app, FullOptimization(8), script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := float64(base.TextBytes()-opt.TextBytes()) / float64(base.TextBytes())
+	if red < 0.10 || red > 0.35 {
+		t.Errorf("full-scale reduction %.2f%% outside the plausible band", 100*red)
+	}
+	t.Logf("Kuaishou full scale: %d -> %d bytes (%.2f%%), %d methods, %d outlined functions",
+		base.TextBytes(), opt.TextBytes(), 100*red, app.NumMethods(), opt.Outline.OutlinedFunctions)
+	for _, r := range script[:2] {
+		want, err := Interpret(app, r.Entry, r.Args[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Execute(opt.Image, r.Entry, r.Args[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Ret != got.Ret || want.Exc != got.Exc || len(want.Log) != len(got.Log) {
+			t.Fatal("full-scale image diverges from interpreter")
+		}
+	}
+}
+
+// TestAssembleDisassemble exercises the text-format public API.
+func TestAssembleDisassemble(t *testing.T) {
+	app, err := Assemble(`
+.app T
+.file f.dex
+.class LX
+.method m regs=2 ins=1
+    mul v0, v1, v1
+    return v0
+.end method
+.end class
+.end file
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Interpret(app, 0, []int64{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 81 {
+		t.Errorf("ret = %d", res.Ret)
+	}
+	back, err := Assemble(Disassemble(app))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalApp(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalApp(data); err != nil {
+		t.Fatal(err)
+	}
+}

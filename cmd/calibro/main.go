@@ -1,0 +1,146 @@
+// Command calibro builds a synthetic Android application under a selected
+// optimization configuration and reports code size, build time, outlining
+// statistics, and (optionally) runtime cycle counts and memory usage
+// measured on the emulated device.
+//
+// Usage:
+//
+//	calibro -app Wechat [-scale 0.25] [-config baseline|cto|ltbo|plopti|hfopti]
+//	        [-trees 8] [-runs 20] [-measure] [-o out.oat]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dex"
+	"repro/internal/emu"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("calibro: ")
+	var (
+		appName = flag.String("app", "Wechat", "app profile name (Toutiao, Taobao, Fanqie, Meituan, Kuaishou, Wechat)")
+		inPath  = flag.String("i", "", "build this dex container file instead of generating an app")
+		scale   = flag.Float64("scale", 0.25, "app scale factor (1.0 = full reproduction scale)")
+		config  = flag.String("config", "plopti", "baseline | cto | ltbo | plopti | hfopti")
+		trees   = flag.Int("trees", 8, "parallel suffix trees for plopti/hfopti")
+		rounds  = flag.Int("rounds", 1, "outlining rounds")
+		dedup   = flag.Bool("dedup", false, "merge identical outlined functions across trees")
+		runs    = flag.Int("runs", 20, "scripted runs for profiling/measurement")
+		measure = flag.Bool("measure", false, "run the script on the emulator and report cycles/memory")
+		outPath = flag.String("o", "", "write the linked OAT image to this file")
+	)
+	flag.Parse()
+
+	var app *dex.App
+	var man *workload.Manifest
+	if *inPath != "" {
+		data, err := os.ReadFile(*inPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(data) >= 4 && string(data[:4]) == "dex\n" {
+			app, err = dex.UnmarshalApp(data)
+		} else {
+			app, err = dex.ParseText(string(data))
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Convention: the leading methods are the activities; smaller
+		// hand-written apps may have fewer than three.
+		n := 3
+		if app.NumMethods() < n {
+			n = app.NumMethods()
+		}
+		man = &workload.Manifest{}
+		for i := 0; i < n; i++ {
+			man.Drivers = append(man.Drivers, dex.MethodID(i))
+		}
+	} else {
+		prof, ok := workload.AppByName(*appName, *scale)
+		if !ok {
+			log.Fatalf("unknown app %q", *appName)
+		}
+		var err error
+		app, man, err = workload.Generate(prof)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	stats := app.CollectStats()
+	fmt.Printf("app %s: %d methods (%d native), %d dex instructions\n",
+		app.Name, stats.Methods, stats.Native, stats.Insns)
+
+	script := workload.Script(man, *runs, 1)
+	tune := func(c core.Config) core.Config {
+		c.Rounds = *rounds
+		c.DedupFunctions = *dedup
+		return c
+	}
+	var res *core.Result
+	var err error
+	switch *config {
+	case "baseline":
+		res, err = core.Build(app, core.Baseline())
+	case "cto":
+		res, err = core.Build(app, core.CTOOnly())
+	case "ltbo":
+		res, err = core.Build(app, tune(core.CTOLTBO()))
+	case "plopti":
+		res, err = core.Build(app, tune(core.CTOLTBOPl(*trees)))
+	case "hfopti":
+		res, _, err = core.ProfileGuidedBuild(app, tune(core.CTOLTBOPl(*trees)), script)
+	default:
+		log.Fatalf("unknown config %q", *config)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("config %s: text %s, build %s (compile %s, outline %s, link %s)\n",
+		*config, report.Bytes(res.TextBytes()), report.Dur(res.TotalTime()),
+		report.Dur(res.CompileTime), report.Dur(res.OutlineTime), report.Dur(res.LinkTime))
+	if s := res.Outline; s != nil {
+		fmt.Printf("outlining: %d candidates, %d functions, %d occurrences, net %d words saved\n",
+			s.CandidateMethods, s.OutlinedFunctions, s.OutlinedOccurrences, s.NetWordsSaved())
+	}
+
+	if *measure {
+		m := emu.New(res.Image)
+		var cycles, insts int64
+		pages := 0
+		for _, r := range script {
+			out, err := m.Run(r.Entry, r.Args[:])
+			if err != nil {
+				log.Fatalf("run m%d: %v", r.Entry, err)
+			}
+			cycles += out.Cycles
+			insts += out.Insts
+			if out.CodePages+out.DataPages > pages {
+				pages = out.CodePages + out.DataPages
+			}
+		}
+		fmt.Printf("measured: %s cycles, %s instructions over %d runs; peak resident %s\n",
+			report.Count(cycles), report.Count(insts), len(script),
+			report.Bytes(pages*4096))
+	}
+
+	if *outPath != "" {
+		data, err := res.Image.Marshal()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%s on disk)\n", *outPath, report.Bytes(len(data)))
+	}
+}

@@ -1,0 +1,110 @@
+// Command oatdump inspects an OAT image produced by cmd/calibro -o: the
+// section layout (pattern thunks, outlined functions, method code),
+// per-method LTBO metadata, stack maps, and disassembly.
+//
+// Usage:
+//
+//	oatdump -i app.oat [-method 12] [-disasm] [-thunks]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/a64"
+	"repro/internal/abi"
+	"repro/internal/codegen"
+	"repro/internal/oat"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oatdump: ")
+	var (
+		in       = flag.String("i", "", "input OAT image (required)")
+		methodID = flag.Int("method", -1, "dump one method in full (disassembly + metadata)")
+		disasm   = flag.Bool("disasm", false, "disassemble every method")
+		thunks   = flag.Bool("thunks", false, "disassemble thunks and outlined functions")
+		verify   = flag.Bool("verify", false, "run loader-style integrity checks")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	img, err := oat.Unmarshal(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("OAT image: %s text, %d methods, %d pattern thunks, %d outlined functions\n",
+		report.Bytes(img.TextBytes()), len(img.Methods), len(img.Thunks), len(img.Outlined))
+
+	if *verify {
+		if err := img.Validate(); err != nil {
+			log.Fatalf("integrity check failed: %v", err)
+		}
+		fmt.Println("integrity checks passed")
+	}
+
+	if *thunks {
+		dumpFuncs := func(kind string, fs []oat.FuncRecord) {
+			for _, f := range fs {
+				fmt.Printf("\n%s %s at +%#x (%d bytes):\n", kind, codegen.SymName(f.Sym), f.Offset, f.Size)
+				words := img.Text[f.Offset/4 : (f.Offset+f.Size)/4]
+				for _, line := range a64.Disassemble(words, int(abi.TextBase)+f.Offset) {
+					fmt.Println("  " + line)
+				}
+			}
+		}
+		dumpFuncs("thunk", img.Thunks)
+		dumpFuncs("outlined", img.Outlined)
+	}
+
+	for _, m := range img.Methods {
+		if *methodID >= 0 && int(m.ID) != *methodID {
+			continue
+		}
+		flags := ""
+		if m.Meta.IsNative {
+			flags += " native"
+		}
+		if m.Meta.HasIndirectJump {
+			flags += " indirect-jump"
+		}
+		fmt.Printf("\nmethod m%d at +%#x: %d bytes%s\n", m.ID, m.Offset, m.Size, flags)
+		fmt.Printf("  %d PC-relative sites, %d terminators, %d embedded-data ranges, %d slow-path ranges, %d stack map entries\n",
+			len(m.Meta.PCRel), len(m.Meta.Terminators), len(m.Meta.EmbeddedData),
+			len(m.Meta.Slowpaths), len(m.StackMap))
+		if *disasm || int(m.ID) == *methodID {
+			inData := func(off int) bool {
+				for _, d := range m.Meta.EmbeddedData {
+					if d.Contains(off) {
+						return true
+					}
+				}
+				return false
+			}
+			words := img.MethodCode(m.ID)
+			for i, line := range a64.Disassemble(words, int(abi.TextBase)+m.Offset) {
+				tag := ""
+				if inData(i * 4) {
+					tag = "   ; embedded data"
+				}
+				for _, s := range m.StackMap {
+					if s.NativeOff == i*4 {
+						tag += fmt.Sprintf("   ; safepoint dexpc=%d", s.DexPC)
+					}
+				}
+				fmt.Println("  " + line + tag)
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package calibro_test
+
+import (
+	"fmt"
+
+	calibro "repro"
+)
+
+// Example runs the full pipeline on a small app and shows the paper's
+// headline effect: the outlined binary is substantially smaller and behaves
+// identically.
+func Example() {
+	prof, _ := calibro.AppProfileByName("Taobao", 0.03)
+	app, man, err := calibro.GenerateApp(prof)
+	if err != nil {
+		panic(err)
+	}
+
+	baseline, err := calibro.Build(app, calibro.Baseline())
+	if err != nil {
+		panic(err)
+	}
+	optimized, err := calibro.Build(app, calibro.FullOptimization(8))
+	if err != nil {
+		panic(err)
+	}
+
+	smaller := optimized.TextBytes() < baseline.TextBytes()
+	fmt.Println("optimized is smaller:", smaller)
+
+	run := calibro.Script(man, 1, 1)[0]
+	want, _ := calibro.Interpret(app, run.Entry, run.Args[:])
+	got, _ := calibro.Execute(optimized.Image, run.Entry, run.Args[:])
+	fmt.Println("same result:", want.Ret == got.Ret && want.Exc == got.Exc)
+	// Output:
+	// optimized is smaller: true
+	// same result: true
+}

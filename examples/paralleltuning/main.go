@@ -1,0 +1,52 @@
+// Paralleltuning sweeps the number of paralleled suffix trees (the §3.4.1
+// optimization) and reports the build-time vs code-size-reduction trade-off
+// the paper discusses at the end of §4.4: "the trade-offs between building
+// time and the code size reduction can be selected by adjusting the number
+// of paralleled suffix trees".
+//
+// Run with: go run ./examples/paralleltuning [-app Toutiao] [-scale 0.2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	calibro "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	appName := flag.String("app", "Toutiao", "app profile name")
+	scale := flag.Float64("scale", 0.2, "app scale factor")
+	flag.Parse()
+
+	prof, ok := calibro.AppProfileByName(*appName, *scale)
+	if !ok {
+		log.Fatalf("unknown app %q", *appName)
+	}
+	app, _, err := calibro.GenerateApp(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	baseline, err := calibro.Build(app, calibro.Baseline())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s baseline: %d bytes of text, built in %v\n\n",
+		prof.Name, baseline.TextBytes(), baseline.TotalTime().Round(1e6))
+	fmt.Printf("%6s %12s %12s %14s %12s\n", "trees", "text bytes", "reduction", "outline time", "functions")
+
+	for _, k := range []int{1, 2, 4, 6, 8, 16, 32} {
+		res, err := calibro.Build(app, calibro.CTOLTBOPl(k))
+		if err != nil {
+			log.Fatal(err)
+		}
+		red := 100 * float64(baseline.TextBytes()-res.TextBytes()) / float64(baseline.TextBytes())
+		fmt.Printf("%6d %12d %11.2f%% %14v %12d\n",
+			k, res.TextBytes(), red, res.OutlineTime.Round(1e5), res.Outline.OutlinedFunctions)
+	}
+	fmt.Println("\nOne global tree captures the most redundancy but is slowest;")
+	fmt.Println("partitioned trees trade a little reduction for much faster builds (§3.4.1).")
+}

@@ -1,0 +1,66 @@
+// Quickstart: generate a small synthetic Android app, build it at the
+// baseline and fully optimized configurations, verify that the optimized
+// binary behaves identically, and show what the outliner did.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"reflect"
+
+	calibro "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A small app: ~120 methods of the WeChat profile shape.
+	prof, _ := calibro.AppProfileByName("Wechat", 0.07)
+	app, man, err := calibro.GenerateApp(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %q: %d methods\n", prof.Name, app.NumMethods())
+
+	// Build the paper's configuration ladder.
+	baseline, err := calibro.Build(app, calibro.Baseline())
+	if err != nil {
+		log.Fatal(err)
+	}
+	script := calibro.Script(man, 5, 1)
+	optimized, profile, err := calibro.ProfileGuidedBuild(app, calibro.FullOptimization(8), script)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("baseline text:  %7d bytes\n", baseline.TextBytes())
+	fmt.Printf("optimized text: %7d bytes (%.2f%% smaller)\n",
+		optimized.TextBytes(),
+		100*float64(baseline.TextBytes()-optimized.TextBytes())/float64(baseline.TextBytes()))
+	if s := optimized.Outline; s != nil {
+		fmt.Printf("outliner: %d functions created, %d call sites rewritten, net %d instruction words saved\n",
+			s.OutlinedFunctions, s.OutlinedOccurrences, s.NetWordsSaved())
+	}
+	fmt.Printf("profiler found %d hot methods (top 80%% of cycles)\n", len(profile.HotSet(0.8)))
+
+	// Behaviour equivalence: interpreter vs both binaries on every
+	// scripted operation.
+	for _, run := range script {
+		want, err := calibro.Interpret(app, run.Entry, run.Args[:])
+		if err != nil {
+			log.Fatal(err)
+		}
+		for name, img := range map[string]*calibro.Image{"baseline": baseline.Image, "optimized": optimized.Image} {
+			got, err := calibro.Execute(img, run.Entry, run.Args[:])
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			if got.Ret != want.Ret || got.Exc != want.Exc || !reflect.DeepEqual(got.Log, want.Log) {
+				log.Fatalf("%s image diverges from the reference interpreter", name)
+			}
+		}
+	}
+	fmt.Printf("verified: %d scripted operations behave identically on both binaries\n", len(script))
+}

@@ -1,0 +1,91 @@
+// Textapp demonstrates driving the pipeline from hand-written bytecode in
+// the smali-like text format: assemble, build with full optimization, run
+// on the emulated device, and disassemble what the outliner produced.
+//
+// Run with: go run ./examples/textapp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	calibro "repro"
+	"repro/internal/a64"
+	"repro/internal/dex"
+)
+
+const program = `
+.app TextDemo
+.file classes.dex
+.class LDemo
+.method main regs=4 ins=2
+    # Compute checksum(n) * factor, logging intermediate values.
+    invoke v0, LDemo.checksum (v2, v3)
+    invoke-native v0, pLogValue (v0, v0)
+    invoke v1, LDemo.scale (v0, v3)
+    invoke-native v1, pLogValue (v1, v1)
+    return v1
+.end method
+.method checksum regs=5 ins=1
+    const v0, 0
+    move v1, v4
+  :loop
+    if-eqz v1, :done
+    mul v2, v1, v1
+    add v0, v0, v2
+    add-lit v1, v1, -1
+    goto :loop
+  :done
+    return v0
+.end method
+.method scale regs=4 ins=2
+    shl v0, v2, v3
+    const v1, 1
+    shr v1, v0, v1
+    add v0, v0, v1
+    return v0
+.end method
+.end class
+.end file
+`
+
+func main() {
+	log.SetFlags(0)
+	app, err := dex.ParseText(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assembled %q: %d methods\n", app.Name, app.NumMethods())
+
+	baseline, err := calibro.Build(app, calibro.Baseline())
+	if err != nil {
+		log.Fatal(err)
+	}
+	optimized, err := calibro.Build(app, calibro.FullOptimization(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("text: %d -> %d bytes\n", baseline.TextBytes(), optimized.TextBytes())
+
+	args := []int64{0, 0, 5, 2} // main(v2=5, v3=2)
+	want, err := calibro.Interpret(app, 0, []int64{5, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := calibro.Execute(optimized.Image, 0, []int64{5, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interpreter: ret=%d log=%v\n", want.Ret, want.Log)
+	fmt.Printf("emulator:    ret=%d log=%v (%d cycles)\n", got.Ret, got.Log, got.Cycles)
+	_ = args
+
+	fmt.Println("\ncompiled checksum kernel (first 24 instructions):")
+	code := optimized.Image.MethodCode(1)
+	if len(code) > 24 {
+		code = code[:24]
+	}
+	for _, line := range a64.Disassemble(code, 0) {
+		fmt.Println("  " + line)
+	}
+}

@@ -1,0 +1,30 @@
+// Package a64 models the subset of the AArch64 (A64) instruction set that
+// the Android Runtime's code generator emits for compiled dex methods, with
+// bit-exact machine encodings.
+//
+// The subset covers the instructions Calibro has to understand:
+//
+//   - data-processing immediate: ADD/ADDS/SUB/SUBS (with optional LSL #12),
+//     MOVZ/MOVN/MOVK
+//   - data-processing register: ADD/ADDS/SUB/SUBS, AND/ORR/EOR
+//   - loads/stores: LDR/STR (unsigned immediate, 32/64-bit), LDP/STP
+//     (signed offset, pre- and post-index), LDR (PC-relative literal)
+//   - branches: B, BL, B.cond, CBZ/CBNZ, TBZ/TBNZ, BR, BLR, RET
+//   - PC-relative address formation: ADR, ADRP
+//   - NOP and BRK
+//
+// Instructions are represented by the symbolic Inst type; Encode and Decode
+// convert between Inst and 32-bit instruction words. Branch and literal
+// displacements are held as byte offsets relative to the instruction's own
+// address, exactly as needed by the link-time patcher: after outlining moves
+// code, the patcher recomputes the byte offset and re-encodes the word.
+//
+// The package is deliberately strict: Encode rejects immediates that do not
+// fit their field, and Decode refuses words outside the subset (returning
+// ok=false) so that embedded data in a code stream is never silently
+// misinterpreted as an instruction — the exact failure mode that motivates
+// Calibro's compile-time metadata.
+package a64
+
+// WordSize is the size in bytes of every A64 instruction.
+const WordSize = 4

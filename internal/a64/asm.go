@@ -1,0 +1,213 @@
+package a64
+
+import "fmt"
+
+// Label names a position in an Asm program that is bound at most once.
+// Branch instructions may target labels before they are bound.
+type Label int
+
+// Range is a half-open byte range [Start, End) within a code stream.
+type Range struct {
+	Start int
+	End   int
+}
+
+// Len returns the length of the range in bytes.
+func (r Range) Len() int { return r.End - r.Start }
+
+// Contains reports whether the byte offset off falls inside the range.
+func (r Range) Contains(off int) bool { return off >= r.Start && off < r.End }
+
+// Reloc records a resolved intra-program PC-relative reference: the byte
+// offset of the referring instruction and the byte offset of its target.
+type Reloc struct {
+	InstOff   int
+	TargetOff int
+}
+
+// ExtRef records a call site whose target is a symbol outside the program
+// (an outlining thunk, another method's code, an ART stub). The displacement
+// field of the instruction is left zero; the linker binds it.
+type ExtRef struct {
+	InstOff int
+	Symbol  int
+}
+
+// Program is the finalized output of an Asm: encoded words plus the
+// relocation information the compile-time metadata collector consumes.
+type Program struct {
+	Words  []uint32
+	PCRel  []Reloc // intra-program PC-relative references
+	Ext    []ExtRef
+	Data   []Range // embedded (non-instruction) byte ranges
+	Labels []int   // label -> byte offset
+}
+
+// Size returns the program size in bytes.
+func (p *Program) Size() int { return len(p.Words) * WordSize }
+
+type asmItem struct {
+	inst    Inst
+	label   Label // target label, or -1
+	symbol  int   // external symbol, or -1
+	raw     bool  // raw data word in inst.Imm
+	diffLo  bool  // low word of a label-difference entry
+	diffHi  bool  // high word of a label-difference entry
+	target  Label // label-difference: target label
+	baseLbl Label // label-difference: base label
+}
+
+// Asm builds one method's code stream: instructions, label-targeted
+// branches, external call sites, and embedded data words. The zero value is
+// ready to use.
+type Asm struct {
+	items  []asmItem
+	labels []int // label -> item index, -1 if unbound
+}
+
+// PC returns the byte offset the next emitted item will occupy.
+func (a *Asm) PC() int { return len(a.items) * WordSize }
+
+// NewLabel allocates an unbound label.
+func (a *Asm) NewLabel() Label {
+	a.labels = append(a.labels, -1)
+	return Label(len(a.labels) - 1)
+}
+
+// Bind binds l to the current position. Binding twice panics: it is always
+// a code-generator bug.
+func (a *Asm) Bind(l Label) {
+	if a.labels[l] != -1 {
+		panic(fmt.Sprintf("a64: label %d bound twice", l))
+	}
+	a.labels[l] = len(a.items)
+}
+
+// Inst appends a fully specified instruction and returns its byte offset.
+func (a *Asm) Inst(i Inst) int {
+	off := a.PC()
+	a.items = append(a.items, asmItem{inst: i, label: -1, symbol: -1})
+	return off
+}
+
+// InstTo appends a PC-relative instruction whose displacement will resolve
+// to the offset of label l at Finalize time.
+func (a *Asm) InstTo(i Inst, l Label) int {
+	if !i.Op.IsPCRel() {
+		panic(fmt.Sprintf("a64: InstTo with non-PC-relative op %s", i.Op))
+	}
+	off := a.PC()
+	a.items = append(a.items, asmItem{inst: i, label: l, symbol: -1})
+	return off
+}
+
+// BlSym appends a BL whose target is the external symbol sym.
+func (a *Asm) BlSym(sym int) int {
+	off := a.PC()
+	a.items = append(a.items, asmItem{inst: Inst{Op: OpBl}, label: -1, symbol: sym})
+	return off
+}
+
+// Raw appends one embedded data word (a literal-pool entry or inline
+// constant) and returns its byte offset.
+func (a *Asm) Raw(w uint32) int {
+	off := a.PC()
+	a.items = append(a.items, asmItem{inst: Inst{Imm: int64(w)}, label: -1, symbol: -1, raw: true})
+	return off
+}
+
+// Raw64 appends one 64-bit embedded data value as two little-endian words.
+func (a *Asm) Raw64(v uint64) int {
+	off := a.Raw(uint32(v))
+	a.Raw(uint32(v >> 32))
+	return off
+}
+
+// RawLabelDiff appends a 64-bit embedded data value that resolves at
+// Finalize time to offset(target) - offset(base): the entry format of
+// jump tables for indirect branches.
+func (a *Asm) RawLabelDiff(target, base Label) int {
+	off := a.PC()
+	a.items = append(a.items,
+		asmItem{label: -1, symbol: -1, raw: true, diffLo: true, target: target, baseLbl: base},
+		asmItem{label: -1, symbol: -1, raw: true, diffHi: true, target: target, baseLbl: base},
+	)
+	return off
+}
+
+// Finalize resolves labels, encodes every instruction, and returns the
+// completed program.
+func (a *Asm) Finalize() (*Program, error) {
+	p := &Program{
+		Words:  make([]uint32, len(a.items)),
+		Labels: make([]int, len(a.labels)),
+	}
+	for l, idx := range a.labels {
+		if idx == -1 {
+			return nil, fmt.Errorf("a64: label %d never bound", l)
+		}
+		p.Labels[l] = idx * WordSize
+	}
+	var dataStart = -1
+	flushData := func(end int) {
+		if dataStart != -1 {
+			p.Data = append(p.Data, Range{Start: dataStart, End: end})
+			dataStart = -1
+		}
+	}
+	for idx, it := range a.items {
+		off := idx * WordSize
+		if it.raw {
+			if dataStart == -1 {
+				dataStart = off
+			}
+			switch {
+			case it.diffLo:
+				diff := int64(p.Labels[it.target] - p.Labels[it.baseLbl])
+				p.Words[idx] = uint32(uint64(diff))
+			case it.diffHi:
+				diff := int64(p.Labels[it.target] - p.Labels[it.baseLbl])
+				p.Words[idx] = uint32(uint64(diff) >> 32)
+			default:
+				p.Words[idx] = uint32(it.inst.Imm)
+			}
+			continue
+		}
+		flushData(off)
+		inst := it.inst
+		if it.label != -1 {
+			target := p.Labels[it.label]
+			inst.Imm = int64(target - off)
+			p.PCRel = append(p.PCRel, Reloc{InstOff: off, TargetOff: target})
+		} else if it.symbol != -1 {
+			inst.Imm = 0
+			p.Ext = append(p.Ext, ExtRef{InstOff: off, Symbol: it.symbol})
+		} else if inst.Op.IsPCRel() {
+			// Explicit-displacement PC-relative instruction: record the
+			// implied target so the metadata stays complete.
+			p.PCRel = append(p.PCRel, Reloc{InstOff: off, TargetOff: off + int(inst.Imm)})
+		}
+		w, err := Encode(inst)
+		if err != nil {
+			return nil, fmt.Errorf("at offset %#x: %w", off, err)
+		}
+		p.Words[idx] = w
+	}
+	flushData(len(a.items) * WordSize)
+	return p, nil
+}
+
+// Disassemble renders the words of a code stream one instruction per line,
+// marking undecodable words as data. It is a debugging aid used by oatdump.
+func Disassemble(words []uint32, base int) []string {
+	lines := make([]string, 0, len(words))
+	for idx, w := range words {
+		off := base + idx*WordSize
+		if i, ok := Decode(w); ok {
+			lines = append(lines, fmt.Sprintf("%#08x: %08x  %s", off, w, i))
+		} else {
+			lines = append(lines, fmt.Sprintf("%#08x: %08x  .word", off, w))
+		}
+	}
+	return lines
+}

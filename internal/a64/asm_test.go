@@ -1,0 +1,186 @@
+package a64
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsmForwardBackwardLabels(t *testing.T) {
+	var a Asm
+	top := a.NewLabel()
+	exit := a.NewLabel()
+
+	a.Bind(top)
+	a.Inst(Inst{Op: OpSubsImm, Sf: true, Rd: X0, Rn: X0, Imm: 1}) // subs x0, x0, #1
+	a.InstTo(Inst{Op: OpCbz, Sf: true, Rd: X0}, exit)             // forward
+	a.InstTo(Inst{Op: OpB}, top)                                  // backward
+	a.Bind(exit)
+	a.Inst(Inst{Op: OpRet, Rn: LR})
+
+	p, err := a.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 16 {
+		t.Fatalf("Size = %d, want 16", p.Size())
+	}
+	cbz, ok := Decode(p.Words[1])
+	if !ok || cbz.Op != OpCbz || cbz.Imm != 8 {
+		t.Errorf("cbz = %+v, want forward +8", cbz)
+	}
+	b, ok := Decode(p.Words[2])
+	if !ok || b.Op != OpB || b.Imm != -8 {
+		t.Errorf("b = %+v, want backward -8", b)
+	}
+	wantRel := []Reloc{{InstOff: 4, TargetOff: 12}, {InstOff: 8, TargetOff: 0}}
+	if len(p.PCRel) != len(wantRel) {
+		t.Fatalf("PCRel = %v, want %v", p.PCRel, wantRel)
+	}
+	for i, r := range wantRel {
+		if p.PCRel[i] != r {
+			t.Errorf("PCRel[%d] = %v, want %v", i, p.PCRel[i], r)
+		}
+	}
+	if p.Labels[top] != 0 || p.Labels[exit] != 12 {
+		t.Errorf("label offsets = %v", p.Labels)
+	}
+}
+
+func TestAsmExternalRefsAndData(t *testing.T) {
+	var a Asm
+	lit := a.NewLabel()
+	a.BlSym(42)
+	a.InstTo(Inst{Op: OpLdrLit, Sf: true, Rd: X1}, lit)
+	a.Inst(Inst{Op: OpRet, Rn: LR})
+	a.Bind(lit)
+	a.Raw(0xDEADBEEF)
+	a.Raw(0x00000000)
+
+	p, err := a.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Ext) != 1 || p.Ext[0] != (ExtRef{InstOff: 0, Symbol: 42}) {
+		t.Errorf("Ext = %v", p.Ext)
+	}
+	if len(p.Data) != 1 || p.Data[0] != (Range{Start: 12, End: 20}) {
+		t.Errorf("Data = %v", p.Data)
+	}
+	if p.Words[3] != 0xDEADBEEF {
+		t.Errorf("raw word = %#x", p.Words[3])
+	}
+	// The BL placeholder displacement is zero until the linker binds it.
+	bl, ok := Decode(p.Words[0])
+	if !ok || bl.Op != OpBl || bl.Imm != 0 {
+		t.Errorf("bl placeholder = %+v", bl)
+	}
+	ldr, ok := Decode(p.Words[1])
+	if !ok || ldr.Imm != 8 {
+		t.Errorf("ldr literal displacement = %+v", ldr)
+	}
+}
+
+func TestAsmUnboundLabel(t *testing.T) {
+	var a Asm
+	l := a.NewLabel()
+	a.InstTo(Inst{Op: OpB}, l)
+	if _, err := a.Finalize(); err == nil {
+		t.Fatal("Finalize with unbound label succeeded")
+	}
+}
+
+func TestAsmDoubleBindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on double bind")
+		}
+	}()
+	var a Asm
+	l := a.NewLabel()
+	a.Bind(l)
+	a.Bind(l)
+}
+
+func TestAsmInstToRequiresPCRel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on InstTo with non-PC-relative op")
+		}
+	}()
+	var a Asm
+	l := a.NewLabel()
+	a.Bind(l)
+	a.InstTo(Inst{Op: OpNop}, l)
+}
+
+func TestAsmEncodeErrorSurfaces(t *testing.T) {
+	var a Asm
+	a.Inst(Inst{Op: OpAddImm, Imm: 99999})
+	if _, err := a.Finalize(); err == nil {
+		t.Fatal("Finalize with unencodable inst succeeded")
+	} else if !strings.Contains(err.Error(), "offset 0x0") {
+		t.Errorf("error %q does not locate the instruction", err)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	words := []uint32{
+		MustEncode(Inst{Op: OpNop}),
+		0xFFFFFFFF, // data
+		MustEncode(Inst{Op: OpRet, Rn: LR}),
+	}
+	lines := Disassemble(words, 0x1000)
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "nop") || !strings.Contains(lines[0], "0x00001000") {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], ".word") {
+		t.Errorf("line 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "ret") {
+		t.Errorf("line 2 = %q", lines[2])
+	}
+}
+
+func TestRangeHelpers(t *testing.T) {
+	r := Range{Start: 8, End: 16}
+	if r.Len() != 8 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	for off, want := range map[int]bool{7: false, 8: true, 15: true, 16: false} {
+		if r.Contains(off) != want {
+			t.Errorf("Contains(%d) = %v", off, !want)
+		}
+	}
+}
+
+func TestAsmRaw64AndLabelDiff(t *testing.T) {
+	var a Asm
+	table := a.NewLabel()
+	target := a.NewLabel()
+	a.InstTo(Inst{Op: OpAdr, Rd: X0}, table)
+	a.Inst(Inst{Op: OpRet, Rn: LR})
+	a.Bind(table)
+	a.RawLabelDiff(target, table)
+	a.Raw64(0x0123456789ABCDEF)
+	a.Bind(target)
+	a.Inst(Inst{Op: OpNop})
+
+	p, err := a.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table at word 2; entry = offset(target) - offset(table) = 24-8 = 16.
+	lo := uint64(p.Words[2]) | uint64(p.Words[3])<<32
+	if lo != 16 {
+		t.Errorf("label diff = %d, want 16", lo)
+	}
+	if v := uint64(p.Words[4]) | uint64(p.Words[5])<<32; v != 0x0123456789ABCDEF {
+		t.Errorf("raw64 = %#x", v)
+	}
+	if len(p.Data) != 1 || p.Data[0].Start != 8 || p.Data[0].End != 24 {
+		t.Errorf("data ranges = %v", p.Data)
+	}
+}

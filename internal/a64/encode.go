@@ -1,0 +1,273 @@
+package a64
+
+import "fmt"
+
+// encErr builds a descriptive encoding error.
+func encErr(i Inst, format string, args ...any) error {
+	return fmt.Errorf("a64: encode %s: %s", i.Op, fmt.Sprintf(format, args...))
+}
+
+func (i Inst) sfBit() uint32 {
+	if i.Sf {
+		return 1 << 31
+	}
+	return 0
+}
+
+// fitsSigned reports whether v fits in a signed field of the given width.
+func fitsSigned(v int64, bits uint) bool {
+	limit := int64(1) << (bits - 1)
+	return v >= -limit && v < limit
+}
+
+// branchImm encodes a byte displacement into a word-scaled signed field.
+func branchImm(i Inst, bits uint) (uint32, error) {
+	if i.Imm%WordSize != 0 {
+		return 0, encErr(i, "displacement %#x not word aligned", i.Imm)
+	}
+	words := i.Imm / WordSize
+	if !fitsSigned(words, bits) {
+		return 0, encErr(i, "displacement %#x out of range for imm%d", i.Imm, bits)
+	}
+	return uint32(words) & (1<<bits - 1), nil
+}
+
+// Encode converts i to its 32-bit machine encoding.
+func Encode(i Inst) (uint32, error) {
+	if !i.Rd.Valid() || !i.Rn.Valid() || !i.Rm.Valid() || !i.Rt2.Valid() {
+		return 0, encErr(i, "register out of range")
+	}
+	rd, rn, rm, rt2 := uint32(i.Rd), uint32(i.Rn), uint32(i.Rm), uint32(i.Rt2)
+
+	switch i.Op {
+	case OpAddImm, OpAddsImm, OpSubImm, OpSubsImm:
+		if i.Imm < 0 || i.Imm > 0xFFF {
+			return 0, encErr(i, "imm12 %d out of range", i.Imm)
+		}
+		var base uint32
+		switch i.Op {
+		case OpAddImm:
+			base = 0x11000000
+		case OpAddsImm:
+			base = 0x31000000
+		case OpSubImm:
+			base = 0x51000000
+		case OpSubsImm:
+			base = 0x71000000
+		}
+		w := base | i.sfBit() | uint32(i.Imm)<<10 | rn<<5 | rd
+		if i.Shift12 {
+			w |= 1 << 22
+		}
+		return w, nil
+
+	case OpMovz, OpMovn, OpMovk:
+		if i.Imm < 0 || i.Imm > 0xFFFF {
+			return 0, encErr(i, "imm16 %d out of range", i.Imm)
+		}
+		maxHW := uint8(3)
+		if !i.Sf {
+			maxHW = 1
+		}
+		if i.HW > maxHW {
+			return 0, encErr(i, "hw %d out of range", i.HW)
+		}
+		var base uint32
+		switch i.Op {
+		case OpMovn:
+			base = 0x12800000
+		case OpMovz:
+			base = 0x52800000
+		case OpMovk:
+			base = 0x72800000
+		}
+		return base | i.sfBit() | uint32(i.HW)<<21 | uint32(i.Imm)<<5 | rd, nil
+
+	case OpAddReg, OpAddsReg, OpSubReg, OpSubsReg:
+		var base uint32
+		switch i.Op {
+		case OpAddReg:
+			base = 0x0B000000
+		case OpAddsReg:
+			base = 0x2B000000
+		case OpSubReg:
+			base = 0x4B000000
+		case OpSubsReg:
+			base = 0x6B000000
+		}
+		return base | i.sfBit() | rm<<16 | rn<<5 | rd, nil
+
+	case OpAndReg, OpOrrReg, OpEorReg:
+		var base uint32
+		switch i.Op {
+		case OpAndReg:
+			base = 0x0A000000
+		case OpOrrReg:
+			base = 0x2A000000
+		case OpEorReg:
+			base = 0x4A000000
+		}
+		return base | i.sfBit() | rm<<16 | rn<<5 | rd, nil
+
+	case OpMul:
+		base := uint32(0x1B007C00)
+		return base | i.sfBit() | rm<<16 | rn<<5 | rd, nil
+
+	case OpLslReg, OpLsrReg:
+		base := uint32(0x1AC02000)
+		if i.Op == OpLsrReg {
+			base = 0x1AC02400
+		}
+		return base | i.sfBit() | rm<<16 | rn<<5 | rd, nil
+
+	case OpLdrImm, OpStrImm:
+		scale := int64(4)
+		base := uint32(0xB9000000)
+		if i.Sf {
+			scale = 8
+			base = 0xF9000000
+		}
+		if i.Op == OpLdrImm {
+			base |= 1 << 22
+		}
+		if i.Imm < 0 || i.Imm%scale != 0 || i.Imm/scale > 0xFFF {
+			return 0, encErr(i, "offset %d invalid for scale %d", i.Imm, scale)
+		}
+		return base | uint32(i.Imm/scale)<<10 | rn<<5 | rd, nil
+
+	case OpLdrReg, OpStrReg:
+		base := uint32(0xF8207800)
+		if i.Op == OpLdrReg {
+			base = 0xF8607800
+		}
+		return base | rm<<16 | rn<<5 | rd, nil
+
+	case OpLdp, OpStp:
+		if i.Imm%8 != 0 || !fitsSigned(i.Imm/8, 7) {
+			return 0, encErr(i, "pair offset %d invalid", i.Imm)
+		}
+		imm7 := uint32(i.Imm/8) & 0x7F
+		var base uint32
+		switch i.Index {
+		case IndexOffset:
+			base = 0xA9000000
+		case IndexPre:
+			base = 0xA9800000
+		case IndexPost:
+			base = 0xA8800000
+		default:
+			return 0, encErr(i, "bad index mode %d", i.Index)
+		}
+		if i.Op == OpLdp {
+			base |= 1 << 22
+		}
+		return base | imm7<<15 | rt2<<10 | rn<<5 | rd, nil
+
+	case OpLdrLit:
+		imm, err := branchImm(i, 19)
+		if err != nil {
+			return 0, err
+		}
+		base := uint32(0x18000000)
+		if i.Sf {
+			base = 0x58000000
+		}
+		return base | imm<<5 | rd, nil
+
+	case OpB, OpBl:
+		imm, err := branchImm(i, 26)
+		if err != nil {
+			return 0, err
+		}
+		base := uint32(0x14000000)
+		if i.Op == OpBl {
+			base = 0x94000000
+		}
+		return base | imm, nil
+
+	case OpBCond:
+		if i.Cond > NV {
+			return 0, encErr(i, "bad condition %d", i.Cond)
+		}
+		imm, err := branchImm(i, 19)
+		if err != nil {
+			return 0, err
+		}
+		return 0x54000000 | imm<<5 | uint32(i.Cond), nil
+
+	case OpCbz, OpCbnz:
+		imm, err := branchImm(i, 19)
+		if err != nil {
+			return 0, err
+		}
+		base := uint32(0x34000000)
+		if i.Op == OpCbnz {
+			base = 0x35000000
+		}
+		return base | i.sfBit() | imm<<5 | rd, nil
+
+	case OpTbz, OpTbnz:
+		if i.Bit > 63 {
+			return 0, encErr(i, "bit %d out of range", i.Bit)
+		}
+		imm, err := branchImm(i, 14)
+		if err != nil {
+			return 0, err
+		}
+		base := uint32(0x36000000)
+		if i.Op == OpTbnz {
+			base = 0x37000000
+		}
+		return base | uint32(i.Bit>>5)<<31 | uint32(i.Bit&0x1F)<<19 | imm<<5 | rd, nil
+
+	case OpBr, OpBlr, OpRet:
+		var base uint32
+		switch i.Op {
+		case OpBr:
+			base = 0xD61F0000
+		case OpBlr:
+			base = 0xD63F0000
+		case OpRet:
+			base = 0xD65F0000
+		}
+		return base | rn<<5, nil
+
+	case OpAdr:
+		if !fitsSigned(i.Imm, 21) {
+			return 0, encErr(i, "adr displacement %#x out of range", i.Imm)
+		}
+		imm := uint32(i.Imm) & 0x1FFFFF
+		return 0x10000000 | (imm&3)<<29 | (imm>>2)<<5 | rd, nil
+
+	case OpAdrp:
+		if i.Imm%4096 != 0 {
+			return 0, encErr(i, "adrp displacement %#x not page aligned", i.Imm)
+		}
+		pages := i.Imm >> 12
+		if !fitsSigned(pages, 21) {
+			return 0, encErr(i, "adrp displacement %#x out of range", i.Imm)
+		}
+		imm := uint32(pages) & 0x1FFFFF
+		return 0x90000000 | (imm&3)<<29 | (imm>>2)<<5 | rd, nil
+
+	case OpNop:
+		return 0xD503201F, nil
+
+	case OpBrk:
+		if i.Imm < 0 || i.Imm > 0xFFFF {
+			return 0, encErr(i, "imm16 %d out of range", i.Imm)
+		}
+		return 0xD4200000 | uint32(i.Imm)<<5, nil
+	}
+	return 0, encErr(i, "unencodable op")
+}
+
+// MustEncode is Encode for immediates known to fit; it panics on error and
+// is intended for code-generator templates with constant operands.
+func MustEncode(i Inst) uint32 {
+	w, err := Encode(i)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

@@ -1,0 +1,391 @@
+package a64
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// golden encodings were cross-checked against GNU binutils output for the
+// same assembly text.
+func TestGoldenEncodings(t *testing.T) {
+	tests := []struct {
+		name string
+		inst Inst
+		want uint32
+		text string
+	}{
+		{"ret", Inst{Op: OpRet, Rn: LR}, 0xD65F03C0, "ret"},
+		{"nop", Inst{Op: OpNop}, 0xD503201F, "nop"},
+		{"blr x30", Inst{Op: OpBlr, Rn: LR}, 0xD63F03C0, "blr x30"},
+		{"br x16", Inst{Op: OpBr, Rn: IP0}, 0xD61F0200, "br x16"},
+		{
+			"stp x29, x30, [sp, #-32]!",
+			Inst{Op: OpStp, Rd: FP, Rt2: LR, Rn: SP, Imm: -32, Index: IndexPre},
+			0xA9BE7BFD, "stp x29, x30, [sp, #-32]!",
+		},
+		{
+			"ldp x29, x30, [sp], #32",
+			Inst{Op: OpLdp, Rd: FP, Rt2: LR, Rn: SP, Imm: 32, Index: IndexPost},
+			0xA8C27BFD, "ldp x29, x30, [sp], #32",
+		},
+		{
+			"ldr x30, [x0, #32]",
+			Inst{Op: OpLdrImm, Sf: true, Rd: LR, Rn: X0, Imm: 32},
+			0xF940101E, "ldr x30, [x0, #32]",
+		},
+		{
+			"sub x16, sp, #0x2000",
+			Inst{Op: OpSubImm, Sf: true, Rd: IP0, Rn: SP, Imm: 2, Shift12: true},
+			0xD1400BF0, "sub x16, sp, #2, lsl #12",
+		},
+		{
+			"ldr wzr, [x16]",
+			Inst{Op: OpLdrImm, Rd: XZR, Rn: IP0},
+			0xB940021F, "ldr wzr, [x16]",
+		},
+		{
+			"cbz w0, #+0xc",
+			Inst{Op: OpCbz, Rd: X0, Imm: 0xc},
+			0x34000060, "cbz w0, #+0xc",
+		},
+		{
+			"mov x3, x4",
+			Inst{Op: OpOrrReg, Sf: true, Rd: X3, Rn: XZR, Rm: X4},
+			0xAA0403E3, "mov x3, x4",
+		},
+		{
+			"b.ne #+8",
+			Inst{Op: OpBCond, Cond: NE, Imm: 8},
+			0x54000041, "b.ne #+0x8",
+		},
+		{
+			"adrp x0, #0x1000",
+			Inst{Op: OpAdrp, Rd: X0, Imm: 0x1000},
+			0xB0000000, "adrp x0, #+0x1000",
+		},
+		{
+			"movz x0, #1",
+			Inst{Op: OpMovz, Sf: true, Rd: X0, Imm: 1},
+			0xD2800020, "movz x0, #1",
+		},
+		{
+			"bl #0",
+			Inst{Op: OpBl},
+			0x94000000, "bl #+0x0",
+		},
+		{
+			"b #-4",
+			Inst{Op: OpB, Imm: -4},
+			0x17FFFFFF, "b #-0x4",
+		},
+		{
+			"cmp w2, w1",
+			Inst{Op: OpSubsReg, Rd: XZR, Rn: X2, Rm: X1},
+			0x6B01005F, "cmp w2, w1",
+		},
+		{
+			"tbnz x5, #33, #+16",
+			Inst{Op: OpTbnz, Rd: X5, Bit: 33, Imm: 16},
+			0xB7080085, "tbnz x5, #33, #+0x10",
+		},
+		{
+			"brk #0",
+			Inst{Op: OpBrk},
+			0xD4200000, "brk #0x0",
+		},
+		{
+			"mul x1, x2, x3",
+			Inst{Op: OpMul, Sf: true, Rd: X1, Rn: X2, Rm: X3},
+			0x9B037C41, "mul x1, x2, x3",
+		},
+		{
+			"lsl x0, x1, x2",
+			Inst{Op: OpLslReg, Sf: true, Rd: X0, Rn: X1, Rm: X2},
+			0x9AC22020, "lsl x0, x1, x2",
+		},
+		{
+			"lsr x5, x6, x7",
+			Inst{Op: OpLsrReg, Sf: true, Rd: X5, Rn: X6, Rm: X7},
+			0x9AC724C5, "lsr x5, x6, x7",
+		},
+		{
+			"ldr x0, [x1, x2, lsl #3]",
+			Inst{Op: OpLdrReg, Sf: true, Rd: X0, Rn: X1, Rm: X2},
+			0xF8627820, "ldr x0, [x1, x2, lsl #3]",
+		},
+		{
+			"str x5, [x9, x10, lsl #3]",
+			Inst{Op: OpStrReg, Sf: true, Rd: X5, Rn: X9, Rm: X10},
+			0xF82A7925, "str x5, [x9, x10, lsl #3]",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Encode(tt.inst)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			if got != tt.want {
+				t.Errorf("Encode = %#08x, want %#08x", got, tt.want)
+			}
+			dec, ok := Decode(got)
+			if !ok {
+				t.Fatalf("Decode(%#08x) failed", got)
+			}
+			if dec != tt.inst {
+				t.Errorf("Decode = %+v, want %+v", dec, tt.inst)
+			}
+			if s := tt.inst.String(); s != tt.text {
+				t.Errorf("String = %q, want %q", s, tt.text)
+			}
+		})
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	bad := []Inst{
+		{Op: OpAddImm, Imm: 4096},                 // imm12 overflow
+		{Op: OpAddImm, Imm: -1},                   // negative imm12
+		{Op: OpMovz, Imm: 1 << 16},                // imm16 overflow
+		{Op: OpMovz, HW: 2},                       // hw too large for W form
+		{Op: OpB, Imm: 2},                         // unaligned displacement
+		{Op: OpB, Imm: 1 << 30},                   // imm26 overflow
+		{Op: OpBCond, Imm: 1 << 22},               // imm19 overflow
+		{Op: OpTbz, Bit: 64},                      // bit out of range
+		{Op: OpTbz, Imm: 1 << 17},                 // imm14 overflow
+		{Op: OpLdrImm, Sf: true, Imm: 4},          // not multiple of 8
+		{Op: OpLdrImm, Imm: 3},                    // not multiple of 4
+		{Op: OpLdrImm, Sf: true, Imm: 8 * 4096},   // imm12 overflow after scaling
+		{Op: OpLdp, Imm: 4},                       // pair offset not multiple of 8
+		{Op: OpLdp, Imm: 8 * 64},                  // imm7 overflow
+		{Op: OpAdr, Imm: 1 << 21},                 // out of ±1MiB
+		{Op: OpAdrp, Imm: 4096 + 1},               // not page aligned
+		{Op: OpAdrp, Imm: int64(4096) << 21},      // out of range
+		{Op: OpBrk, Imm: 1 << 16},                 // imm16 overflow
+		{Op: OpInvalid},                           // not encodable
+		{Op: OpAddImm, Rd: 32},                    // register out of range
+		{Op: OpLdp, Imm: 8, Index: IndexMode(99)}, // bad index mode
+	}
+	for _, inst := range bad {
+		if w, err := Encode(inst); err == nil {
+			t.Errorf("Encode(%+v) = %#08x, want error", inst, w)
+		}
+	}
+}
+
+// TestDecodeRejectsJunk feeds words that are either invalid AArch64 or
+// outside the modeled subset and checks none decode.
+func TestDecodeRejectsJunk(t *testing.T) {
+	junk := []uint32{
+		0x00000000,         // UDF-like
+		0xFFFFFFFF,         // not an instruction
+		0x1E604000,         // FMOV (FP not modeled)
+		0x9B030C41,         // MADD with accumulator (only MUL form modeled)
+		0x9BC37C41,         // UMULH (not modeled)
+		0x1AC32841,         // ASRV (arithmetic shift not modeled)
+		0xD5033FDF,         // ISB (system, not NOP)
+		0x38401C41,         // LDRB post-index (byte loads not modeled)
+		0x8B20C041,         // ADD extended register (not modeled)
+		0xAA140694,         // ORR with shift amount != 0
+		0x12C00001,         // MOVN w with hw=2 (invalid form)
+		0x54000050 | 1<<4,  // B.cond with bit4 set
+		0xD4200001,         // BRK with nonzero low bits
+		0x7A000000,         // ANDS-class / unmodeled
+		0xA9200000 | 1<<26, // SIMD pair
+	}
+	for _, w := range junk {
+		if inst, ok := Decode(w); ok {
+			t.Errorf("Decode(%#08x) = %v, want not ok", w, inst)
+		}
+	}
+}
+
+// randInst builds a random canonical instruction in the modeled subset.
+func randInst(r *rand.Rand) Inst {
+	reg := func() Reg { return Reg(r.Intn(32)) }
+	word := func(n int64) int64 { return (r.Int63n(2*n) - n) * WordSize }
+	ops := []Op{
+		OpAddImm, OpAddsImm, OpSubImm, OpSubsImm, OpMovz, OpMovn, OpMovk,
+		OpAddReg, OpAddsReg, OpSubReg, OpSubsReg, OpAndReg, OpOrrReg, OpEorReg,
+		OpMul, OpLslReg, OpLsrReg,
+		OpLdrImm, OpStrImm, OpLdrReg, OpStrReg, OpLdp, OpStp, OpLdrLit,
+		OpB, OpBl, OpBCond, OpCbz, OpCbnz, OpTbz, OpTbnz, OpBr, OpBlr, OpRet,
+		OpAdr, OpAdrp, OpNop, OpBrk,
+	}
+	op := ops[r.Intn(len(ops))]
+	i := Inst{Op: op}
+	switch op {
+	case OpAddImm, OpAddsImm, OpSubImm, OpSubsImm:
+		i.Sf = r.Intn(2) == 0
+		i.Rd, i.Rn = reg(), reg()
+		i.Imm = r.Int63n(4096)
+		i.Shift12 = r.Intn(2) == 0
+	case OpMovz, OpMovn, OpMovk:
+		i.Sf = r.Intn(2) == 0
+		i.Rd = reg()
+		i.Imm = r.Int63n(1 << 16)
+		if i.Sf {
+			i.HW = uint8(r.Intn(4))
+		} else {
+			i.HW = uint8(r.Intn(2))
+		}
+	case OpAddReg, OpAddsReg, OpSubReg, OpSubsReg, OpAndReg, OpOrrReg, OpEorReg,
+		OpMul, OpLslReg, OpLsrReg:
+		i.Sf = r.Intn(2) == 0
+		i.Rd, i.Rn, i.Rm = reg(), reg(), reg()
+	case OpLdrImm, OpStrImm:
+		i.Sf = r.Intn(2) == 0
+		i.Rd, i.Rn = reg(), reg()
+		scale := int64(4)
+		if i.Sf {
+			scale = 8
+		}
+		i.Imm = r.Int63n(4096) * scale
+	case OpLdrReg, OpStrReg:
+		i.Sf = true
+		i.Rd, i.Rn, i.Rm = reg(), reg(), reg()
+	case OpLdp, OpStp:
+		i.Rd, i.Rt2, i.Rn = reg(), reg(), reg()
+		i.Imm = (r.Int63n(128) - 64) * 8
+		i.Index = IndexMode(r.Intn(3))
+	case OpLdrLit:
+		i.Sf = r.Intn(2) == 0
+		i.Rd = reg()
+		i.Imm = word(1 << 18)
+	case OpB, OpBl:
+		i.Imm = word(1 << 25)
+	case OpBCond:
+		i.Cond = Cond(r.Intn(16))
+		i.Imm = word(1 << 18)
+	case OpCbz, OpCbnz:
+		i.Sf = r.Intn(2) == 0
+		i.Rd = reg()
+		i.Imm = word(1 << 18)
+	case OpTbz, OpTbnz:
+		i.Rd = reg()
+		i.Bit = uint8(r.Intn(64))
+		i.Imm = word(1 << 13)
+	case OpBr, OpBlr, OpRet:
+		i.Rn = reg()
+	case OpAdr:
+		i.Imm = r.Int63n(1<<21) - 1<<20
+	case OpAdrp:
+		i.Imm = (r.Int63n(1<<21) - 1<<20) * 4096
+	case OpBrk:
+		i.Imm = r.Int63n(1 << 16)
+	}
+	return i
+}
+
+// TestEncodeDecodeRoundTrip: decode(encode(i)) == i for canonical insts.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for n := 0; n < 20000; n++ {
+		i := randInst(r)
+		w, err := Encode(i)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", i, err)
+		}
+		got, ok := Decode(w)
+		if !ok {
+			t.Fatalf("Decode(%#08x) from %+v failed", w, i)
+		}
+		if got != i {
+			t.Fatalf("round trip: got %+v, want %+v (word %#08x)", got, i, w)
+		}
+	}
+}
+
+// TestDecodeEncodeRoundTrip: for any word that decodes, re-encoding the
+// decoded instruction reproduces the word bit for bit. Run via
+// testing/quick over random words.
+func TestDecodeEncodeRoundTrip(t *testing.T) {
+	f := func(w uint32) bool {
+		i, ok := Decode(w)
+		if !ok {
+			return true // out-of-subset words are fine
+		}
+		back, err := Encode(i)
+		return err == nil && back == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPatchRel verifies displacement rewriting for every PC-relative op.
+func TestPatchRel(t *testing.T) {
+	cases := []Inst{
+		{Op: OpB, Imm: 64},
+		{Op: OpBl, Imm: -64},
+		{Op: OpBCond, Cond: LT, Imm: 128},
+		{Op: OpCbz, Sf: true, Rd: X3, Imm: 256},
+		{Op: OpCbnz, Rd: X7, Imm: -8},
+		{Op: OpTbz, Rd: X2, Bit: 17, Imm: 32},
+		{Op: OpTbnz, Rd: X9, Bit: 60, Imm: -32},
+		{Op: OpLdrLit, Sf: true, Rd: X4, Imm: 1024},
+		{Op: OpAdr, Rd: X1, Imm: 12},
+		{Op: OpAdrp, Rd: X1, Imm: 8192},
+	}
+	for _, i := range cases {
+		w := MustEncode(i)
+		newOff := int64(-2048)
+		if i.Op == OpAdrp {
+			newOff = -4096 * 3
+		}
+		patched, err := PatchRel(w, newOff)
+		if err != nil {
+			t.Fatalf("PatchRel(%s): %v", i, err)
+		}
+		got, ok := Decode(patched)
+		if !ok {
+			t.Fatalf("patched word %#08x does not decode", patched)
+		}
+		want := i
+		want.Imm = newOff
+		if got != want {
+			t.Errorf("PatchRel(%s) = %+v, want %+v", i, got, want)
+		}
+	}
+
+	// Non-PC-relative words must be rejected.
+	if _, err := PatchRel(MustEncode(Inst{Op: OpNop}), 4); err == nil {
+		t.Error("PatchRel(nop) succeeded, want error")
+	}
+	if _, err := PatchRel(0xFFFFFFFF, 4); err == nil {
+		t.Error("PatchRel(junk) succeeded, want error")
+	}
+	// Out-of-range new displacement must surface the encoder's error.
+	if _, err := PatchRel(MustEncode(Inst{Op: OpBCond, Imm: 4}), 1<<40); err == nil {
+		t.Error("PatchRel with huge displacement succeeded, want error")
+	}
+}
+
+func TestCondInvert(t *testing.T) {
+	pairs := [][2]Cond{{EQ, NE}, {HS, LO}, {MI, PL}, {VS, VC}, {HI, LS}, {GE, LT}, {GT, LE}}
+	for _, p := range pairs {
+		if p[0].Invert() != p[1] || p[1].Invert() != p[0] {
+			t.Errorf("Invert pair %v broken", p)
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	pcRel := map[Op]bool{OpB: true, OpBl: true, OpBCond: true, OpCbz: true, OpCbnz: true,
+		OpTbz: true, OpTbnz: true, OpLdrLit: true, OpAdr: true, OpAdrp: true}
+	branches := map[Op]bool{OpB: true, OpBl: true, OpBCond: true, OpCbz: true, OpCbnz: true,
+		OpTbz: true, OpTbnz: true, OpBr: true, OpBlr: true, OpRet: true}
+	terminators := map[Op]bool{OpB: true, OpBr: true, OpRet: true, OpBrk: true}
+	for op := OpInvalid; op < opMax; op++ {
+		if got := op.IsPCRel(); got != pcRel[op] {
+			t.Errorf("%s.IsPCRel() = %v", op, got)
+		}
+		if got := op.IsBranch(); got != branches[op] {
+			t.Errorf("%s.IsBranch() = %v", op, got)
+		}
+		if got := op.IsTerminator(); got != terminators[op] {
+			t.Errorf("%s.IsTerminator() = %v", op, got)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package a64
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecode checks the decode/re-encode identity on arbitrary words: any
+// word the decoder accepts must re-encode to exactly the same bits, and
+// the decoder must never panic on junk (the "embedded data misread as
+// instructions" hazard of §3.2).
+func FuzzDecode(f *testing.F) {
+	seed := []uint32{
+		0xD65F03C0, // ret
+		0xA9BE7BFD, // stp x29, x30, [sp, #-32]!
+		0xF940101E, // ldr x30, [x0, #32]
+		0xD63F03C0, // blr x30
+		0x94000000, // bl
+		0x54000041, // b.ne
+		0xF8627820, // ldr x0, [x1, x2, lsl #3]
+		0xDEADBEEF, // junk
+		0x00000000,
+		0xFFFFFFFF,
+	}
+	for _, w := range seed {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], w)
+		f.Add(b[:])
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		w := binary.LittleEndian.Uint32(data)
+		inst, ok := Decode(w)
+		if !ok {
+			return
+		}
+		back, err := Encode(inst)
+		if err != nil {
+			t.Fatalf("decoded %#08x to %v but cannot re-encode: %v", w, inst, err)
+		}
+		if back != w {
+			t.Fatalf("decode/encode not identity: %#08x -> %v -> %#08x", w, inst, back)
+		}
+		_ = inst.String() // must not panic
+	})
+}
+
+// FuzzPatchRel checks that displacement patching either fails cleanly or
+// produces a word whose decoded displacement is the requested one.
+func FuzzPatchRel(f *testing.F) {
+	f.Add(uint32(0x14000000), int64(64))
+	f.Add(uint32(0x54000041), int64(-8))
+	f.Add(uint32(0xD503201F), int64(4))
+	f.Fuzz(func(t *testing.T, w uint32, off int64) {
+		off &^= 3 // word aligned
+		patched, err := PatchRel(w, off)
+		if err != nil {
+			return
+		}
+		inst, ok := Decode(patched)
+		if !ok {
+			t.Fatalf("patched word %#08x does not decode", patched)
+		}
+		if inst.Imm != off {
+			t.Fatalf("patched displacement %#x, want %#x", inst.Imm, off)
+		}
+	})
+}

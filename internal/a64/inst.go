@@ -1,0 +1,283 @@
+package a64
+
+import "fmt"
+
+// Op identifies an operation in the modeled A64 subset.
+type Op uint8
+
+// Operations. Immediate and register forms of arithmetic are distinct ops
+// because their encodings live in different instruction classes.
+const (
+	OpInvalid Op = iota
+
+	// Data-processing, immediate.
+	OpAddImm  // ADD  Rd, Rn, #imm{, LSL #12}
+	OpAddsImm // ADDS Rd, Rn, #imm{, LSL #12}
+	OpSubImm  // SUB  Rd, Rn, #imm{, LSL #12}
+	OpSubsImm // SUBS Rd, Rn, #imm{, LSL #12} (CMP when Rd=ZR)
+	OpMovz    // MOVZ Rd, #imm16{, LSL #(16*hw)}
+	OpMovn    // MOVN Rd, #imm16{, LSL #(16*hw)}
+	OpMovk    // MOVK Rd, #imm16{, LSL #(16*hw)}
+
+	// Data-processing, register (no shifted operands modeled).
+	OpAddReg  // ADD  Rd, Rn, Rm
+	OpAddsReg // ADDS Rd, Rn, Rm (CMN when Rd=ZR)
+	OpSubReg  // SUB  Rd, Rn, Rm
+	OpSubsReg // SUBS Rd, Rn, Rm (CMP when Rd=ZR)
+	OpAndReg  // AND  Rd, Rn, Rm
+	OpOrrReg  // ORR  Rd, Rn, Rm (MOV when Rn=ZR)
+	OpEorReg  // EOR  Rd, Rn, Rm
+	OpMul     // MUL  Rd, Rn, Rm (MADD with Ra=ZR)
+	OpLslReg  // LSLV Rd, Rn, Rm
+	OpLsrReg  // LSRV Rd, Rn, Rm
+
+	// Loads and stores.
+	OpLdrImm // LDR Rt, [Rn, #imm] (unsigned offset; 32- or 64-bit by Sf)
+	OpStrImm // STR Rt, [Rn, #imm]
+	OpLdrReg // LDR Rt, [Rn, Rm, LSL #3] (64-bit register offset)
+	OpStrReg // STR Rt, [Rn, Rm, LSL #3]
+	OpLdp    // LDP Rt, Rt2, [Rn, #imm] (64-bit; Index selects mode)
+	OpStp    // STP Rt, Rt2, [Rn, #imm]
+	OpLdrLit // LDR Rt, #rel (PC-relative literal; 32- or 64-bit by Sf)
+
+	// Branches.
+	OpB     // B #rel
+	OpBl    // BL #rel
+	OpBCond // B.cond #rel
+	OpCbz   // CBZ Rt, #rel
+	OpCbnz  // CBNZ Rt, #rel
+	OpTbz   // TBZ Rt, #bit, #rel
+	OpTbnz  // TBNZ Rt, #bit, #rel
+	OpBr    // BR Rn
+	OpBlr   // BLR Rn
+	OpRet   // RET Rn
+
+	// PC-relative address formation.
+	OpAdr  // ADR Rd, #rel
+	OpAdrp // ADRP Rd, #relpage
+
+	// System.
+	OpNop // NOP
+	OpBrk // BRK #imm16
+
+	opMax
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpAddImm:  "add", OpAddsImm: "adds", OpSubImm: "sub", OpSubsImm: "subs",
+	OpMovz: "movz", OpMovn: "movn", OpMovk: "movk",
+	OpAddReg: "add", OpAddsReg: "adds", OpSubReg: "sub", OpSubsReg: "subs",
+	OpAndReg: "and", OpOrrReg: "orr", OpEorReg: "eor",
+	OpMul: "mul", OpLslReg: "lsl", OpLsrReg: "lsr",
+	OpLdrImm: "ldr", OpStrImm: "str", OpLdrReg: "ldr", OpStrReg: "str",
+	OpLdp: "ldp", OpStp: "stp", OpLdrLit: "ldr",
+	OpB: "b", OpBl: "bl", OpBCond: "b", OpCbz: "cbz", OpCbnz: "cbnz",
+	OpTbz: "tbz", OpTbnz: "tbnz", OpBr: "br", OpBlr: "blr", OpRet: "ret",
+	OpAdr: "adr", OpAdrp: "adrp",
+	OpNop: "nop", OpBrk: "brk",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IndexMode selects the addressing mode of LDP/STP.
+type IndexMode uint8
+
+const (
+	IndexOffset IndexMode = iota // [Rn, #imm]
+	IndexPre                     // [Rn, #imm]!
+	IndexPost                    // [Rn], #imm
+)
+
+// Inst is one decoded (or to-be-encoded) instruction.
+//
+// Field use depends on Op:
+//
+//   - Rd: destination of data-processing and ADR/ADRP; transfer register of
+//     loads/stores and CBZ/CBNZ/TBZ/TBNZ (the architectural Rt).
+//   - Rn: first source / base register / target of BR/BLR/RET.
+//   - Rm: second source register.
+//   - Rt2: second transfer register of LDP/STP.
+//   - Imm: immediate. For arithmetic-immediate ops it is the raw unsigned
+//     imm12 (before any LSL #12); for MOVZ/MOVN/MOVK the raw imm16; for
+//     loads/stores the byte offset; for all PC-relative ops (branches,
+//     LDR literal, ADR, ADRP, BRK aside) the *byte* displacement from the
+//     instruction's own address (for ADRP, from the instruction's page).
+//   - Shift12: arithmetic immediate shifted left by 12.
+//   - HW: the 16-bit chunk index of MOVZ/MOVN/MOVK (shift = 16*HW).
+//   - Cond: condition of B.cond.
+//   - Bit: bit number tested by TBZ/TBNZ (0..63).
+//   - Sf: 64-bit operation when true. Branch, ADR/ADRP, LDP/STP, BR/BLR/RET,
+//     NOP and BRK ignore Sf (LDP/STP are modeled 64-bit only).
+//   - Index: LDP/STP addressing mode.
+type Inst struct {
+	Op      Op
+	Rd      Reg
+	Rn      Reg
+	Rm      Reg
+	Rt2     Reg
+	Imm     int64
+	Shift12 bool
+	HW      uint8
+	Cond    Cond
+	Bit     uint8
+	Sf      bool
+	Index   IndexMode
+}
+
+// IsPCRel reports whether the op encodes a PC-relative displacement that
+// must be re-patched when the distance between the instruction and its
+// target changes. Note that per the paper (§3.2) BL is excluded from
+// link-time patching — its target is a function label bound after
+// outlining — but it is still PC-relative in encoding terms; callers that
+// need the paper's patch set should additionally exclude OpBl.
+func (op Op) IsPCRel() bool {
+	switch op {
+	case OpB, OpBl, OpBCond, OpCbz, OpCbnz, OpTbz, OpTbnz, OpLdrLit, OpAdr, OpAdrp:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the op transfers control.
+func (op Op) IsBranch() bool {
+	switch op {
+	case OpB, OpBl, OpBCond, OpCbz, OpCbnz, OpTbz, OpTbnz, OpBr, OpBlr, OpRet:
+		return true
+	}
+	return false
+}
+
+// IsTerminator reports whether the op ends a basic block: unconditional
+// control transfer with no fall-through. Conditional branches also
+// terminate blocks in the CFG sense, and the ART metadata collector records
+// them too; this predicate covers the instruction-level definition used by
+// the outliner (a repeat may not *contain* any branch).
+func (op Op) IsTerminator() bool {
+	switch op {
+	case OpB, OpBr, OpRet, OpBrk:
+		return true
+	}
+	return false
+}
+
+// regSize returns the operand-size prefix register printer for i.
+func (i Inst) gpName(r Reg, r31 string) string {
+	if i.Sf {
+		return r.xName(r31)
+	}
+	return r.wName(r31)
+}
+
+// String renders the instruction in GNU-assembler-like syntax. PC-relative
+// displacements print as "#+0x..." / "#-0x..." byte offsets.
+func (i Inst) String() string {
+	rel := func(v int64) string {
+		if v < 0 {
+			return fmt.Sprintf("#-0x%x", -v)
+		}
+		return fmt.Sprintf("#+0x%x", v)
+	}
+	switch i.Op {
+	case OpAddImm, OpAddsImm, OpSubImm, OpSubsImm:
+		name := i.Op.String()
+		rdCtx, rnCtx := "sp", "sp"
+		if i.Op == OpAddsImm || i.Op == OpSubsImm {
+			rdCtx = i.zrName()
+			if i.Rd == 31 {
+				// CMP / CMN alias.
+				alias := "cmp"
+				if i.Op == OpAddsImm {
+					alias = "cmn"
+				}
+				return fmt.Sprintf("%s %s, #%d%s", alias, i.gpName(i.Rn, "sp"), i.Imm, i.shiftSuffix())
+			}
+		}
+		return fmt.Sprintf("%s %s, %s, #%d%s", name, i.gpName(i.Rd, rdCtx), i.gpName(i.Rn, rnCtx), i.Imm, i.shiftSuffix())
+	case OpMovz, OpMovn, OpMovk:
+		if i.HW == 0 {
+			return fmt.Sprintf("%s %s, #%d", i.Op, i.gpName(i.Rd, i.zrName()), i.Imm)
+		}
+		return fmt.Sprintf("%s %s, #%d, lsl #%d", i.Op, i.gpName(i.Rd, i.zrName()), i.Imm, 16*int(i.HW))
+	case OpAddReg, OpAndReg, OpEorReg, OpMul, OpLslReg, OpLsrReg:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.gpName(i.Rd, i.zrName()), i.gpName(i.Rn, i.zrName()), i.gpName(i.Rm, i.zrName()))
+	case OpSubReg:
+		return fmt.Sprintf("sub %s, %s, %s", i.gpName(i.Rd, i.zrName()), i.gpName(i.Rn, i.zrName()), i.gpName(i.Rm, i.zrName()))
+	case OpAddsReg, OpSubsReg:
+		if i.Rd == 31 {
+			alias := "cmp"
+			if i.Op == OpAddsReg {
+				alias = "cmn"
+			}
+			return fmt.Sprintf("%s %s, %s", alias, i.gpName(i.Rn, i.zrName()), i.gpName(i.Rm, i.zrName()))
+		}
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.gpName(i.Rd, i.zrName()), i.gpName(i.Rn, i.zrName()), i.gpName(i.Rm, i.zrName()))
+	case OpOrrReg:
+		if i.Rn == 31 {
+			return fmt.Sprintf("mov %s, %s", i.gpName(i.Rd, i.zrName()), i.gpName(i.Rm, i.zrName()))
+		}
+		return fmt.Sprintf("orr %s, %s, %s", i.gpName(i.Rd, i.zrName()), i.gpName(i.Rn, i.zrName()), i.gpName(i.Rm, i.zrName()))
+	case OpLdrReg, OpStrReg:
+		return fmt.Sprintf("%s %s, [%s, %s, lsl #3]", i.Op, i.Rd.xName("xzr"), i.Rn.xName("sp"), i.Rm.xName("xzr"))
+	case OpLdrImm, OpStrImm:
+		if i.Imm == 0 {
+			return fmt.Sprintf("%s %s, [%s]", i.Op, i.gpName(i.Rd, i.zrName()), i.Rn.xName("sp"))
+		}
+		return fmt.Sprintf("%s %s, [%s, #%d]", i.Op, i.gpName(i.Rd, i.zrName()), i.Rn.xName("sp"), i.Imm)
+	case OpLdp, OpStp:
+		switch i.Index {
+		case IndexPre:
+			return fmt.Sprintf("%s %s, %s, [%s, #%d]!", i.Op, i.Rd.xName("xzr"), i.Rt2.xName("xzr"), i.Rn.xName("sp"), i.Imm)
+		case IndexPost:
+			return fmt.Sprintf("%s %s, %s, [%s], #%d", i.Op, i.Rd.xName("xzr"), i.Rt2.xName("xzr"), i.Rn.xName("sp"), i.Imm)
+		default:
+			if i.Imm == 0 {
+				return fmt.Sprintf("%s %s, %s, [%s]", i.Op, i.Rd.xName("xzr"), i.Rt2.xName("xzr"), i.Rn.xName("sp"))
+			}
+			return fmt.Sprintf("%s %s, %s, [%s, #%d]", i.Op, i.Rd.xName("xzr"), i.Rt2.xName("xzr"), i.Rn.xName("sp"), i.Imm)
+		}
+	case OpLdrLit:
+		return fmt.Sprintf("ldr %s, %s", i.gpName(i.Rd, i.zrName()), rel(i.Imm))
+	case OpB, OpBl:
+		return fmt.Sprintf("%s %s", i.Op, rel(i.Imm))
+	case OpBCond:
+		return fmt.Sprintf("b.%s %s", i.Cond, rel(i.Imm))
+	case OpCbz, OpCbnz:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.gpName(i.Rd, i.zrName()), rel(i.Imm))
+	case OpTbz, OpTbnz:
+		return fmt.Sprintf("%s %s, #%d, %s", i.Op, i.Rd.xName("xzr"), i.Bit, rel(i.Imm))
+	case OpBr, OpBlr:
+		return fmt.Sprintf("%s %s", i.Op, i.Rn.xName("xzr"))
+	case OpRet:
+		if i.Rn == LR {
+			return "ret"
+		}
+		return fmt.Sprintf("ret %s", i.Rn.xName("xzr"))
+	case OpAdr, OpAdrp:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd.xName("xzr"), rel(i.Imm))
+	case OpNop:
+		return "nop"
+	case OpBrk:
+		return fmt.Sprintf("brk #0x%x", i.Imm)
+	}
+	return "invalid"
+}
+
+func (i Inst) zrName() string {
+	if i.Sf {
+		return "xzr"
+	}
+	return "wzr"
+}
+
+func (i Inst) shiftSuffix() string {
+	if i.Shift12 {
+		return ", lsl #12"
+	}
+	return ""
+}

@@ -1,0 +1,113 @@
+package a64
+
+import "fmt"
+
+// Reg is an A64 register number in the range [0, 31].
+//
+// Register 31 is context dependent: it names SP in addressing and
+// arithmetic-immediate contexts and XZR/WZR elsewhere. The Inst printer
+// resolves the context; the encoder only cares about the 5-bit number.
+type Reg uint8
+
+// Named registers used by the ART code generator.
+const (
+	X0 Reg = iota
+	X1
+	X2
+	X3
+	X4
+	X5
+	X6
+	X7
+	X8
+	X9
+	X10
+	X11
+	X12
+	X13
+	X14
+	X15
+	X16 // IP0, first intra-procedure-call scratch register
+	X17 // IP1, second intra-procedure-call scratch register
+	X18 // platform register
+	X19 // ART thread register (holds Thread*)
+	X20
+	X21
+	X22
+	X23
+	X24
+	X25
+	X26
+	X27
+	X28
+	X29 // frame pointer
+	X30 // link register
+	XZR // zero register / SP, depending on context
+)
+
+// Aliases that make code-generator call sites read like ART sources.
+const (
+	IP0 = X16
+	IP1 = X17
+	TR  = X19 // ART thread register
+	FP  = X29
+	LR  = X30
+	SP  = XZR // encoded as 31; printers use context to pick "sp"
+)
+
+// Valid reports whether r is an encodable register number.
+func (r Reg) Valid() bool { return r <= 31 }
+
+// xName returns the 64-bit register name, with reg 31 shown as given.
+func (r Reg) xName(r31 string) string {
+	if r == 31 {
+		return r31
+	}
+	return fmt.Sprintf("x%d", r)
+}
+
+// wName returns the 32-bit register name, with reg 31 shown as given.
+func (r Reg) wName(r31 string) string {
+	if r == 31 {
+		return r31
+	}
+	return fmt.Sprintf("w%d", r)
+}
+
+// Cond is an A64 condition code as used by B.cond.
+type Cond uint8
+
+// Condition codes in encoding order.
+const (
+	EQ Cond = iota
+	NE
+	HS
+	LO
+	MI
+	PL
+	VS
+	VC
+	HI
+	LS
+	GE
+	LT
+	GT
+	LE
+	AL
+	NV
+)
+
+var condNames = [...]string{
+	"eq", "ne", "hs", "lo", "mi", "pl", "vs", "vc",
+	"hi", "ls", "ge", "lt", "gt", "le", "al", "nv",
+}
+
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Invert returns the logically inverted condition (EQ<->NE, LT<->GE, ...).
+func (c Cond) Invert() Cond { return c ^ 1 }

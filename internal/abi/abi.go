@@ -1,0 +1,62 @@
+// Package abi fixes the memory-layout contract between the code generator
+// (internal/codegen), the linker (internal/oat, internal/outline), and the
+// runtime emulator (internal/emu). It mirrors the corner of the ART ABI that
+// Calibro's patterns depend on: where ArtMethod structures live, where the
+// entry point sits inside an ArtMethod, how the thread register reaches the
+// runtime entrypoint table, and how objects and stacks are laid out.
+package abi
+
+const (
+	// TextBase is the virtual address at which the OAT text segment is
+	// mapped by the loader.
+	TextBase = 0x0010_0000
+
+	// ArtMethodBase is the virtual address of the ArtMethod table. Each
+	// dex method's ArtMethod lives at ArtMethodBase + id*ArtMethodStride.
+	ArtMethodBase   = 0x4000_0000
+	ArtMethodStride = 64
+
+	// EntryPointOffset is the byte offset of the compiled-code entry point
+	// inside an ArtMethod, the #offset of the paper's Java-call pattern
+	// (Figure 4a). The paper's 32-bit ART uses 20; the 64-bit layout keeps
+	// it 8-byte aligned.
+	EntryPointOffset = 32
+
+	// ThreadBase is the value the loader places in the thread register
+	// (x19). dex.NativeFunc.EntrypointOffset offsets are relative to it.
+	ThreadBase = 0x5000_0000
+
+	// NativeStubBase is the address region where runtime entrypoints
+	// "live"; a branch to NativeStubBase + k*NativeStubStride is handled
+	// by the emulator as native function k.
+	NativeStubBase   = 0x6000_0000
+	NativeStubStride = 16
+
+	// HeapBase and HeapLimit bound the bump allocator (64 MiB).
+	HeapBase  = 0x2000_0000
+	HeapLimit = 0x2400_0000
+
+	// StackTop is the initial stack pointer; the stack grows down toward
+	// StackLimit. The StackGuard bytes directly above StackLimit form the
+	// guard region whose touch faults (1 MiB stack total).
+	StackTop   = 0x1800_0000
+	StackLimit = 0x17F0_0000
+	StackGuard = 0x2000 // 8 KiB, the constant in the Figure 4c pattern
+
+	// ObjectHeaderSize is the byte size of the heap object header (one
+	// length word); fields/elements follow at 8-byte stride.
+	ObjectHeaderSize = 8
+
+	// PageSize is the granularity of the resident-memory model (Table 5).
+	PageSize = 4096
+)
+
+// FieldOffset converts a field/element slot index to its byte offset from
+// the object base.
+func FieldOffset(slot int64) int64 { return ObjectHeaderSize + 8*slot }
+
+// ArtMethodAddr returns the ArtMethod address for a method ID.
+func ArtMethodAddr(id uint32) int64 { return ArtMethodBase + int64(id)*ArtMethodStride }
+
+// NativeStubAddr returns the fake code address of runtime entrypoint k.
+func NativeStubAddr(k int) int64 { return NativeStubBase + int64(k)*NativeStubStride }

@@ -1,0 +1,170 @@
+// Package core orchestrates the Calibro pipeline of Figure 5: per-method
+// HGraph optimization and code generation (with CTO and LTBO.1 metadata
+// collection), link-time binary outlining (LTBO.2, optionally over K
+// parallel suffix trees, optionally hot-function-filtered), and final
+// linking into an OAT image. It also implements the profile-guided rebuild
+// loop of Figure 6.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/dex"
+	"repro/internal/oat"
+	"repro/internal/outline"
+	"repro/internal/profiler"
+	"repro/internal/workload"
+)
+
+// Config selects the optimization configuration, mirroring the paper's
+// evaluated method names (§4.1).
+type Config struct {
+	// CTO enables compilation-time outlining of the three ART patterns.
+	CTO bool
+	// LTBO enables linking-time binary outlining.
+	LTBO bool
+	// ParallelTrees is the number of partitioned suffix trees (PlOpti);
+	// values <= 1 build one global tree.
+	ParallelTrees int
+	// HotFilter, together with Profile, excludes the hottest functions
+	// from outlining (HfOpti).
+	HotFilter bool
+	Profile   *profiler.Profile
+	// HotFraction is the cycle-coverage cut for the hot set (paper: 0.8).
+	HotFraction float64
+	// OptimizeIR runs the HGraph pass pipeline; the paper's baseline
+	// ("all available code size optimization enabled") keeps it on.
+	OptimizeIR bool
+	// MinLength/MinBenefit tune the outliner (defaults per §3.3).
+	MinLength  int
+	MinBenefit int
+	// Rounds repeats the outlining cycle (default 1); DedupFunctions
+	// merges identical outlined bodies across trees and rounds.
+	Rounds         int
+	DedupFunctions bool
+	// Detector selects the repeat-detection backend (suffix tree by
+	// default; outline.DetectorSuffixArray for the low-memory variant).
+	Detector outline.DetectorKind
+}
+
+// Baseline is the original AOSP configuration.
+func Baseline() Config { return Config{OptimizeIR: true} }
+
+// CTOOnly enables only compilation-time outlining.
+func CTOOnly() Config { return Config{OptimizeIR: true, CTO: true} }
+
+// CTOLTBO enables both outliners with a single global suffix tree.
+func CTOLTBO() Config { return Config{OptimizeIR: true, CTO: true, LTBO: true} }
+
+// CTOLTBOPl adds the paralleled suffix tree optimization.
+func CTOLTBOPl(k int) Config {
+	c := CTOLTBO()
+	c.ParallelTrees = k
+	return c
+}
+
+// CTOLTBOPlHf adds hot-function filtering on top of CTOLTBOPl; the caller
+// supplies the profile from a prior instrumented run.
+func CTOLTBOPlHf(k int, p *profiler.Profile) Config {
+	c := CTOLTBOPl(k)
+	c.HotFilter = true
+	c.Profile = p
+	return c
+}
+
+// Result is a completed build.
+type Result struct {
+	Image   *oat.Image
+	Methods []*codegen.CompiledMethod
+	Outline *outline.Stats // nil when LTBO is off
+
+	CompileTime time.Duration
+	OutlineTime time.Duration
+	LinkTime    time.Duration
+}
+
+// TotalTime is the end-to-end build duration.
+func (r *Result) TotalTime() time.Duration {
+	return r.CompileTime + r.OutlineTime + r.LinkTime
+}
+
+// TextBytes is the paper's code-size metric.
+func (r *Result) TextBytes() int { return r.Image.TextBytes() }
+
+// Build compiles and links the app under the given configuration.
+func Build(app *dex.App, cfg Config) (*Result, error) {
+	res := &Result{}
+
+	t0 := time.Now()
+	methods, err := codegen.Compile(app, codegen.Options{CTO: cfg.CTO, Optimize: cfg.OptimizeIR})
+	if err != nil {
+		return nil, err
+	}
+	res.CompileTime = time.Since(t0)
+	res.Methods = methods
+
+	var blobs []oat.Blob
+	if cfg.LTBO {
+		opts := outline.Options{
+			MinLength:      cfg.MinLength,
+			MinBenefit:     cfg.MinBenefit,
+			Parallel:       cfg.ParallelTrees,
+			Rounds:         cfg.Rounds,
+			DedupFunctions: cfg.DedupFunctions,
+			Detector:       cfg.Detector,
+		}
+		if cfg.HotFilter {
+			if cfg.Profile == nil {
+				return nil, fmt.Errorf("core: hot-function filtering requires a profile (run ProfileGuidedBuild)")
+			}
+			frac := cfg.HotFraction
+			if frac == 0 {
+				frac = 0.8
+			}
+			opts.Hot = cfg.Profile.HotSet(frac)
+		}
+		t1 := time.Now()
+		var stats *outline.Stats
+		blobs, stats, err = outline.RunVerified(methods, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.OutlineTime = time.Since(t1)
+		res.Outline = stats
+	}
+
+	t2 := time.Now()
+	img, err := oat.Link(methods, blobs)
+	if err != nil {
+		return nil, err
+	}
+	res.LinkTime = time.Since(t2)
+	res.Image = img
+	return res, nil
+}
+
+// ProfileGuidedBuild implements the Figure 6 workflow: build once with the
+// given configuration minus hot filtering, profile the script on the
+// resulting image, then rebuild with the hot set excluded from outlining.
+func ProfileGuidedBuild(app *dex.App, cfg Config, script []workload.Run) (*Result, *profiler.Profile, error) {
+	first := cfg
+	first.HotFilter = false
+	first.Profile = nil
+	r1, err := Build(app, first)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: initial build: %w", err)
+	}
+	prof, err := profiler.Collect(r1.Image, script, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: profiling: %w", err)
+	}
+	cfg.HotFilter = true
+	cfg.Profile = prof
+	r2, err := Build(app, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: guided rebuild: %w", err)
+	}
+	return r2, prof, nil
+}

@@ -1,0 +1,207 @@
+// Package dex models a simplified DEX container: classes holding methods
+// whose bodies are written in a register-based bytecode in the style of
+// Dalvik. It is the input language of the dex2oat-like compilation pipeline
+// (internal/hgraph + internal/codegen).
+//
+// The bytecode is deliberately small but keeps every feature that matters
+// to Calibro's code-size story:
+//
+//   - invoke-virtual lowers to the ART Java-call pattern
+//     (ldr x30, [x0, #entryOff]; blr x30);
+//   - invoke-native lowers to the thread-register pattern
+//     (ldr x30, [x19, #off]; blr x30);
+//   - new-instance and array accesses produce slow paths;
+//   - const-pool produces embedded data (literal pools) inside code;
+//   - packed-switch lowers to an indirect branch, which disqualifies the
+//     owning method from link-time outlining;
+//   - native methods are compiled as JNI stubs and flagged unoutlinable.
+package dex
+
+import "fmt"
+
+// MethodID is a program-wide method index. Invocations refer to callees by
+// MethodID; the linker binds them to ArtMethod slots.
+type MethodID uint32
+
+// Opcode enumerates the bytecode operations.
+type Opcode uint8
+
+// Bytecode operations. Register operands are A, B, C; Lit is a literal.
+const (
+	OpNopCode      Opcode = iota
+	OpConst               // vA = Lit
+	OpConstPool           // vA = pool[Lit] (64-bit constant from the method pool)
+	OpMove                // vA = vB
+	OpAdd                 // vA = vB + vC
+	OpSub                 // vA = vB - vC
+	OpAnd                 // vA = vB & vC
+	OpOr                  // vA = vB | vC
+	OpXor                 // vA = vB ^ vC
+	OpMul                 // vA = vB * vC
+	OpShl                 // vA = vB << (vC & 63)
+	OpShr                 // vA = vB >>> (vC & 63), logical
+	OpAddLit              // vA = vB + Lit
+	OpIfEq                // if vA == vB goto Target
+	OpIfNe                // if vA != vB goto Target
+	OpIfLt                // if vA <  vB goto Target
+	OpIfGe                // if vA >= vB goto Target
+	OpIfEqz               // if vA == 0 goto Target
+	OpIfNez               // if vA != 0 goto Target
+	OpGoto                // goto Target
+	OpPackedSwitch        // switch vA: Targets[0..n); fallthrough if out of range
+	OpInvoke              // vA = call Method(vB, vC) — Java virtual call
+	OpInvokeNative        // vA = call Native(vB, vC) — ART runtime entrypoint
+	OpNewInstance         // vA = alloc(type Lit) via pAllocObjectResolved
+	OpIGet                // vA = vB.field[Lit] (instance field, null-checked)
+	OpIPut                // vB.field[Lit] = vA
+	OpAGet                // vA = vB[vC] (array read, bounds-checked)
+	OpAPut                // vB[vC] = vA
+	OpNewArray            // vA = allocArray(len vB)
+	OpArrayLen            // vA = len(vB)
+	OpReturn              // return vA
+	OpReturnVoid          // return
+	opcodeMax
+)
+
+var opcodeNames = [...]string{
+	"nop", "const", "const-pool", "move", "add", "sub", "and", "or", "xor",
+	"mul", "shl", "shr",
+	"add-lit", "if-eq", "if-ne", "if-lt", "if-ge", "if-eqz", "if-nez", "goto",
+	"packed-switch", "invoke", "invoke-native", "new-instance", "iget", "iput",
+	"aget", "aput", "new-array", "array-len", "return", "return-void",
+}
+
+func (op Opcode) String() string {
+	if int(op) < len(opcodeNames) {
+		return opcodeNames[op]
+	}
+	return fmt.Sprintf("opcode(%d)", uint8(op))
+}
+
+// IsBranch reports whether the opcode can transfer control to Target(s).
+func (op Opcode) IsBranch() bool {
+	switch op {
+	case OpIfEq, OpIfNe, OpIfLt, OpIfGe, OpIfEqz, OpIfNez, OpGoto, OpPackedSwitch:
+		return true
+	}
+	return false
+}
+
+// IsTerminal reports whether control never falls through to the next
+// instruction.
+func (op Opcode) IsTerminal() bool {
+	switch op {
+	case OpGoto, OpReturn, OpReturnVoid:
+		return true
+	}
+	return false
+}
+
+// NativeFunc identifies an ART runtime entrypoint reachable through the
+// thread register. The numeric value determines its offset in the thread's
+// entrypoint table.
+type NativeFunc uint8
+
+// ART runtime entrypoints modeled by the emulator.
+const (
+	NativeAllocObjectResolved NativeFunc = iota
+	NativeAllocArrayResolved
+	NativeThrowNullPointer
+	NativeThrowArrayBounds
+	NativeThrowStackOverflow
+	NativeGCSafepoint
+	NativeLogValue
+	nativeFuncMax
+)
+
+var nativeNames = [...]string{
+	"pAllocObjectResolved", "pAllocArrayResolved", "pThrowNullPointer",
+	"pThrowArrayBounds", "pThrowStackOverflow", "pGCSafepoint", "pLogValue",
+}
+
+func (f NativeFunc) String() string {
+	if int(f) < len(nativeNames) {
+		return nativeNames[f]
+	}
+	return fmt.Sprintf("native(%d)", uint8(f))
+}
+
+// NumNativeFuncs is the size of the thread entrypoint table.
+const NumNativeFuncs = int(nativeFuncMax)
+
+// EntrypointOffset returns the byte offset of f's slot from the thread
+// register, mirroring ART's Thread::quick_entrypoints_ layout.
+func (f NativeFunc) EntrypointOffset() int64 { return 0x200 + 8*int64(f) }
+
+// Insn is one bytecode instruction.
+type Insn struct {
+	Op      Opcode
+	A, B, C uint8      // register operands
+	Lit     int64      // literal / pool index / field offset / type index
+	Target  int32      // branch target (instruction index)
+	Targets []int32    // packed-switch targets
+	Method  MethodID   // invoke callee
+	Native  NativeFunc // invoke-native callee
+}
+
+func (in Insn) String() string {
+	switch {
+	case in.Op == OpInvoke:
+		return fmt.Sprintf("%s v%d, m%d(v%d, v%d)", in.Op, in.A, in.Method, in.B, in.C)
+	case in.Op == OpInvokeNative:
+		return fmt.Sprintf("%s v%d, %s(v%d, v%d)", in.Op, in.A, in.Native, in.B, in.C)
+	case in.Op == OpPackedSwitch:
+		return fmt.Sprintf("%s v%d, %v", in.Op, in.A, in.Targets)
+	case in.Op.IsBranch():
+		return fmt.Sprintf("%s v%d, v%d, @%d", in.Op, in.A, in.B, in.Target)
+	default:
+		return fmt.Sprintf("%s v%d, v%d, v%d, #%d", in.Op, in.A, in.B, in.C, in.Lit)
+	}
+}
+
+// Method is one dex method.
+type Method struct {
+	ID      MethodID
+	Class   string
+	Name    string
+	NumRegs int      // virtual registers v0..vNumRegs-1
+	NumIns  int      // parameters, passed in the trailing registers
+	Native  bool     // JNI method: compiled as a stub, never outlined
+	Code    []Insn   // empty for native methods
+	Pool    []uint64 // 64-bit constants referenced by OpConstPool
+}
+
+// FullName returns "Class.Name".
+func (m *Method) FullName() string { return m.Class + "." + m.Name }
+
+// Class groups methods, mirroring a dex class_def.
+type Class struct {
+	Name    string
+	Methods []*Method
+}
+
+// File is one dex file: a named set of classes.
+type File struct {
+	Name    string
+	Classes []*Class
+}
+
+// App models an application package (APK): several dex files plus the
+// program-wide method table that MethodIDs index.
+type App struct {
+	Name    string
+	Files   []*File
+	Methods []*Method // indexed by MethodID
+}
+
+// AddMethod appends m to the app-wide table, assigns its ID, and attaches
+// it to the class.
+func (a *App) AddMethod(c *Class, m *Method) MethodID {
+	m.ID = MethodID(len(a.Methods))
+	a.Methods = append(a.Methods, m)
+	c.Methods = append(c.Methods, m)
+	return m.ID
+}
+
+// NumMethods returns the number of methods in the app-wide table.
+func (a *App) NumMethods() int { return len(a.Methods) }

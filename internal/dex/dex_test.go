@@ -1,0 +1,174 @@
+package dex
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildApp assembles a minimal two-method app used across tests.
+func buildApp() (*App, *Class) {
+	app := &App{Name: "test"}
+	cls := &Class{Name: "LMain"}
+	file := &File{Name: "classes.dex", Classes: []*Class{cls}}
+	app.Files = []*File{file}
+
+	callee := &Method{
+		Class: "LMain", Name: "callee", NumRegs: 2, NumIns: 2,
+		Code: []Insn{
+			{Op: OpAdd, A: 0, B: 0, C: 1},
+			{Op: OpReturn, A: 0},
+		},
+	}
+	app.AddMethod(cls, callee)
+
+	caller := &Method{
+		Class: "LMain", Name: "caller", NumRegs: 4, NumIns: 0,
+		Pool: []uint64{0xDEADBEEFCAFE},
+		Code: []Insn{
+			{Op: OpConst, A: 0, Lit: 3},
+			{Op: OpConst, A: 1, Lit: 4},
+			{Op: OpInvoke, A: 2, Method: callee.ID, B: 0, C: 1},
+			{Op: OpConstPool, A: 3, Lit: 0},
+			{Op: OpReturn, A: 2},
+		},
+	}
+	app.AddMethod(cls, caller)
+	return app, cls
+}
+
+func TestValidateOK(t *testing.T) {
+	app, _ := buildApp()
+	if err := app.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	s := app.CollectStats()
+	if s.Methods != 2 || s.Classes != 1 || s.Files != 1 || s.Insns != 7 || s.Native != 0 {
+		t.Errorf("Stats = %+v", s)
+	}
+}
+
+func TestAddMethodAssignsIDs(t *testing.T) {
+	app, cls := buildApp()
+	m := &Method{Class: "LMain", Name: "third", NumRegs: 1,
+		Code: []Insn{{Op: OpReturnVoid}}}
+	id := app.AddMethod(cls, m)
+	if id != 2 || m.ID != 2 || app.NumMethods() != 3 {
+		t.Errorf("id=%d m.ID=%d n=%d", id, m.ID, app.NumMethods())
+	}
+	if app.Methods[2] != m || len(cls.Methods) != 3 {
+		t.Error("method not registered in both tables")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mk := func(mut func(app *App, caller *Method)) error {
+		app, _ := buildApp()
+		mut(app, app.Methods[1])
+		return app.Validate()
+	}
+	cases := map[string]func(app *App, caller *Method){
+		"register out of range": func(_ *App, m *Method) { m.Code[0].A = 99 },
+		"bad branch target": func(_ *App, m *Method) {
+			m.Code[0] = Insn{Op: OpGoto, Target: 100}
+		},
+		"negative branch target": func(_ *App, m *Method) {
+			m.Code[0] = Insn{Op: OpGoto, Target: -1}
+		},
+		"bad invoke target": func(_ *App, m *Method) { m.Code[2].Method = 77 },
+		"bad pool index":    func(_ *App, m *Method) { m.Code[3].Lit = 5 },
+		"bad native func": func(_ *App, m *Method) {
+			m.Code[2] = Insn{Op: OpInvokeNative, A: 2, Native: NativeFunc(200)}
+		},
+		"empty switch": func(_ *App, m *Method) {
+			m.Code[0] = Insn{Op: OpPackedSwitch, A: 0}
+		},
+		"switch target out of range": func(_ *App, m *Method) {
+			m.Code[0] = Insn{Op: OpPackedSwitch, A: 0, Targets: []int32{50}}
+		},
+		"no terminal": func(_ *App, m *Method) {
+			m.Code = m.Code[:len(m.Code)-1]
+		},
+		"empty body":       func(_ *App, m *Method) { m.Code = nil },
+		"bad opcode":       func(_ *App, m *Method) { m.Code[0].Op = opcodeMax },
+		"regs < ins":       func(_ *App, m *Method) { m.NumRegs = 0; m.NumIns = 1 },
+		"too many regs":    func(_ *App, m *Method) { m.NumRegs = 300 },
+		"native with code": func(_ *App, m *Method) { m.Native = true },
+		"id mismatch":      func(app *App, _ *Method) { app.Methods[0].ID = 9 },
+		"nil slot":         func(app *App, _ *Method) { app.Methods[0] = nil },
+		"duplicate name": func(app *App, m *Method) {
+			m.Name = "callee"
+			m.NumIns = 2
+		},
+	}
+	for name, mut := range cases {
+		if err := mk(mut); err == nil {
+			t.Errorf("%s: Validate succeeded, want error", name)
+		}
+	}
+}
+
+func TestValidateNativeMethod(t *testing.T) {
+	app, cls := buildApp()
+	app.AddMethod(cls, &Method{Class: "LMain", Name: "jni", Native: true, NumRegs: 2, NumIns: 2})
+	if err := app.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if app.CollectStats().Native != 1 {
+		t.Error("native method not counted")
+	}
+}
+
+func TestEntrypointOffsets(t *testing.T) {
+	if NativeAllocObjectResolved.EntrypointOffset() != 0x200 {
+		t.Error("first entrypoint offset")
+	}
+	seen := map[int64]bool{}
+	for f := NativeFunc(0); int(f) < NumNativeFuncs; f++ {
+		off := f.EntrypointOffset()
+		if off%8 != 0 || seen[off] {
+			t.Errorf("entrypoint %s offset %#x invalid or duplicated", f, off)
+		}
+		seen[off] = true
+		if !strings.HasPrefix(f.String(), "p") {
+			t.Errorf("entrypoint name %q does not match ART style", f)
+		}
+	}
+}
+
+func TestOpcodePredicatesAndStrings(t *testing.T) {
+	branches := []Opcode{OpIfEq, OpIfNe, OpIfLt, OpIfGe, OpIfEqz, OpIfNez, OpGoto, OpPackedSwitch}
+	for _, op := range branches {
+		if !op.IsBranch() {
+			t.Errorf("%s.IsBranch() = false", op)
+		}
+	}
+	for _, op := range []Opcode{OpAdd, OpReturn, OpInvoke, OpConst} {
+		if op.IsBranch() {
+			t.Errorf("%s.IsBranch() = true", op)
+		}
+	}
+	terminal := map[Opcode]bool{OpGoto: true, OpReturn: true, OpReturnVoid: true}
+	for op := OpNopCode; op < opcodeMax; op++ {
+		if op.IsTerminal() != terminal[op] {
+			t.Errorf("%s.IsTerminal() = %v", op, op.IsTerminal())
+		}
+		if strings.HasPrefix(op.String(), "opcode(") {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+	// Insn stringification covers the distinct layouts.
+	for _, s := range []struct {
+		in   Insn
+		want string
+	}{
+		{Insn{Op: OpInvoke, A: 1, Method: 7, B: 2, C: 3}, "invoke v1, m7(v2, v3)"},
+		{Insn{Op: OpInvokeNative, A: 1, Native: NativeGCSafepoint}, "invoke-native v1, pGCSafepoint(v0, v0)"},
+		{Insn{Op: OpPackedSwitch, A: 2, Targets: []int32{4, 5}}, "packed-switch v2, [4 5]"},
+		{Insn{Op: OpIfEq, A: 1, B: 2, Target: 9}, "if-eq v1, v2, @9"},
+		{Insn{Op: OpAdd, A: 1, B: 2, C: 3}, "add v1, v2, v3, #0"},
+	} {
+		if got := s.in.String(); got != s.want {
+			t.Errorf("String = %q, want %q", got, s.want)
+		}
+	}
+}

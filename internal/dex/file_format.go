@@ -1,0 +1,255 @@
+package dex
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary serialization of an App in the spirit of the dex container: a
+// magic ("dex\n035\0" like real dex files), the file/class/method
+// hierarchy, and per-instruction encodings whose layout depends on the
+// opcode — real dalvik instructions likewise come in opcode-specific
+// formats. Immediates use zigzag varints.
+
+var dexMagic = []byte("dex\n035\x00")
+
+// Marshal serializes the app.
+func Marshal(app *App) ([]byte, error) {
+	if err := app.Validate(); err != nil {
+		return nil, fmt.Errorf("dex: refusing to marshal invalid app: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Write(dexMagic)
+	ws := func(s string) {
+		if len(s) > 0xFFFF {
+			s = s[:0xFFFF]
+		}
+		var l [2]byte
+		binary.LittleEndian.PutUint16(l[:], uint16(len(s)))
+		buf.Write(l[:])
+		buf.WriteString(s)
+	}
+	wu := func(v uint64) {
+		var tmp [binary.MaxVarintLen64]byte
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+	}
+	wi := func(v int64) {
+		var tmp [binary.MaxVarintLen64]byte
+		buf.Write(tmp[:binary.PutVarint(tmp[:], v)])
+	}
+
+	ws(app.Name)
+	wu(uint64(len(app.Files)))
+	for _, f := range app.Files {
+		ws(f.Name)
+		wu(uint64(len(f.Classes)))
+		for _, c := range f.Classes {
+			ws(c.Name)
+			wu(uint64(len(c.Methods)))
+			for _, m := range c.Methods {
+				ws(m.Name)
+				wu(uint64(m.ID))
+				wu(uint64(m.NumRegs))
+				wu(uint64(m.NumIns))
+				if m.Native {
+					buf.WriteByte(1)
+				} else {
+					buf.WriteByte(0)
+				}
+				wu(uint64(len(m.Pool)))
+				for _, p := range m.Pool {
+					wu(p)
+				}
+				wu(uint64(len(m.Code)))
+				for _, in := range m.Code {
+					buf.WriteByte(byte(in.Op))
+					buf.WriteByte(in.A)
+					buf.WriteByte(in.B)
+					buf.WriteByte(in.C)
+					switch in.Op {
+					case OpConst, OpConstPool, OpAddLit, OpIGet, OpIPut, OpNewInstance:
+						wi(in.Lit)
+					case OpPackedSwitch:
+						wu(uint64(len(in.Targets)))
+						for _, t := range in.Targets {
+							wi(int64(t))
+						}
+					case OpInvoke:
+						wu(uint64(in.Method))
+					case OpInvokeNative:
+						buf.WriteByte(byte(in.Native))
+					}
+					if in.Op.IsBranch() && in.Op != OpPackedSwitch {
+						wi(int64(in.Target))
+					}
+				}
+			}
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalApp parses a serialized app and validates it.
+func UnmarshalApp(data []byte) (*App, error) {
+	r := &byteReader{data: data}
+	magic := r.bytes(len(dexMagic))
+	if r.err != nil || !bytes.Equal(magic, dexMagic) {
+		return nil, fmt.Errorf("dex: bad magic")
+	}
+	app := &App{Name: r.str()}
+	nFiles := r.uvarint()
+	if nFiles > 1<<16 {
+		return nil, fmt.Errorf("dex: implausible file count %d", nFiles)
+	}
+	type slot struct {
+		m  *Method
+		id MethodID
+	}
+	var slots []slot
+	for i := uint64(0); i < nFiles && r.err == nil; i++ {
+		f := &File{Name: r.str()}
+		nClasses := r.uvarint()
+		if nClasses > 1<<20 {
+			return nil, fmt.Errorf("dex: implausible class count %d", nClasses)
+		}
+		for j := uint64(0); j < nClasses && r.err == nil; j++ {
+			c := &Class{Name: r.str()}
+			nMethods := r.uvarint()
+			if nMethods > 1<<24 {
+				return nil, fmt.Errorf("dex: implausible method count %d", nMethods)
+			}
+			for k := uint64(0); k < nMethods && r.err == nil; k++ {
+				m := &Method{Class: c.Name, Name: r.str()}
+				id := MethodID(r.uvarint())
+				m.ID = id
+				m.NumRegs = int(r.uvarint())
+				m.NumIns = int(r.uvarint())
+				m.Native = r.byte() == 1
+				nPool := r.uvarint()
+				if nPool > 1<<24 {
+					return nil, fmt.Errorf("dex: implausible pool size %d", nPool)
+				}
+				for p := uint64(0); p < nPool && r.err == nil; p++ {
+					m.Pool = append(m.Pool, r.uvarint())
+				}
+				nCode := r.uvarint()
+				if nCode > 1<<26 {
+					return nil, fmt.Errorf("dex: implausible code size %d", nCode)
+				}
+				for p := uint64(0); p < nCode && r.err == nil; p++ {
+					in := Insn{Op: Opcode(r.byte()), A: r.byte(), B: r.byte(), C: r.byte()}
+					switch in.Op {
+					case OpConst, OpConstPool, OpAddLit, OpIGet, OpIPut, OpNewInstance:
+						in.Lit = r.varint()
+					case OpPackedSwitch:
+						nT := r.uvarint()
+						if nT > 1<<16 {
+							return nil, fmt.Errorf("dex: implausible switch size %d", nT)
+						}
+						for t := uint64(0); t < nT && r.err == nil; t++ {
+							in.Targets = append(in.Targets, int32(r.varint()))
+						}
+					case OpInvoke:
+						in.Method = MethodID(r.uvarint())
+					case OpInvokeNative:
+						in.Native = NativeFunc(r.byte())
+					}
+					if in.Op.IsBranch() && in.Op != OpPackedSwitch {
+						in.Target = int32(r.varint())
+					}
+					m.Code = append(m.Code, in)
+				}
+				c.Methods = append(c.Methods, m)
+				slots = append(slots, slot{m: m, id: id})
+			}
+			f.Classes = append(f.Classes, c)
+		}
+		app.Files = append(app.Files, f)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("dex: %d trailing bytes", len(data)-r.off)
+	}
+	// Rebuild the app-wide method table by ID.
+	app.Methods = make([]*Method, len(slots))
+	for _, s := range slots {
+		if int(s.id) >= len(slots) || app.Methods[s.id] != nil {
+			return nil, fmt.Errorf("dex: bad or duplicate method id %d", s.id)
+		}
+		app.Methods[s.id] = s.m
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+type byteReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *byteReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("dex: "+format, args...)
+	}
+}
+
+func (r *byteReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.data) {
+		r.fail("truncated at offset %d", r.off)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *byteReader) byte() byte {
+	b := r.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *byteReader) str() string {
+	lb := r.bytes(2)
+	if lb == nil {
+		return ""
+	}
+	return string(r.bytes(int(binary.LittleEndian.Uint16(lb))))
+}
+
+func (r *byteReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *byteReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("bad varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}

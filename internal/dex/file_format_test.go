@@ -1,0 +1,112 @@
+package dex
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	app, _ := buildApp()
+	// Add richer content: natives, switches, pools.
+	cls := app.Files[0].Classes[0]
+	app.AddMethod(cls, &Method{Class: cls.Name, Name: "jni", Native: true, NumRegs: 3, NumIns: 2})
+	app.AddMethod(cls, &Method{Class: cls.Name, Name: "sw", NumRegs: 2, NumIns: 1, Code: []Insn{
+		{Op: OpConst, A: 0, Lit: 7},
+		{Op: OpPackedSwitch, A: 1, Targets: []int32{3, 4}},
+		{Op: OpReturnVoid},
+		{Op: OpConst, A: 0, Lit: -12345},
+		{Op: OpInvokeNative, A: 0, Native: NativeLogValue, B: 0, C: 0},
+		{Op: OpReturn, A: 0},
+	}})
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := Marshal(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("dex\n035\x00")) {
+		t.Error("missing dex magic")
+	}
+	back, err := UnmarshalApp(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != app.Name || len(back.Methods) != len(app.Methods) {
+		t.Fatalf("shape mismatch")
+	}
+	for id := range app.Methods {
+		a, b := app.Methods[id], back.Methods[id]
+		if a.FullName() != b.FullName() || a.Native != b.Native ||
+			a.NumRegs != b.NumRegs || a.NumIns != b.NumIns {
+			t.Fatalf("method %d header mismatch", id)
+		}
+		if !reflect.DeepEqual(a.Pool, b.Pool) {
+			t.Fatalf("method %d pool mismatch", id)
+		}
+		if len(a.Code) != len(b.Code) {
+			t.Fatalf("method %d code length mismatch", id)
+		}
+		for pc := range a.Code {
+			x, y := a.Code[pc], b.Code[pc]
+			if x.Op != y.Op || x.A != y.A || x.B != y.B || x.C != y.C ||
+				x.Lit != y.Lit || x.Target != y.Target || x.Method != y.Method ||
+				x.Native != y.Native || !reflect.DeepEqual(x.Targets, y.Targets) {
+				t.Fatalf("method %d insn %d mismatch: %v vs %v", id, pc, x, y)
+			}
+		}
+	}
+}
+
+func TestMarshalRejectsInvalid(t *testing.T) {
+	app, _ := buildApp()
+	app.Methods[1].Code[0].A = 99 // register out of range
+	if _, err := Marshal(app); err == nil {
+		t.Fatal("invalid app marshaled")
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	app, _ := buildApp()
+	data, err := Marshal(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("dex\n036\x00"), data[8:]...),
+		"truncated": data[:len(data)-3],
+		"trailing":  append(append([]byte{}, data...), 1, 2, 3),
+	}
+	for name, d := range cases {
+		if _, err := UnmarshalApp(d); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// FuzzUnmarshalApp checks the dex parser never panics and that everything
+// it accepts validates and re-marshals.
+func FuzzUnmarshalApp(f *testing.F) {
+	app, _ := buildApp()
+	data, err := Marshal(app)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add(data[:12])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		parsed, err := UnmarshalApp(b)
+		if err != nil {
+			return
+		}
+		if err := parsed.Validate(); err != nil {
+			t.Fatalf("accepted app fails validation: %v", err)
+		}
+		if _, err := Marshal(parsed); err != nil {
+			t.Fatalf("accepted app fails to re-marshal: %v", err)
+		}
+	})
+}

@@ -1,0 +1,453 @@
+package dex
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Text format for apps, in the spirit of smali: one directive or
+// instruction per line, branch targets as :labels, invoke targets as
+// Class.method names (resolved app-wide in a second pass).
+//
+//	.app Demo
+//	.file classes.dex
+//	.class LMain
+//	.method run regs=4 ins=1
+//	    const v0, 0
+//	  :loop
+//	    add v0, v0, v3
+//	    add-lit v3, v3, -1
+//	    if-nez v3, :loop
+//	    return v0
+//	.end method
+//	.end class
+//	.end file
+//
+// DumpText and ParseText round-trip: ParseText(DumpText(app)) preserves
+// every method body.
+
+// DumpText renders the app in the text format.
+func DumpText(app *App) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".app %s\n", app.Name)
+	for _, f := range app.Files {
+		fmt.Fprintf(&b, ".file %s\n", f.Name)
+		for _, c := range f.Classes {
+			fmt.Fprintf(&b, ".class %s\n", c.Name)
+			for _, m := range c.Methods {
+				dumpMethod(&b, app, m)
+			}
+			b.WriteString(".end class\n")
+		}
+		b.WriteString(".end file\n")
+	}
+	return b.String()
+}
+
+func dumpMethod(b *strings.Builder, app *App, m *Method) {
+	if m.Native {
+		fmt.Fprintf(b, ".method %s native regs=%d ins=%d\n.end method\n", m.Name, m.NumRegs, m.NumIns)
+		return
+	}
+	fmt.Fprintf(b, ".method %s regs=%d ins=%d\n", m.Name, m.NumRegs, m.NumIns)
+	if len(m.Pool) > 0 {
+		b.WriteString(".pool")
+		for _, p := range m.Pool {
+			fmt.Fprintf(b, " %#x", p)
+		}
+		b.WriteString("\n")
+	}
+	// Collect label positions.
+	labelAt := map[int32]string{}
+	var targets []int32
+	for _, in := range m.Code {
+		if in.Op == OpPackedSwitch {
+			targets = append(targets, in.Targets...)
+		} else if in.Op.IsBranch() {
+			targets = append(targets, in.Target)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	for _, t := range targets {
+		if _, ok := labelAt[t]; !ok {
+			labelAt[t] = fmt.Sprintf("L%d", len(labelAt))
+		}
+	}
+	ref := func(t int32) string { return ":" + labelAt[t] }
+
+	for pc, in := range m.Code {
+		if l, ok := labelAt[int32(pc)]; ok {
+			fmt.Fprintf(b, "  :%s\n", l)
+		}
+		b.WriteString("    ")
+		switch in.Op {
+		case OpNopCode, OpReturnVoid:
+			b.WriteString(in.Op.String())
+		case OpConst, OpConstPool, OpNewInstance:
+			fmt.Fprintf(b, "%s v%d, %d", in.Op, in.A, in.Lit)
+		case OpMove, OpNewArray, OpArrayLen:
+			fmt.Fprintf(b, "%s v%d, v%d", in.Op, in.A, in.B)
+		case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpMul, OpShl, OpShr, OpAGet, OpAPut:
+			fmt.Fprintf(b, "%s v%d, v%d, v%d", in.Op, in.A, in.B, in.C)
+		case OpAddLit, OpIGet, OpIPut:
+			fmt.Fprintf(b, "%s v%d, v%d, %d", in.Op, in.A, in.B, in.Lit)
+		case OpIfEq, OpIfNe, OpIfLt, OpIfGe:
+			fmt.Fprintf(b, "%s v%d, v%d, %s", in.Op, in.A, in.B, ref(in.Target))
+		case OpIfEqz, OpIfNez:
+			fmt.Fprintf(b, "%s v%d, %s", in.Op, in.A, ref(in.Target))
+		case OpGoto:
+			fmt.Fprintf(b, "goto %s", ref(in.Target))
+		case OpPackedSwitch:
+			fmt.Fprintf(b, "packed-switch v%d", in.A)
+			for _, t := range in.Targets {
+				fmt.Fprintf(b, ", %s", ref(t))
+			}
+		case OpInvoke:
+			callee := app.Methods[in.Method]
+			fmt.Fprintf(b, "invoke v%d, %s (v%d, v%d)", in.A, callee.FullName(), in.B, in.C)
+		case OpInvokeNative:
+			fmt.Fprintf(b, "invoke-native v%d, %s (v%d, v%d)", in.A, in.Native, in.B, in.C)
+		case OpReturn:
+			fmt.Fprintf(b, "return v%d", in.A)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString(".end method\n")
+}
+
+// parser state for ParseText.
+type textParser struct {
+	app     *App
+	file    *File
+	class   *Class
+	method  *Method
+	labels  map[string]int32
+	fixups  []textFixup // label refs to resolve at .end method
+	invokes []invokeFixup
+	line    int
+}
+
+type textFixup struct {
+	pc     int
+	target int // index into Insn.Targets, or -1 for Insn.Target
+	label  string
+	line   int
+}
+
+type invokeFixup struct {
+	m    *Method
+	pc   int
+	name string
+	line int
+}
+
+// ParseText parses the text format and validates the result.
+func ParseText(src string) (*App, error) {
+	p := &textParser{app: &App{}}
+	for _, raw := range strings.Split(src, "\n") {
+		p.line++
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if err := p.handle(line); err != nil {
+			return nil, fmt.Errorf("dex: line %d: %w", p.line, err)
+		}
+	}
+	if p.method != nil || p.class != nil || p.file != nil {
+		return nil, fmt.Errorf("dex: unterminated block at end of input")
+	}
+	// Resolve invoke names.
+	byName := map[string]MethodID{}
+	for _, m := range p.app.Methods {
+		byName[m.FullName()] = m.ID
+	}
+	for _, fx := range p.invokes {
+		id, ok := byName[fx.name]
+		if !ok {
+			return nil, fmt.Errorf("dex: line %d: unknown method %q", fx.line, fx.name)
+		}
+		fx.m.Code[fx.pc].Method = id
+	}
+	if err := p.app.Validate(); err != nil {
+		return nil, err
+	}
+	return p.app, nil
+}
+
+func (p *textParser) handle(line string) error {
+	switch {
+	case strings.HasPrefix(line, ".app "):
+		p.app.Name = strings.TrimSpace(line[5:])
+	case strings.HasPrefix(line, ".file "):
+		if p.file != nil {
+			return fmt.Errorf(".file inside .file")
+		}
+		p.file = &File{Name: strings.TrimSpace(line[6:])}
+	case line == ".end file":
+		if p.file == nil {
+			return fmt.Errorf("stray .end file")
+		}
+		p.app.Files = append(p.app.Files, p.file)
+		p.file = nil
+	case strings.HasPrefix(line, ".class "):
+		if p.file == nil || p.class != nil {
+			return fmt.Errorf(".class outside .file")
+		}
+		p.class = &Class{Name: strings.TrimSpace(line[7:])}
+	case line == ".end class":
+		if p.class == nil {
+			return fmt.Errorf("stray .end class")
+		}
+		p.file.Classes = append(p.file.Classes, p.class)
+		p.class = nil
+	case strings.HasPrefix(line, ".method "):
+		return p.beginMethod(line)
+	case line == ".end method":
+		return p.endMethod()
+	case strings.HasPrefix(line, ".pool"):
+		if p.method == nil {
+			return fmt.Errorf(".pool outside .method")
+		}
+		for _, tok := range strings.Fields(line)[1:] {
+			v, err := strconv.ParseUint(tok, 0, 64)
+			if err != nil {
+				return fmt.Errorf("bad pool constant %q", tok)
+			}
+			p.method.Pool = append(p.method.Pool, v)
+		}
+	case strings.HasPrefix(line, ":"):
+		if p.method == nil {
+			return fmt.Errorf("label outside .method")
+		}
+		name := strings.TrimSpace(line[1:])
+		if _, dup := p.labels[name]; dup {
+			return fmt.Errorf("duplicate label %q", name)
+		}
+		p.labels[name] = int32(len(p.method.Code))
+	default:
+		return p.insn(line)
+	}
+	return nil
+}
+
+func (p *textParser) beginMethod(line string) error {
+	if p.class == nil || p.method != nil {
+		return fmt.Errorf(".method outside .class")
+	}
+	fields := strings.Fields(line[8:])
+	if len(fields) == 0 {
+		return fmt.Errorf(".method needs a name")
+	}
+	m := &Method{Class: p.class.Name, Name: fields[0]}
+	for _, f := range fields[1:] {
+		switch {
+		case f == "native":
+			m.Native = true
+		case strings.HasPrefix(f, "regs="):
+			v, err := strconv.Atoi(f[5:])
+			if err != nil {
+				return fmt.Errorf("bad regs %q", f)
+			}
+			m.NumRegs = v
+		case strings.HasPrefix(f, "ins="):
+			v, err := strconv.Atoi(f[4:])
+			if err != nil {
+				return fmt.Errorf("bad ins %q", f)
+			}
+			m.NumIns = v
+		default:
+			return fmt.Errorf("unknown method attribute %q", f)
+		}
+	}
+	p.method = m
+	p.labels = map[string]int32{}
+	p.fixups = nil
+	return nil
+}
+
+func (p *textParser) endMethod() error {
+	if p.method == nil {
+		return fmt.Errorf("stray .end method")
+	}
+	for _, fx := range p.fixups {
+		t, ok := p.labels[fx.label]
+		if !ok {
+			return fmt.Errorf("line %d: undefined label %q", fx.line, fx.label)
+		}
+		if fx.target < 0 {
+			p.method.Code[fx.pc].Target = t
+		} else {
+			p.method.Code[fx.pc].Targets[fx.target] = t
+		}
+	}
+	p.app.AddMethod(p.class, p.method)
+	p.method = nil
+	return nil
+}
+
+// operand parsing helpers.
+func parseReg(tok string) (uint8, error) {
+	if !strings.HasPrefix(tok, "v") {
+		return 0, fmt.Errorf("expected register, got %q", tok)
+	}
+	v, err := strconv.Atoi(tok[1:])
+	if err != nil || v < 0 || v > 255 {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	return uint8(v), nil
+}
+
+func parseLit(tok string) (int64, error) {
+	v, err := strconv.ParseInt(tok, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad literal %q", tok)
+	}
+	return v, nil
+}
+
+var textOpcodes = func() map[string]Opcode {
+	m := map[string]Opcode{}
+	for op := OpNopCode; op < opcodeMax; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func (p *textParser) insn(line string) error {
+	if p.method == nil {
+		return fmt.Errorf("instruction outside .method")
+	}
+	if p.method.Native {
+		return fmt.Errorf("native method has a body")
+	}
+	// Tokenize: mnemonic, then comma-separated operands; parentheses in
+	// invokes are decoration.
+	line = strings.NewReplacer("(", " ", ")", " ", ",", " ").Replace(line)
+	tok := strings.Fields(line)
+	op, ok := textOpcodes[tok[0]]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", tok[0])
+	}
+	in := Insn{Op: op}
+	pc := len(p.method.Code)
+	need := func(n int) error {
+		if len(tok) != n+1 {
+			return fmt.Errorf("%s expects %d operands, got %d", op, n, len(tok)-1)
+		}
+		return nil
+	}
+	labelRef := func(s string, targetIdx int) error {
+		if !strings.HasPrefix(s, ":") {
+			return fmt.Errorf("expected :label, got %q", s)
+		}
+		p.fixups = append(p.fixups, textFixup{pc: pc, target: targetIdx, label: s[1:], line: p.line})
+		return nil
+	}
+
+	var err error
+	switch op {
+	case OpNopCode, OpReturnVoid:
+		err = need(0)
+	case OpConst, OpConstPool, OpNewInstance:
+		if err = need(2); err == nil {
+			if in.A, err = parseReg(tok[1]); err == nil {
+				in.Lit, err = parseLit(tok[2])
+			}
+		}
+	case OpMove, OpNewArray, OpArrayLen:
+		if err = need(2); err == nil {
+			if in.A, err = parseReg(tok[1]); err == nil {
+				in.B, err = parseReg(tok[2])
+			}
+		}
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpMul, OpShl, OpShr, OpAGet, OpAPut:
+		if err = need(3); err == nil {
+			if in.A, err = parseReg(tok[1]); err == nil {
+				if in.B, err = parseReg(tok[2]); err == nil {
+					in.C, err = parseReg(tok[3])
+				}
+			}
+		}
+	case OpAddLit, OpIGet, OpIPut:
+		if err = need(3); err == nil {
+			if in.A, err = parseReg(tok[1]); err == nil {
+				if in.B, err = parseReg(tok[2]); err == nil {
+					in.Lit, err = parseLit(tok[3])
+				}
+			}
+		}
+	case OpIfEq, OpIfNe, OpIfLt, OpIfGe:
+		if err = need(3); err == nil {
+			if in.A, err = parseReg(tok[1]); err == nil {
+				if in.B, err = parseReg(tok[2]); err == nil {
+					err = labelRef(tok[3], -1)
+				}
+			}
+		}
+	case OpIfEqz, OpIfNez:
+		if err = need(2); err == nil {
+			if in.A, err = parseReg(tok[1]); err == nil {
+				err = labelRef(tok[2], -1)
+			}
+		}
+	case OpGoto:
+		if err = need(1); err == nil {
+			err = labelRef(tok[1], -1)
+		}
+	case OpPackedSwitch:
+		if len(tok) < 3 {
+			return fmt.Errorf("packed-switch needs a register and targets")
+		}
+		if in.A, err = parseReg(tok[1]); err == nil {
+			in.Targets = make([]int32, len(tok)-2)
+			for i, t := range tok[2:] {
+				if err = labelRef(t, i); err != nil {
+					break
+				}
+			}
+		}
+	case OpInvoke:
+		if err = need(4); err == nil {
+			if in.A, err = parseReg(tok[1]); err == nil {
+				p.invokes = append(p.invokes, invokeFixup{m: p.method, pc: pc, name: tok[2], line: p.line})
+				if in.B, err = parseReg(tok[3]); err == nil {
+					in.C, err = parseReg(tok[4])
+				}
+			}
+		}
+	case OpInvokeNative:
+		if err = need(4); err == nil {
+			if in.A, err = parseReg(tok[1]); err == nil {
+				found := false
+				for f := NativeFunc(0); int(f) < NumNativeFuncs; f++ {
+					if f.String() == tok[2] {
+						in.Native, found = f, true
+					}
+				}
+				if !found {
+					return fmt.Errorf("unknown native function %q", tok[2])
+				}
+				if in.B, err = parseReg(tok[3]); err == nil {
+					in.C, err = parseReg(tok[4])
+				}
+			}
+		}
+	case OpReturn:
+		if err = need(1); err == nil {
+			in.A, err = parseReg(tok[1])
+		}
+	default:
+		return fmt.Errorf("mnemonic %q not usable in text form", tok[0])
+	}
+	if err != nil {
+		return err
+	}
+	p.method.Code = append(p.method.Code, in)
+	return nil
+}

@@ -1,0 +1,141 @@
+package dex
+
+import (
+	"strings"
+	"testing"
+)
+
+const demoText = `
+.app Demo
+.file classes.dex
+.class LMain
+.method sum regs=4 ins=1
+    const v0, 0
+  :loop
+    add v0, v0, v3
+    add-lit v3, v3, -1
+    if-nez v3, :loop
+    return v0
+.end method
+.method helper regs=2 ins=2
+    mul v0, v0, v1
+    return v0
+.end method
+.method main regs=4 ins=2
+    invoke v0, LMain.sum (v2, v3)
+    invoke v1, LMain.helper (v0, v0)
+    invoke-native v0, pLogValue (v1, v1)
+    return v0
+.end method
+.method jni native regs=2 ins=2
+.end method
+.method dispatch regs=3 ins=1
+    packed-switch v2, :a, :b
+    const v0, -1
+    goto :end
+  :a
+    const v0, 100
+    goto :end
+  :b
+    shl v0, v2, v2
+  :end
+    return v0
+.end method
+.end class
+.end file
+`
+
+func TestParseTextProgram(t *testing.T) {
+	app, err := ParseText(demoText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name != "Demo" || app.NumMethods() != 5 {
+		t.Fatalf("app shape: %s, %d methods", app.Name, app.NumMethods())
+	}
+	if !app.Methods[3].Native {
+		t.Error("jni method not native")
+	}
+	sw := app.Methods[4]
+	if sw.Code[0].Op != OpPackedSwitch || len(sw.Code[0].Targets) != 2 {
+		t.Errorf("switch parsed as %v", sw.Code[0])
+	}
+	// invoke resolution by name.
+	main := app.Methods[2]
+	if main.Code[0].Method != 0 || main.Code[1].Method != 1 {
+		t.Errorf("invoke targets: %v, %v", main.Code[0], main.Code[1])
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	app, err := ParseText(demoText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dumped := DumpText(app)
+	back, err := ParseText(dumped)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, dumped)
+	}
+	if back.NumMethods() != app.NumMethods() {
+		t.Fatal("method count changed")
+	}
+	for id := range app.Methods {
+		a, b := app.Methods[id], back.Methods[id]
+		if a.FullName() != b.FullName() || len(a.Code) != len(b.Code) {
+			t.Fatalf("method %d differs after round trip", id)
+		}
+		for pc := range a.Code {
+			x, y := a.Code[pc], b.Code[pc]
+			if x.Op != y.Op || x.A != y.A || x.B != y.B || x.C != y.C ||
+				x.Lit != y.Lit || x.Target != y.Target || x.Method != y.Method {
+				t.Fatalf("m%d@%d: %v != %v", id, pc, x, y)
+			}
+		}
+	}
+	// Binary marshal of the parsed app also round-trips.
+	data, err := Marshal(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalApp(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"unterminated":    ".app x\n.file f\n.class LC\n.method m regs=1 ins=0\n",
+		"stray end":       ".end method\n",
+		"unknown op":      ".app x\n.file f\n.class LC\n.method m regs=1 ins=0\nfrob v0\n.end method\n.end class\n.end file\n",
+		"bad register":    ".app x\n.file f\n.class LC\n.method m regs=1 ins=0\nconst q0, 1\nreturn-void\n.end method\n.end class\n.end file\n",
+		"undefined label": ".app x\n.file f\n.class LC\n.method m regs=1 ins=0\ngoto :nope\n.end method\n.end class\n.end file\n",
+		"dup label":       ".app x\n.file f\n.class LC\n.method m regs=1 ins=0\n:a\n:a\nreturn-void\n.end method\n.end class\n.end file\n",
+		"unknown invoke":  ".app x\n.file f\n.class LC\n.method m regs=2 ins=1\ninvoke v0, LC.ghost (v1, v1)\nreturn v0\n.end method\n.end class\n.end file\n",
+		"unknown native":  ".app x\n.file f\n.class LC\n.method m regs=2 ins=1\ninvoke-native v0, pGhost (v1, v1)\nreturn v0\n.end method\n.end class\n.end file\n",
+		"operand count":   ".app x\n.file f\n.class LC\n.method m regs=2 ins=0\nadd v0, v1\nreturn-void\n.end method\n.end class\n.end file\n",
+		"body in native":  ".app x\n.file f\n.class LC\n.method m native regs=1 ins=0\nreturn-void\n.end method\n.end class\n.end file\n",
+		"bad attr":        ".app x\n.file f\n.class LC\n.method m wat regs=1 ins=0\n.end method\n.end class\n.end file\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseText(src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDumpTextOfGeneratedApp(t *testing.T) {
+	// The buildApp fixture dumps and reparses cleanly.
+	app, _ := buildApp()
+	text := DumpText(app)
+	if !strings.Contains(text, ".method caller") {
+		t.Fatalf("dump missing methods:\n%s", text)
+	}
+	back, err := ParseText(text)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if back.NumMethods() != app.NumMethods() {
+		t.Error("method count changed")
+	}
+}

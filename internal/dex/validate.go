@@ -1,0 +1,263 @@
+package dex
+
+import "fmt"
+
+// Validate checks structural well-formedness of the whole app: register
+// numbers in range, branch targets inside the method, invoke targets inside
+// the method table, terminated method bodies, and consistent IDs.
+func (a *App) Validate() error {
+	seen := make(map[string]bool)
+	for id, m := range a.Methods {
+		if m == nil {
+			return fmt.Errorf("dex: method table slot %d is nil", id)
+		}
+		if m.ID != MethodID(id) {
+			return fmt.Errorf("dex: %s: ID %d does not match table slot %d", m.FullName(), m.ID, id)
+		}
+		if seen[m.FullName()] {
+			return fmt.Errorf("dex: duplicate method %s", m.FullName())
+		}
+		seen[m.FullName()] = true
+		if err := a.validateMethod(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *App) validateMethod(m *Method) error {
+	fail := func(pc int, format string, args ...any) error {
+		return fmt.Errorf("dex: %s@%d: %s", m.FullName(), pc, fmt.Sprintf(format, args...))
+	}
+	if m.NumRegs < m.NumIns {
+		return fmt.Errorf("dex: %s: NumRegs %d < NumIns %d", m.FullName(), m.NumRegs, m.NumIns)
+	}
+	if m.NumRegs > 256 {
+		return fmt.Errorf("dex: %s: NumRegs %d > 256", m.FullName(), m.NumRegs)
+	}
+	if m.Native {
+		if len(m.Code) != 0 {
+			return fmt.Errorf("dex: %s: native method has bytecode", m.FullName())
+		}
+		return nil
+	}
+	if len(m.Code) == 0 {
+		return fmt.Errorf("dex: %s: empty body", m.FullName())
+	}
+	checkReg := func(pc int, r uint8) error {
+		if int(r) >= m.NumRegs {
+			return fail(pc, "register v%d out of range (NumRegs=%d)", r, m.NumRegs)
+		}
+		return nil
+	}
+	checkTarget := func(pc int, t int32) error {
+		if t < 0 || int(t) >= len(m.Code) {
+			return fail(pc, "branch target %d out of range", t)
+		}
+		return nil
+	}
+	for pc, in := range m.Code {
+		if in.Op >= opcodeMax {
+			return fail(pc, "bad opcode %d", in.Op)
+		}
+		regs := insnRegs(in)
+		for _, r := range regs {
+			if err := checkReg(pc, r); err != nil {
+				return err
+			}
+		}
+		switch in.Op {
+		case OpConstPool:
+			if in.Lit < 0 || int(in.Lit) >= len(m.Pool) {
+				return fail(pc, "pool index %d out of range (pool size %d)", in.Lit, len(m.Pool))
+			}
+		case OpInvoke:
+			if int(in.Method) >= len(a.Methods) {
+				return fail(pc, "invoke target m%d out of range", in.Method)
+			}
+		case OpInvokeNative:
+			if in.Native >= nativeFuncMax {
+				return fail(pc, "bad native function %d", in.Native)
+			}
+		case OpPackedSwitch:
+			if len(in.Targets) == 0 {
+				return fail(pc, "packed-switch with no targets")
+			}
+			for _, t := range in.Targets {
+				if err := checkTarget(pc, t); err != nil {
+					return err
+				}
+			}
+		}
+		if in.Op.IsBranch() && in.Op != OpPackedSwitch {
+			if err := checkTarget(pc, in.Target); err != nil {
+				return err
+			}
+		}
+	}
+	last := m.Code[len(m.Code)-1]
+	if !last.Op.IsTerminal() {
+		return fmt.Errorf("dex: %s: body does not end in a terminal instruction (%s)", m.FullName(), last.Op)
+	}
+	return checkDefiniteAssignment(m)
+}
+
+// regBits is a bitset over the 256 virtual registers.
+type regBits [4]uint64
+
+func (s *regBits) has(r uint8) bool { return s[r>>6]&(1<<(r&63)) != 0 }
+func (s *regBits) add(r uint8)      { s[r>>6] |= 1 << (r & 63) }
+
+func (s *regBits) intersect(o regBits) (changed bool) {
+	for i := range s {
+		n := s[i] & o[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// checkDefiniteAssignment enforces the dex verifier's rule that no register
+// is read before it is written on any path. The generated binary spills
+// virtual registers to uninitialized stack slots, so this rule is what
+// makes interpreter semantics (zero registers) and binary semantics (stale
+// stack memory) agree.
+func checkDefiniteAssignment(m *Method) error {
+	var all regBits
+	for i := range all {
+		all[i] = ^uint64(0)
+	}
+	in := make([]regBits, len(m.Code))
+	seen := make([]bool, len(m.Code))
+	for pc := range in {
+		in[pc] = all
+	}
+	var entry regBits
+	for i := 0; i < m.NumIns; i++ {
+		entry.add(uint8(m.NumRegs - m.NumIns + i))
+	}
+	in[0] = entry
+	seen[0] = true
+	work := []int{0}
+	propagate := func(to int, defs regBits) {
+		if to >= len(m.Code) {
+			return
+		}
+		if !seen[to] {
+			seen[to] = true
+			in[to] = defs
+			work = append(work, to)
+			return
+		}
+		if in[to].intersect(defs) {
+			work = append(work, to)
+		}
+	}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		insn := m.Code[pc]
+		defs := in[pc]
+		for _, u := range insnUses(insn) {
+			if !defs.has(u) {
+				return fmt.Errorf("dex: %s@%d: register v%d may be used before assignment", m.FullName(), pc, u)
+			}
+		}
+		if d, ok := insnDef(insn); ok {
+			defs.add(d)
+		}
+		switch {
+		case insn.Op == OpPackedSwitch:
+			for _, t := range insn.Targets {
+				propagate(int(t), defs)
+			}
+			propagate(pc+1, defs)
+		case insn.Op == OpGoto:
+			propagate(int(insn.Target), defs)
+		case insn.Op.IsBranch():
+			propagate(int(insn.Target), defs)
+			propagate(pc+1, defs)
+		case insn.Op.IsTerminal():
+		default:
+			propagate(pc+1, defs)
+		}
+	}
+	return nil
+}
+
+// insnDef returns the register an instruction writes, if any.
+func insnDef(in Insn) (uint8, bool) {
+	switch in.Op {
+	case OpConst, OpConstPool, OpNewInstance, OpMove, OpAddLit, OpIGet,
+		OpNewArray, OpArrayLen, OpAdd, OpSub, OpAnd, OpOr, OpXor,
+		OpMul, OpShl, OpShr, OpAGet, OpInvoke, OpInvokeNative:
+		return in.A, true
+	}
+	return 0, false
+}
+
+// insnUses returns the registers an instruction reads.
+func insnUses(in Insn) []uint8 {
+	switch in.Op {
+	case OpMove, OpAddLit, OpIGet, OpNewArray, OpArrayLen:
+		return []uint8{in.B}
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpMul, OpShl, OpShr, OpAGet:
+		return []uint8{in.B, in.C}
+	case OpIfEq, OpIfNe, OpIfLt, OpIfGe:
+		return []uint8{in.A, in.B}
+	case OpIfEqz, OpIfNez, OpReturn, OpPackedSwitch:
+		return []uint8{in.A}
+	case OpIPut:
+		return []uint8{in.A, in.B}
+	case OpAPut:
+		return []uint8{in.A, in.B, in.C}
+	case OpInvoke, OpInvokeNative:
+		return []uint8{in.B, in.C}
+	}
+	return nil
+}
+
+// insnRegs returns the register operands an instruction actually uses.
+func insnRegs(in Insn) []uint8 {
+	switch in.Op {
+	case OpNopCode, OpGoto, OpReturnVoid:
+		return nil
+	case OpConst, OpConstPool, OpNewInstance:
+		return []uint8{in.A}
+	case OpMove, OpAddLit, OpIfEq, OpIfNe, OpIfLt, OpIfGe,
+		OpIGet, OpIPut, OpNewArray, OpArrayLen:
+		return []uint8{in.A, in.B}
+	case OpIfEqz, OpIfNez, OpReturn, OpPackedSwitch:
+		return []uint8{in.A}
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpMul, OpShl, OpShr,
+		OpAGet, OpAPut, OpInvoke, OpInvokeNative:
+		return []uint8{in.A, in.B, in.C}
+	}
+	return nil
+}
+
+// Stats summarizes an app for reporting.
+type Stats struct {
+	Files   int
+	Classes int
+	Methods int
+	Native  int
+	Insns   int
+}
+
+// CollectStats walks the app and counts its parts.
+func (a *App) CollectStats() Stats {
+	s := Stats{Files: len(a.Files), Methods: len(a.Methods)}
+	for _, f := range a.Files {
+		s.Classes += len(f.Classes)
+	}
+	for _, m := range a.Methods {
+		if m.Native {
+			s.Native++
+		}
+		s.Insns += len(m.Code)
+	}
+	return s
+}

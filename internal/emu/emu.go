@@ -1,0 +1,234 @@
+// Package emu executes linked OAT images on a model of the paper's
+// experimental device: an AArch64 core with the ART runtime environment
+// (ArtMethod table, thread-register entrypoint table, bump-allocated heap,
+// guarded stack).
+//
+// The emulator plays two roles:
+//
+//   - Correctness oracle. A run produces the same observables as the
+//     reference bytecode interpreter (internal/hgraph): return value, log,
+//     exception. Differential tests between the two validate the code
+//     generator and the outliner's semantic preservation.
+//   - Measurement device. A cycle cost model (branch and call overheads,
+//     a 32 KiB direct-mapped I-cache) stands in for the Pixel 7's CPU
+//     counters in the Table 7 experiment, and 4 KiB-page touch tracking
+//     stands in for the resident-memory measurement in Table 5.
+package emu
+
+import (
+	"fmt"
+
+	"repro/internal/a64"
+	"repro/internal/abi"
+	"repro/internal/dex"
+	"repro/internal/hgraph"
+	"repro/internal/oat"
+)
+
+// CostModel gives the cycle weights of the microarchitectural events the
+// paper's Table 7 measures. Two presets model the ends of the spectrum:
+// an in-order core that pays for every transfer, and a wide out-of-order
+// core (like the Pixel 7's Tensor G2) that hides most call overhead behind
+// instruction-level parallelism, leaving the I-cache as the dominant cost
+// of outlining.
+type CostModel struct {
+	Base       int64 // any instruction
+	Mem        int64 // additional cost of a load or store
+	TakenBr    int64 // additional cost of a taken branch
+	Call       int64 // additional cost of bl/blr/br/ret
+	ICacheMiss int64 // I-cache line fill
+	Native     int64 // runtime entrypoint dispatch
+	Alloc      int64 // allocation path inside the runtime
+}
+
+// InOrderCosts is the default model used throughout the experiments.
+var InOrderCosts = CostModel{Base: 1, Mem: 1, TakenBr: 1, Call: 1, ICacheMiss: 20, Native: 30, Alloc: 40}
+
+// OutOfOrderCosts approximates a wide OoO core: transfers are hidden, the
+// front-end (I-cache) is what outlining stresses.
+var OutOfOrderCosts = CostModel{Base: 1, Mem: 0, TakenBr: 0, Call: 0, ICacheMiss: 16, Native: 30, Alloc: 40}
+
+// exitMagic is the synthetic return address of the entry frame.
+const exitMagic int64 = 0x00F1_F1F0
+
+// Result is the observable outcome plus the measurements.
+type Result struct {
+	Ret int64
+	Log []int64
+	Exc hgraph.Exception
+
+	Insts        int64
+	Cycles       int64
+	Calls        int64
+	Allocs       int64
+	ICacheMisses int64
+	CodePages    int // distinct 4 KiB text pages executed
+	DataPages    int // distinct 4 KiB data pages touched
+}
+
+// Machine is a loaded OAT image ready to run. Zero value is not usable;
+// construct with New.
+type Machine struct {
+	img     *oat.Image
+	decoded []a64.Inst
+	valid   []bool
+
+	// MaxInsts bounds a run; exceeding it raises ExcStepLimit.
+	MaxInsts int64
+
+	// Costs is the cycle model; New installs InOrderCosts.
+	Costs CostModel
+
+	// Hook, when non-nil, is invoked before each instruction with the
+	// current pc. The profiler uses it for sampling; tests use it for
+	// tracing.
+	Hook func(pc int64)
+
+	regs       [31]int64
+	sp         int64
+	n, z, c, v bool
+	pc         int64
+
+	stack []int64
+	heap  []int64
+	bump  int64
+	log   []int64
+	exc   hgraph.Exception
+	halt  bool
+	fatal error
+
+	insts, cycles, calls, allocs, icMiss int64
+	cacheTags                            []int64
+	codePages                            []bool
+	stackPages, heapPages                []bool
+}
+
+// New predecodes the image's text and prepares a machine.
+func New(img *oat.Image) *Machine {
+	m := &Machine{
+		img:      img,
+		decoded:  make([]a64.Inst, len(img.Text)),
+		valid:    make([]bool, len(img.Text)),
+		MaxInsts: 500_000_000,
+		Costs:    InOrderCosts,
+	}
+	for i, w := range img.Text {
+		m.decoded[i], m.valid[i] = a64.Decode(w)
+	}
+	return m
+}
+
+// Run executes the entry method with up to two arguments and returns the
+// observables and measurements. Run may be called repeatedly; each call
+// starts from a fresh machine state but keeps the warmed page-touch sets
+// empty (they are per-run).
+func (m *Machine) Run(entry dex.MethodID, args []int64) (Result, error) {
+	if int(entry) >= len(m.img.Methods) {
+		return Result{}, fmt.Errorf("emu: entry method m%d out of range", entry)
+	}
+	m.reset()
+	m.regs[0] = abi.ArtMethodAddr(uint32(entry))
+	for i := 0; i < 2 && i < len(args); i++ {
+		m.regs[1+i] = args[i]
+	}
+	m.regs[19] = abi.ThreadBase
+	m.regs[30] = exitMagic
+	m.sp = abi.StackTop
+	m.pc = m.img.EntryAddr(entry)
+
+	for !m.halt {
+		if m.pc == exitMagic {
+			break
+		}
+		if m.insts >= m.MaxInsts {
+			m.exc = hgraph.ExcStepLimit
+			break
+		}
+		if m.pc >= abi.NativeStubBase && m.pc < abi.NativeStubAddr(dex.NumNativeFuncs) {
+			m.native(dex.NativeFunc((m.pc - abi.NativeStubBase) / abi.NativeStubStride))
+			m.pc = m.regs[30]
+			continue
+		}
+		if err := m.step(); err != nil {
+			return m.result(), err
+		}
+	}
+	return m.result(), m.fatal
+}
+
+func (m *Machine) reset() {
+	m.regs = [31]int64{}
+	m.sp, m.pc = 0, 0
+	m.n, m.z, m.c, m.v = false, false, false, false
+	m.stack = make([]int64, (abi.StackTop-abi.StackLimit)/8+1)
+	m.heap = nil
+	m.bump = abi.HeapBase
+	m.log = nil
+	m.exc = hgraph.ExcNone
+	m.halt = false
+	m.fatal = nil
+	m.insts, m.cycles, m.calls, m.allocs, m.icMiss = 0, 0, 0, 0, 0
+	m.cacheTags = make([]int64, 512)
+	for i := range m.cacheTags {
+		m.cacheTags[i] = -1
+	}
+	m.codePages = make([]bool, len(m.img.Text)*a64.WordSize/abi.PageSize+1)
+	m.stackPages = make([]bool, (abi.StackTop-abi.StackLimit)/abi.PageSize+1)
+	m.heapPages = make([]bool, (abi.HeapLimit-abi.HeapBase)/abi.PageSize+1)
+}
+
+func countPages(sets ...[]bool) int {
+	n := 0
+	for _, s := range sets {
+		for _, b := range s {
+			if b {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func (m *Machine) result() Result {
+	ret := m.regs[0]
+	if m.exc != hgraph.ExcNone {
+		ret = 0
+	}
+	return Result{
+		Ret: ret, Log: m.log, Exc: m.exc,
+		Insts: m.insts, Cycles: m.cycles, Calls: m.calls, Allocs: m.allocs,
+		ICacheMisses: m.icMiss,
+		CodePages:    countPages(m.codePages),
+		DataPages:    countPages(m.stackPages, m.heapPages),
+	}
+}
+
+// throw records an exception and halts the run, the behaviour of the
+// modeled throw entrypoints (unwinding is out of scope; observables match
+// the reference interpreter, which also stops the program).
+func (m *Machine) throw(e hgraph.Exception) {
+	m.exc = e
+	m.halt = true
+}
+
+// fetch returns the decoded instruction at pc, charging I-cache costs.
+func (m *Machine) fetch() (a64.Inst, error) {
+	off := m.pc - abi.TextBase
+	if off < 0 || off >= int64(len(m.img.Text))*a64.WordSize || off%a64.WordSize != 0 {
+		return a64.Inst{}, fmt.Errorf("emu: pc %#x outside text", m.pc)
+	}
+	idx := off / a64.WordSize
+	if !m.valid[idx] {
+		return a64.Inst{}, fmt.Errorf("emu: executing data word %#08x at pc %#x (embedded data misread as code)",
+			m.img.Text[idx], m.pc)
+	}
+	m.codePages[(m.pc-abi.TextBase)>>12] = true
+	line := (m.pc >> 6) % int64(len(m.cacheTags))
+	tag := m.pc >> 6
+	if m.cacheTags[line] != tag {
+		m.cacheTags[line] = tag
+		m.icMiss++
+		m.cycles += m.Costs.ICacheMiss
+	}
+	return m.decoded[idx], nil
+}

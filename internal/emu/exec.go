@@ -1,0 +1,355 @@
+package emu
+
+import (
+	"fmt"
+
+	"repro/internal/a64"
+	"repro/internal/hgraph"
+)
+
+// getR reads a register in an operand context where 31 means XZR.
+func (m *Machine) getR(r a64.Reg) int64 {
+	if r == 31 {
+		return 0
+	}
+	return m.regs[r]
+}
+
+// getRsp reads a register in a context where 31 means SP.
+func (m *Machine) getRsp(r a64.Reg) int64 {
+	if r == 31 {
+		return m.sp
+	}
+	return m.regs[r]
+}
+
+// setR writes a register where 31 means XZR (write discarded).
+func (m *Machine) setR(r a64.Reg, v int64) {
+	if r != 31 {
+		m.regs[r] = v
+	}
+}
+
+// setRsp writes a register where 31 means SP.
+func (m *Machine) setRsp(r a64.Reg, v int64) {
+	if r == 31 {
+		m.sp = v
+	} else {
+		m.regs[r] = v
+	}
+}
+
+// narrow truncates to 32 bits (zero-extended) when sf is false.
+func narrow(sf bool, v int64) int64 {
+	if sf {
+		return v
+	}
+	return int64(uint32(v))
+}
+
+// setFlagsAdd sets NZCV for a+b (width per sf).
+func (m *Machine) setFlagsAdd(sf bool, a, b int64) int64 {
+	if !sf {
+		a32, b32 := int32(a), int32(b)
+		res := a32 + b32
+		m.n = res < 0
+		m.z = res == 0
+		m.c = uint64(uint32(a32))+uint64(uint32(b32)) > 0xFFFFFFFF
+		m.v = (a32^res)&(b32^res) < 0
+		return int64(uint32(res))
+	}
+	res := a + b
+	m.n = res < 0
+	m.z = res == 0
+	m.c = uint64(res) < uint64(a)
+	m.v = ((a^res)&(b^res))>>63&1 == 1
+	return res
+}
+
+// setFlagsSub sets NZCV for a-b (width per sf) and returns the result.
+func (m *Machine) setFlagsSub(sf bool, a, b int64) int64 {
+	if !sf {
+		a32, b32 := int32(a), int32(b)
+		res := a32 - b32
+		m.n = res < 0
+		m.z = res == 0
+		m.c = uint32(a32) >= uint32(b32)
+		m.v = (a32^b32)&(a32^res) < 0
+		return int64(uint32(res))
+	}
+	res := a - b
+	m.n = res < 0
+	m.z = res == 0
+	m.c = uint64(a) >= uint64(b)
+	m.v = ((a^b)&(a^res))>>63&1 == 1
+	return res
+}
+
+// condHolds evaluates a condition against the current flags.
+func (m *Machine) condHolds(c a64.Cond) bool {
+	switch c {
+	case a64.EQ:
+		return m.z
+	case a64.NE:
+		return !m.z
+	case a64.HS:
+		return m.c
+	case a64.LO:
+		return !m.c
+	case a64.MI:
+		return m.n
+	case a64.PL:
+		return !m.n
+	case a64.VS:
+		return m.v
+	case a64.VC:
+		return !m.v
+	case a64.HI:
+		return m.c && !m.z
+	case a64.LS:
+		return !(m.c && !m.z)
+	case a64.GE:
+		return m.n == m.v
+	case a64.LT:
+		return m.n != m.v
+	case a64.GT:
+		return !m.z && m.n == m.v
+	case a64.LE:
+		return m.z || m.n != m.v
+	default: // AL, NV
+		return true
+	}
+}
+
+// memFaulted handles a load/store fault; it returns the error for
+// structural faults and nil after raising an architectural exception.
+func (m *Machine) memFaulted(f *memFault) error {
+	if f.exc {
+		m.throw(hgraph.ExcStackOverflow)
+		return nil
+	}
+	return f.err
+}
+
+// Reg returns the current value of xN (N in 0..30).
+func (m *Machine) Reg(n int) int64 { return m.regs[n] }
+
+// SP returns the current stack pointer.
+func (m *Machine) SP() int64 { return m.sp }
+
+// step executes one instruction.
+func (m *Machine) step() error {
+	if m.Hook != nil {
+		m.Hook(m.pc)
+	}
+	i, err := m.fetch()
+	if err != nil {
+		return err
+	}
+	m.insts++
+	m.cycles += m.Costs.Base
+	next := m.pc + a64.WordSize
+
+	size := 8
+	if !i.Sf {
+		size = 4
+	}
+
+	switch i.Op {
+	case a64.OpNop:
+
+	case a64.OpAddImm, a64.OpSubImm:
+		imm := i.Imm
+		if i.Shift12 {
+			imm <<= 12
+		}
+		a := m.getRsp(i.Rn)
+		if i.Op == a64.OpSubImm {
+			imm = -imm
+		}
+		m.setRsp(i.Rd, narrow(i.Sf, a+imm))
+
+	case a64.OpAddsImm, a64.OpSubsImm:
+		imm := i.Imm
+		if i.Shift12 {
+			imm <<= 12
+		}
+		a := m.getRsp(i.Rn)
+		var res int64
+		if i.Op == a64.OpAddsImm {
+			res = m.setFlagsAdd(i.Sf, a, imm)
+		} else {
+			res = m.setFlagsSub(i.Sf, a, imm)
+		}
+		m.setR(i.Rd, res)
+
+	case a64.OpAddReg:
+		m.setR(i.Rd, narrow(i.Sf, m.getR(i.Rn)+m.getR(i.Rm)))
+	case a64.OpSubReg:
+		m.setR(i.Rd, narrow(i.Sf, m.getR(i.Rn)-m.getR(i.Rm)))
+	case a64.OpAddsReg:
+		m.setR(i.Rd, m.setFlagsAdd(i.Sf, m.getR(i.Rn), m.getR(i.Rm)))
+	case a64.OpSubsReg:
+		m.setR(i.Rd, m.setFlagsSub(i.Sf, m.getR(i.Rn), m.getR(i.Rm)))
+	case a64.OpAndReg:
+		m.setR(i.Rd, narrow(i.Sf, m.getR(i.Rn)&m.getR(i.Rm)))
+	case a64.OpOrrReg:
+		m.setR(i.Rd, narrow(i.Sf, m.getR(i.Rn)|m.getR(i.Rm)))
+	case a64.OpEorReg:
+		m.setR(i.Rd, narrow(i.Sf, m.getR(i.Rn)^m.getR(i.Rm)))
+	case a64.OpMul:
+		m.setR(i.Rd, narrow(i.Sf, m.getR(i.Rn)*m.getR(i.Rm)))
+	case a64.OpLslReg:
+		mod := int64(63)
+		if !i.Sf {
+			mod = 31
+		}
+		m.setR(i.Rd, narrow(i.Sf, m.getR(i.Rn)<<uint64(m.getR(i.Rm)&mod)))
+	case a64.OpLsrReg:
+		mod := int64(63)
+		if !i.Sf {
+			mod = 31
+		}
+		if i.Sf {
+			m.setR(i.Rd, int64(uint64(m.getR(i.Rn))>>uint64(m.getR(i.Rm)&mod)))
+		} else {
+			m.setR(i.Rd, int64(uint32(m.getR(i.Rn))>>uint64(m.getR(i.Rm)&mod)))
+		}
+
+	case a64.OpMovz:
+		m.setR(i.Rd, narrow(i.Sf, i.Imm<<(16*int64(i.HW))))
+	case a64.OpMovn:
+		m.setR(i.Rd, narrow(i.Sf, ^(i.Imm<<(16*int64(i.HW)))))
+	case a64.OpMovk:
+		old := m.getR(i.Rd)
+		shift := 16 * int64(i.HW)
+		v := old&^(0xFFFF<<shift) | i.Imm<<shift
+		m.setR(i.Rd, narrow(i.Sf, v))
+
+	case a64.OpLdrImm:
+		m.cycles += m.Costs.Mem
+		v, f := m.read(m.getRsp(i.Rn)+i.Imm, size)
+		if f != nil {
+			return m.memFaulted(f)
+		}
+		m.setR(i.Rd, v)
+	case a64.OpStrImm:
+		m.cycles += m.Costs.Mem
+		if f := m.write(m.getRsp(i.Rn)+i.Imm, size, m.getR(i.Rd)); f != nil {
+			return m.memFaulted(f)
+		}
+
+	case a64.OpLdrReg:
+		m.cycles += m.Costs.Mem
+		v, f := m.read(m.getRsp(i.Rn)+m.getR(i.Rm)<<3, 8)
+		if f != nil {
+			return m.memFaulted(f)
+		}
+		m.setR(i.Rd, v)
+	case a64.OpStrReg:
+		m.cycles += m.Costs.Mem
+		if f := m.write(m.getRsp(i.Rn)+m.getR(i.Rm)<<3, 8, m.getR(i.Rd)); f != nil {
+			return m.memFaulted(f)
+		}
+
+	case a64.OpLdp, a64.OpStp:
+		m.cycles += 2 * m.Costs.Mem
+		base := m.getRsp(i.Rn)
+		addr := base
+		if i.Index != a64.IndexPost {
+			addr += i.Imm
+		}
+		if i.Op == a64.OpLdp {
+			v1, f := m.read(addr, 8)
+			if f != nil {
+				return m.memFaulted(f)
+			}
+			v2, f := m.read(addr+8, 8)
+			if f != nil {
+				return m.memFaulted(f)
+			}
+			m.setR(i.Rd, v1)
+			m.setR(i.Rt2, v2)
+		} else {
+			if f := m.write(addr, 8, m.getR(i.Rd)); f != nil {
+				return m.memFaulted(f)
+			}
+			if f := m.write(addr+8, 8, m.getR(i.Rt2)); f != nil {
+				return m.memFaulted(f)
+			}
+		}
+		if i.Index == a64.IndexPre {
+			m.setRsp(i.Rn, addr)
+		} else if i.Index == a64.IndexPost {
+			m.setRsp(i.Rn, base+i.Imm)
+		}
+
+	case a64.OpLdrLit:
+		m.cycles += m.Costs.Mem
+		v, f := m.read(m.pc+i.Imm, size)
+		if f != nil {
+			return m.memFaulted(f)
+		}
+		m.setR(i.Rd, v)
+
+	case a64.OpAdr:
+		m.setR(i.Rd, m.pc+i.Imm)
+	case a64.OpAdrp:
+		m.setR(i.Rd, m.pc&^0xFFF+i.Imm)
+
+	case a64.OpB:
+		m.cycles += m.Costs.TakenBr
+		next = m.pc + i.Imm
+	case a64.OpBl:
+		m.cycles += m.Costs.Call
+		m.calls++
+		m.regs[30] = m.pc + a64.WordSize
+		next = m.pc + i.Imm
+	case a64.OpBCond:
+		if m.condHolds(i.Cond) {
+			m.cycles += m.Costs.TakenBr
+			next = m.pc + i.Imm
+		}
+	case a64.OpCbz:
+		if narrow(i.Sf, m.getR(i.Rd)) == 0 {
+			m.cycles += m.Costs.TakenBr
+			next = m.pc + i.Imm
+		}
+	case a64.OpCbnz:
+		if narrow(i.Sf, m.getR(i.Rd)) != 0 {
+			m.cycles += m.Costs.TakenBr
+			next = m.pc + i.Imm
+		}
+	case a64.OpTbz:
+		if m.getR(i.Rd)>>i.Bit&1 == 0 {
+			m.cycles += m.Costs.TakenBr
+			next = m.pc + i.Imm
+		}
+	case a64.OpTbnz:
+		if m.getR(i.Rd)>>i.Bit&1 == 1 {
+			m.cycles += m.Costs.TakenBr
+			next = m.pc + i.Imm
+		}
+	case a64.OpBr:
+		m.cycles += m.Costs.Call
+		next = m.getR(i.Rn)
+	case a64.OpBlr:
+		m.cycles += m.Costs.Call
+		m.calls++
+		target := m.getR(i.Rn)
+		m.regs[30] = m.pc + a64.WordSize
+		next = target
+	case a64.OpRet:
+		m.cycles += m.Costs.Call
+		next = m.getR(i.Rn)
+
+	case a64.OpBrk:
+		return fmt.Errorf("emu: brk executed at pc %#x (fell into a slow path tail)", m.pc)
+
+	default:
+		return fmt.Errorf("emu: unimplemented op %s at pc %#x", i.Op, m.pc)
+	}
+
+	m.pc = next
+	return nil
+}

@@ -1,0 +1,315 @@
+package emu
+
+import (
+	"testing"
+
+	"repro/internal/a64"
+	"repro/internal/abi"
+	"repro/internal/codegen"
+	"repro/internal/dex"
+	"repro/internal/hgraph"
+	"repro/internal/oat"
+)
+
+// rawMachine wraps a hand-assembled word sequence as a single-method image.
+func rawMachine(t *testing.T, words []uint32) *Machine {
+	t.Helper()
+	img := &oat.Image{
+		Text: words,
+		Methods: []oat.MethodRecord{{
+			ID: 0, Offset: 0, Size: len(words) * 4,
+		}},
+	}
+	return New(img)
+}
+
+// runRaw executes the snippet with the given args and returns x0.
+func runRaw(t *testing.T, words []uint32, args ...int64) Result {
+	t.Helper()
+	m := rawMachine(t, words)
+	res, err := m.Run(0, args)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func asm(insts ...a64.Inst) []uint32 {
+	var out []uint32
+	for _, i := range insts {
+		out = append(out, a64.MustEncode(i))
+	}
+	return out
+}
+
+func TestExecArithmeticAndMoves(t *testing.T) {
+	// x0 = ((x1 + 5) - x2) ^ x1
+	words := asm(
+		a64.Inst{Op: a64.OpAddImm, Sf: true, Rd: a64.X3, Rn: a64.X1, Imm: 5},
+		a64.Inst{Op: a64.OpSubReg, Sf: true, Rd: a64.X3, Rn: a64.X3, Rm: a64.X2},
+		a64.Inst{Op: a64.OpEorReg, Sf: true, Rd: a64.X0, Rn: a64.X3, Rm: a64.X1},
+		a64.Inst{Op: a64.OpRet, Rn: a64.LR},
+	)
+	if got := runRaw(t, words, 100, 7).Ret; got != ((100+5)-7)^100 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestExecMovWide(t *testing.T) {
+	words := asm(
+		a64.Inst{Op: a64.OpMovz, Sf: true, Rd: a64.X0, Imm: 0x1234, HW: 1},
+		a64.Inst{Op: a64.OpMovk, Sf: true, Rd: a64.X0, Imm: 0x5678},
+		a64.Inst{Op: a64.OpMovk, Sf: true, Rd: a64.X0, Imm: 0x9ABC, HW: 2},
+		a64.Inst{Op: a64.OpRet, Rn: a64.LR},
+	)
+	want := int64(0x9ABC_1234_5678)
+	if got := runRaw(t, words).Ret; got != want {
+		t.Errorf("movz/movk = %#x, want %#x", got, want)
+	}
+	// movn: x0 = ^(0xFF << 16)
+	words = asm(
+		a64.Inst{Op: a64.OpMovn, Sf: true, Rd: a64.X0, Imm: 0xFF, HW: 1},
+		a64.Inst{Op: a64.OpRet, Rn: a64.LR},
+	)
+	if got := runRaw(t, words).Ret; got != ^int64(0xFF<<16) {
+		t.Errorf("movn = %#x", got)
+	}
+}
+
+// TestExecConditionCodes drives every condition through a cmp.
+func TestExecConditionCodes(t *testing.T) {
+	cases := []struct {
+		a, b  int64
+		cond  a64.Cond
+		taken bool
+	}{
+		{5, 5, a64.EQ, true}, {5, 6, a64.EQ, false},
+		{5, 6, a64.NE, true},
+		{6, 5, a64.HS, true}, {5, 6, a64.HS, false}, {-1, 5, a64.HS, true}, // unsigned
+		{5, 6, a64.LO, true}, {-1, 5, a64.LO, false},
+		{-3, 2, a64.MI, true}, {3, 2, a64.MI, false},
+		{3, 2, a64.PL, true},
+		{6, 5, a64.HI, true}, {5, 5, a64.HI, false},
+		{5, 5, a64.LS, true}, {6, 5, a64.LS, false},
+		{5, 5, a64.GE, true}, {-9, 5, a64.GE, false}, {-1, -9, a64.GE, true},
+		{-9, 5, a64.LT, true}, {5, 5, a64.LT, false},
+		{6, 5, a64.GT, true}, {5, 5, a64.GT, false},
+		{5, 5, a64.LE, true}, {6, 5, a64.LE, false},
+	}
+	for _, tc := range cases {
+		words := asm(
+			a64.Inst{Op: a64.OpSubsReg, Sf: true, Rd: a64.XZR, Rn: a64.X1, Rm: a64.X2},
+			a64.Inst{Op: a64.OpBCond, Cond: tc.cond, Imm: 12},
+			a64.Inst{Op: a64.OpMovz, Sf: true, Rd: a64.X0}, // not taken: 0
+			a64.Inst{Op: a64.OpRet, Rn: a64.LR},
+			a64.Inst{Op: a64.OpMovz, Sf: true, Rd: a64.X0, Imm: 1}, // taken: 1
+			a64.Inst{Op: a64.OpRet, Rn: a64.LR},
+		)
+		got := runRaw(t, words, tc.a, tc.b).Ret == 1
+		if got != tc.taken {
+			t.Errorf("cmp %d,%d b.%v: taken=%v want %v", tc.a, tc.b, tc.cond, got, tc.taken)
+		}
+	}
+}
+
+// TestExecOverflowConditions checks V-flag behaviour (GE/LT across
+// overflow), the case naive res<0 comparisons get wrong.
+func TestExecOverflowConditions(t *testing.T) {
+	const minInt = -9223372036854775808
+	words := asm(
+		a64.Inst{Op: a64.OpSubsReg, Sf: true, Rd: a64.XZR, Rn: a64.X1, Rm: a64.X2},
+		a64.Inst{Op: a64.OpBCond, Cond: a64.LT, Imm: 12},
+		a64.Inst{Op: a64.OpMovz, Sf: true, Rd: a64.X0},
+		a64.Inst{Op: a64.OpRet, Rn: a64.LR},
+		a64.Inst{Op: a64.OpMovz, Sf: true, Rd: a64.X0, Imm: 1},
+		a64.Inst{Op: a64.OpRet, Rn: a64.LR},
+	)
+	// minInt - 1 overflows positive: LT must still report minInt < 1.
+	if got := runRaw(t, words, minInt, 1).Ret; got != 1 {
+		t.Errorf("minInt < 1 not detected (V flag broken)")
+	}
+	if got := runRaw(t, words, 1, minInt).Ret; got != 0 {
+		t.Errorf("1 < minInt reported")
+	}
+}
+
+func TestExecW32Forms(t *testing.T) {
+	// 32-bit adds wrap and zero-extend.
+	words := asm(
+		a64.Inst{Op: a64.OpMovn, Rd: a64.X1},                       // w1 = 0xFFFFFFFF
+		a64.Inst{Op: a64.OpAddImm, Rd: a64.X0, Rn: a64.X1, Imm: 2}, // w0 = 1 (wraps)
+		a64.Inst{Op: a64.OpRet, Rn: a64.LR},
+	)
+	if got := runRaw(t, words).Ret; got != 1 {
+		t.Errorf("w-form add wrap = %#x, want 1", got)
+	}
+	// 32-bit cmp: 0xFFFFFFFF as w is -1 signed: LT 0? N flag from bit 31.
+	words = asm(
+		a64.Inst{Op: a64.OpMovn, Rd: a64.X1}, // w1 = -1 (32-bit)
+		a64.Inst{Op: a64.OpSubsImm, Rd: a64.XZR, Rn: a64.X1, Imm: 0},
+		a64.Inst{Op: a64.OpBCond, Cond: a64.MI, Imm: 12},
+		a64.Inst{Op: a64.OpMovz, Sf: true, Rd: a64.X0},
+		a64.Inst{Op: a64.OpRet, Rn: a64.LR},
+		a64.Inst{Op: a64.OpMovz, Sf: true, Rd: a64.X0, Imm: 1},
+		a64.Inst{Op: a64.OpRet, Rn: a64.LR},
+	)
+	if got := runRaw(t, words).Ret; got != 1 {
+		t.Error("32-bit negative not detected by MI")
+	}
+}
+
+func TestExecTbzTbnz(t *testing.T) {
+	words := asm(
+		a64.Inst{Op: a64.OpTbnz, Rd: a64.X1, Bit: 33, Imm: 12},
+		a64.Inst{Op: a64.OpMovz, Sf: true, Rd: a64.X0},
+		a64.Inst{Op: a64.OpRet, Rn: a64.LR},
+		a64.Inst{Op: a64.OpMovz, Sf: true, Rd: a64.X0, Imm: 1},
+		a64.Inst{Op: a64.OpRet, Rn: a64.LR},
+	)
+	if got := runRaw(t, words, 1<<33).Ret; got != 1 {
+		t.Error("tbnz missed a set bit")
+	}
+	if got := runRaw(t, words, 1<<32).Ret; got != 0 {
+		t.Error("tbnz fired on a clear bit")
+	}
+}
+
+func TestExecStackAndPairs(t *testing.T) {
+	// Push two values with stp pre-index, reload with ldp post-index.
+	words := asm(
+		a64.Inst{Op: a64.OpStp, Rd: a64.X1, Rt2: a64.X2, Rn: a64.SP, Imm: -16, Index: a64.IndexPre},
+		a64.Inst{Op: a64.OpLdp, Rd: a64.X3, Rt2: a64.X4, Rn: a64.SP, Imm: 16, Index: a64.IndexPost},
+		a64.Inst{Op: a64.OpAddReg, Sf: true, Rd: a64.X0, Rn: a64.X3, Rm: a64.X4},
+		a64.Inst{Op: a64.OpRet, Rn: a64.LR},
+	)
+	if got := runRaw(t, words, 30, 12).Ret; got != 42 {
+		t.Errorf("stp/ldp round trip = %d", got)
+	}
+}
+
+func TestExecLdrLiteralAndAdr(t *testing.T) {
+	// Load a 64-bit literal placed after the code; also adr into the text.
+	var a a64.Asm
+	lit := a.NewLabel()
+	a.InstTo(a64.Inst{Op: a64.OpLdrLit, Sf: true, Rd: a64.X0}, lit)
+	a.Inst(a64.Inst{Op: a64.OpRet, Rn: a64.LR})
+	a.Bind(lit)
+	a.Raw64(0x1122334455667788)
+	p, err := a.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runRaw(t, p.Words).Ret; got != 0x1122334455667788 {
+		t.Errorf("ldr literal = %#x", got)
+	}
+}
+
+func TestExecRegisterOffsetLoadStore(t *testing.T) {
+	// Store x1 at heap[x2] via register-offset addressing and read it back.
+	// Uses the allocation native to obtain heap memory.
+	app := mkApp(t, &dex.Method{Class: "LT", Name: "m", NumRegs: 6, NumIns: 2, Code: []dex.Insn{
+		{Op: dex.OpConst, A: 0, Lit: 8},
+		{Op: dex.OpNewArray, A: 1, B: 0},
+		{Op: dex.OpAPut, A: 4, B: 1, C: 5},
+		{Op: dex.OpAGet, A: 0, B: 1, C: 5},
+		{Op: dex.OpReturn, A: 0},
+	}})
+	img := buildImage(t, app, codegen.Options{Optimize: true})
+	// The lowering uses OpLdrReg/OpStrReg; verify they are present.
+	usesRegOffset := false
+	for _, w := range img.Text {
+		if i, ok := a64.Decode(w); ok && (i.Op == a64.OpLdrReg || i.Op == a64.OpStrReg) {
+			usesRegOffset = true
+		}
+	}
+	if !usesRegOffset {
+		t.Fatal("array access does not use register-offset addressing")
+	}
+	res, err := New(img).Run(0, []int64{77, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 77 {
+		t.Errorf("aput/aget via reg-offset = %d, want 77", res.Ret)
+	}
+}
+
+func TestExecFaults(t *testing.T) {
+	// Executing embedded data must be a hard error, not an exception.
+	words := []uint32{0xFFFFFFFF}
+	m := rawMachine(t, words)
+	if _, err := m.Run(0, nil); err == nil {
+		t.Error("executing data word succeeded")
+	}
+	// Wild store: str to an unmapped address.
+	words = asm(
+		a64.Inst{Op: a64.OpMovz, Sf: true, Rd: a64.X1, Imm: 0x1234},
+		a64.Inst{Op: a64.OpStrImm, Sf: true, Rd: a64.X0, Rn: a64.X1},
+		a64.Inst{Op: a64.OpRet, Rn: a64.LR},
+	)
+	m = rawMachine(t, words)
+	if _, err := m.Run(0, nil); err == nil {
+		t.Error("wild store succeeded")
+	}
+	// Touching the stack guard raises the architectural exception.
+	words = asm(
+		a64.Inst{Op: a64.OpMovz, Sf: true, Rd: a64.X1, Imm: abi.StackLimit & 0xFFFF},
+		a64.Inst{Op: a64.OpMovk, Sf: true, Rd: a64.X1, Imm: abi.StackLimit >> 16, HW: 1},
+		a64.Inst{Op: a64.OpLdrImm, Sf: true, Rd: a64.X0, Rn: a64.X1},
+		a64.Inst{Op: a64.OpRet, Rn: a64.LR},
+	)
+	m = rawMachine(t, words)
+	res, err := m.Run(0, nil)
+	if err != nil {
+		t.Fatalf("guard touch errored: %v", err)
+	}
+	if res.Exc != hgraph.ExcStackOverflow {
+		t.Errorf("guard touch exc = %v", res.Exc)
+	}
+}
+
+func TestExecCycleModelMonotone(t *testing.T) {
+	// A taken branch must cost at least as much as a not-taken one.
+	loop := func(iters int64) int64 {
+		words := asm(
+			a64.Inst{Op: a64.OpSubsImm, Sf: true, Rd: a64.X1, Rn: a64.X1, Imm: 1},
+			a64.Inst{Op: a64.OpBCond, Cond: a64.NE, Imm: -4},
+			a64.Inst{Op: a64.OpRet, Rn: a64.LR},
+		)
+		return runRaw(t, words, iters).Cycles
+	}
+	if loop(100) <= loop(1) {
+		t.Error("cycle model not monotone in work")
+	}
+}
+
+func TestICacheWarmup(t *testing.T) {
+	// A loop over a straight-line body: the first iteration fills the
+	// cache, later iterations must not miss again.
+	var a a64.Asm
+	a.Inst(a64.Inst{Op: a64.OpMovz, Sf: true, Rd: a64.X0})
+	top := a.NewLabel()
+	a.Bind(top)
+	for k := 0; k < 64; k++ { // 256 bytes = 4 cache lines of body
+		a.Inst(a64.Inst{Op: a64.OpAddImm, Sf: true, Rd: a64.X0, Rn: a64.X0, Imm: 1})
+	}
+	a.Inst(a64.Inst{Op: a64.OpSubsImm, Sf: true, Rd: a64.X1, Rn: a64.X1, Imm: 1})
+	a.InstTo(a64.Inst{Op: a64.OpBCond, Cond: a64.NE}, top)
+	a.Inst(a64.Inst{Op: a64.OpRet, Rn: a64.LR})
+	p, err := a.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(iters int64) Result { return runRaw(t, p.Words, iters) }
+	one, many := run(1), run(50)
+	if many.ICacheMisses != one.ICacheMisses {
+		t.Errorf("icache misses grew with iterations: %d vs %d (cache not retaining lines)",
+			many.ICacheMisses, one.ICacheMisses)
+	}
+	if one.ICacheMisses < 4 {
+		t.Errorf("implausibly few cold misses: %d", one.ICacheMisses)
+	}
+	if got := many.Ret; got != 50*64 {
+		t.Errorf("loop result %d, want %d", got, 50*64)
+	}
+}

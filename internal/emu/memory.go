@@ -1,0 +1,163 @@
+package emu
+
+import (
+	"fmt"
+
+	"repro/internal/a64"
+	"repro/internal/abi"
+	"repro/internal/dex"
+	"repro/internal/hgraph"
+)
+
+// memFault distinguishes runtime exceptions (which the program model
+// defines, e.g. touching the stack guard) from structural errors (wild
+// pointers, which indicate a compiler/outliner bug and fail the run).
+type memFault struct {
+	exc bool // true: architectural exception; false: structural error
+	err error
+}
+
+// read performs a size-byte (4 or 8) load.
+func (m *Machine) read(addr int64, size int) (int64, *memFault) {
+	switch {
+	case addr >= abi.TextBase && addr < abi.TextBase+int64(len(m.img.Text))*a64.WordSize:
+		if addr%4 != 0 {
+			return 0, &memFault{err: fmt.Errorf("emu: unaligned text read at %#x", addr)}
+		}
+		idx := (addr - abi.TextBase) / 4
+		v := int64(m.img.Text[idx])
+		if size == 8 {
+			if idx+1 >= int64(len(m.img.Text)) {
+				return 0, &memFault{err: fmt.Errorf("emu: text read overrun at %#x", addr)}
+			}
+			v |= int64(m.img.Text[idx+1]) << 32
+		}
+		return v, nil
+
+	case addr >= abi.ArtMethodBase && addr < abi.ArtMethodAddr(uint32(len(m.img.Methods))):
+		id := (addr - abi.ArtMethodBase) / abi.ArtMethodStride
+		field := (addr - abi.ArtMethodBase) % abi.ArtMethodStride
+		if field != abi.EntryPointOffset || size != 8 {
+			return 0, &memFault{err: fmt.Errorf("emu: unmodeled ArtMethod field read at %#x", addr)}
+		}
+		return m.img.EntryAddr(dex.MethodID(id)), nil
+
+	case addr >= abi.ThreadBase && addr < abi.ThreadBase+0x1000:
+		off := addr - abi.ThreadBase
+		k := (off - 0x200) / 8
+		if off < 0x200 || off%8 != 0 || k >= int64(dex.NumNativeFuncs) || size != 8 {
+			return 0, &memFault{err: fmt.Errorf("emu: unmodeled thread field read at %#x", addr)}
+		}
+		return abi.NativeStubAddr(int(k)), nil
+
+	case addr >= abi.StackLimit && addr <= abi.StackTop:
+		if addr < abi.StackLimit+abi.StackGuard {
+			// The stack-overflow checking pattern touches the guard region.
+			return 0, &memFault{exc: true}
+		}
+		return m.ramRead(m.stack, addr-abi.StackLimit, addr, size, m.stackPages)
+
+	case addr >= abi.HeapBase && addr < m.bump:
+		return m.ramRead(m.heap, addr-abi.HeapBase, addr, size, m.heapPages)
+	}
+	return 0, &memFault{err: fmt.Errorf("emu: wild read at %#x", addr)}
+}
+
+// write performs a size-byte (4 or 8) store.
+func (m *Machine) write(addr int64, size int, v int64) *memFault {
+	switch {
+	case addr >= abi.StackLimit+abi.StackGuard && addr <= abi.StackTop:
+		return m.ramWrite(m.stack, addr-abi.StackLimit, addr, size, v, m.stackPages)
+	case addr >= abi.HeapBase && addr < m.bump:
+		return m.ramWrite(m.heap, addr-abi.HeapBase, addr, size, v, m.heapPages)
+	}
+	return &memFault{err: fmt.Errorf("emu: wild write at %#x", addr)}
+}
+
+func (m *Machine) ramRead(ram []int64, off, addr int64, size int, pages []bool) (int64, *memFault) {
+	pages[off>>12] = true
+	word := ram[off>>3]
+	switch {
+	case size == 8 && off%8 == 0:
+		return word, nil
+	case size == 4 && off%4 == 0:
+		if off%8 == 4 {
+			return int64(uint32(uint64(word) >> 32)), nil
+		}
+		return int64(uint32(word)), nil
+	}
+	return 0, &memFault{err: fmt.Errorf("emu: unaligned %d-byte read at %#x", size, addr)}
+}
+
+func (m *Machine) ramWrite(ram []int64, off, addr int64, size int, v int64, pages []bool) *memFault {
+	pages[off>>12] = true
+	switch {
+	case size == 8 && off%8 == 0:
+		ram[off>>3] = v
+		return nil
+	case size == 4 && off%4 == 0:
+		old := uint64(ram[off>>3])
+		if off%8 == 4 {
+			ram[off>>3] = int64(old&0x0000_0000_FFFF_FFFF | uint64(uint32(v))<<32)
+		} else {
+			ram[off>>3] = int64(old&0xFFFF_FFFF_0000_0000 | uint64(uint32(v)))
+		}
+		return nil
+	}
+	return &memFault{err: fmt.Errorf("emu: unaligned %d-byte write at %#x", size, addr)}
+}
+
+// native dispatches a runtime entrypoint. Arguments arrive in x1/x2 per the
+// code generator's convention; the result is returned in x0.
+func (m *Machine) native(f dex.NativeFunc) {
+	m.cycles += m.Costs.Native
+	a := m.regs[1]
+	switch f {
+	case dex.NativeAllocObjectResolved:
+		size := a
+		if size <= 0 {
+			size = 1
+		}
+		m.regs[0] = m.alloc(size)
+	case dex.NativeAllocArrayResolved:
+		if a < 0 {
+			m.throw(hgraph.ExcArrayBounds)
+			return
+		}
+		m.regs[0] = m.alloc(a)
+	case dex.NativeThrowNullPointer:
+		m.throw(hgraph.ExcNullPointer)
+	case dex.NativeThrowArrayBounds:
+		m.throw(hgraph.ExcArrayBounds)
+	case dex.NativeThrowStackOverflow:
+		m.throw(hgraph.ExcStackOverflow)
+	case dex.NativeGCSafepoint:
+		m.regs[0] = 0
+	case dex.NativeLogValue:
+		m.log = append(m.log, a)
+		m.regs[0] = a
+	default:
+		m.fatal = fmt.Errorf("emu: unknown native function %d", f)
+		m.halt = true
+	}
+}
+
+// alloc bump-allocates n slots plus the header; memory is zero on arrival.
+func (m *Machine) alloc(n int64) int64 {
+	m.cycles += m.Costs.Alloc
+	m.allocs++
+	addr := m.bump
+	m.bump += abi.ObjectHeaderSize + 8*n
+	if m.bump >= abi.HeapLimit {
+		m.fatal = fmt.Errorf("emu: heap exhausted (%d bytes live)", m.bump-abi.HeapBase)
+		m.halt = true
+		return 0
+	}
+	need := (m.bump - abi.HeapBase) >> 3
+	for int64(len(m.heap)) < need {
+		m.heap = append(m.heap, make([]int64, need-int64(len(m.heap)))...)
+	}
+	m.heap[(addr-abi.HeapBase)>>3] = n // length header
+	m.heapPages[(addr-abi.HeapBase)>>12] = true
+	return addr
+}

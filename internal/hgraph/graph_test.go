@@ -1,0 +1,186 @@
+package hgraph
+
+import (
+	"testing"
+
+	"repro/internal/dex"
+)
+
+func method(name string, numRegs, numIns int, code []dex.Insn) *dex.Method {
+	return &dex.Method{Class: "LTest", Name: name, NumRegs: numRegs, NumIns: numIns, Code: code}
+}
+
+func TestBuildStraightLine(t *testing.T) {
+	m := method("straight", 3, 0, []dex.Insn{
+		{Op: dex.OpConst, A: 0, Lit: 1},
+		{Op: dex.OpConst, A: 1, Lit: 2},
+		{Op: dex.OpAdd, A: 2, B: 0, C: 1},
+		{Op: dex.OpReturn, A: 2},
+	})
+	g, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks) != 1 || len(g.Blocks[0].Insns) != 4 {
+		t.Fatalf("graph = %s", g)
+	}
+	if g.NumInsns() != 4 {
+		t.Errorf("NumInsns = %d", g.NumInsns())
+	}
+}
+
+func TestBuildDiamond(t *testing.T) {
+	// if v0 == 0 goto @3; v1 = 1; goto @4; @3: v1 = 2; @4: return v1
+	m := method("diamond", 2, 1, []dex.Insn{
+		{Op: dex.OpIfEqz, A: 0, Target: 3},
+		{Op: dex.OpConst, A: 1, Lit: 1},
+		{Op: dex.OpGoto, Target: 4},
+		{Op: dex.OpConst, A: 1, Lit: 2},
+		{Op: dex.OpReturn, A: 1},
+	})
+	g, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks = %d; graph:\n%s", len(g.Blocks), g)
+	}
+	entry := g.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("entry succs = %v", entry.Succs)
+	}
+	// Succs[0] must be the fall-through (the "then" side).
+	thenB, elseB := g.Blocks[entry.Succs[0]], g.Blocks[entry.Succs[1]]
+	if thenB.Insns[0].Lit != 1 || elseB.Insns[0].Lit != 2 {
+		t.Errorf("fall-through ordering broken: %s", g)
+	}
+	join := g.Blocks[3]
+	if len(join.Preds) != 2 || join.Insns[0].Op != dex.OpReturn {
+		t.Errorf("join block wrong: %s", g)
+	}
+}
+
+func TestBuildLoop(t *testing.T) {
+	// v0 = 5; @1: v0 = v0 + (-1); if v0 != 0 goto @1; return v0
+	m := method("loop", 1, 0, []dex.Insn{
+		{Op: dex.OpConst, A: 0, Lit: 5},
+		{Op: dex.OpAddLit, A: 0, B: 0, Lit: -1},
+		{Op: dex.OpIfNez, A: 0, Target: 1},
+		{Op: dex.OpReturn, A: 0},
+	})
+	g, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks) != 3 {
+		t.Fatalf("blocks = %d:\n%s", len(g.Blocks), g)
+	}
+	loop := g.Blocks[1]
+	hasSelf := false
+	for _, s := range loop.Succs {
+		hasSelf = hasSelf || s == loop.ID
+	}
+	if !hasSelf {
+		t.Errorf("loop block lacks back edge: %s", g)
+	}
+}
+
+func TestBuildSwitch(t *testing.T) {
+	m := method("switch", 2, 1, []dex.Insn{
+		{Op: dex.OpPackedSwitch, A: 0, Targets: []int32{2, 3}},
+		{Op: dex.OpConst, A: 1, Lit: 99}, // fallthrough
+		{Op: dex.OpConst, A: 1, Lit: 0},
+		{Op: dex.OpReturn, A: 1},
+	})
+	g, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := g.Blocks[0]
+	if len(entry.Succs) != 3 {
+		t.Fatalf("switch succs = %v:\n%s", entry.Succs, g)
+	}
+	sw := entry.Terminator()
+	if sw.Op != dex.OpPackedSwitch || len(sw.Targets) != 2 {
+		t.Fatalf("terminator = %v", sw)
+	}
+	// Fall-through is Succs[0].
+	ft := g.Blocks[entry.Succs[0]]
+	if ft.Insns[0].Lit != 99 {
+		t.Errorf("fall-through = %v", ft.Insns[0])
+	}
+}
+
+func TestBuildRejectsNativeAndEmpty(t *testing.T) {
+	if _, err := Build(&dex.Method{Name: "n", Native: true}); err == nil {
+		t.Error("Build(native) succeeded")
+	}
+	if _, err := Build(&dex.Method{Name: "e"}); err == nil {
+		t.Error("Build(empty) succeeded")
+	}
+}
+
+func TestComputeLiveness(t *testing.T) {
+	// v0 live across the branch; v1 dead at entry.
+	m := method("live", 3, 1, []dex.Insn{
+		{Op: dex.OpConst, A: 1, Lit: 7},
+		{Op: dex.OpIfEqz, A: 0, Target: 3},
+		{Op: dex.OpReturn, A: 1},
+		{Op: dex.OpReturn, A: 0},
+	})
+	g, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := ComputeLiveness(g)
+	entry := g.Blocks[0]
+	if !lv.In[entry.ID].has(0) {
+		t.Error("v0 not live-in at entry")
+	}
+	if lv.In[entry.ID].has(1) {
+		t.Error("v1 live-in at entry despite being defined first")
+	}
+	if !lv.Out[entry.ID].has(0) || !lv.Out[entry.ID].has(1) {
+		t.Error("v0/v1 not live-out of entry")
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	// Argument arrives in v1 (the trailing register); result built in v0.
+	m := method("diamond", 2, 1, []dex.Insn{
+		{Op: dex.OpIfEqz, A: 1, Target: 3},
+		{Op: dex.OpConst, A: 0, Lit: 1},
+		{Op: dex.OpGoto, Target: 4},
+		{Op: dex.OpConst, A: 0, Lit: 2},
+		{Op: dex.OpReturn, A: 0},
+	})
+	g, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := FlattenInto(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := &dex.App{Name: "t"}
+	cls := &dex.Class{Name: "LTest"}
+	app.Files = []*dex.File{{Name: "d", Classes: []*dex.Class{cls}}}
+	app.AddMethod(cls, flat)
+	if err := app.Validate(); err != nil {
+		t.Fatalf("flattened method invalid: %v", err)
+	}
+	for _, arg := range []int64{0, 5} {
+		ip := &Interp{App: app}
+		res, err := ip.Run(flat.ID, []int64{arg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(1)
+		if arg == 0 {
+			want = 2
+		}
+		if res.Ret != want {
+			t.Errorf("arg %d: ret = %d, want %d", arg, res.Ret, want)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package hgraph
+
+import (
+	"fmt"
+
+	"repro/internal/dex"
+)
+
+// Exception enumerates the runtime exceptions the modeled ART can raise.
+// The binary-code emulator raises the same set; differential tests require
+// the two to agree on kind and timing.
+type Exception int
+
+// Exception kinds.
+const (
+	ExcNone Exception = iota
+	ExcNullPointer
+	ExcArrayBounds
+	ExcStackOverflow
+	ExcStepLimit
+)
+
+var excNames = [...]string{"none", "null-pointer", "array-bounds", "stack-overflow", "step-limit"}
+
+func (e Exception) String() string {
+	if int(e) < len(excNames) {
+		return excNames[e]
+	}
+	return fmt.Sprintf("exception(%d)", int(e))
+}
+
+// Result is the observable outcome of a program run: the entry method's
+// return value, everything written through pLogValue, the exception that
+// terminated the run early (if any), and execution statistics.
+type Result struct {
+	Ret    int64
+	Log    []int64
+	Exc    Exception
+	Steps  int64
+	Calls  int64
+	Allocs int64
+}
+
+// Interp interprets dex bytecode directly, defining the reference
+// semantics of the bytecode independent of the compilation pipeline.
+type Interp struct {
+	App      *dex.App
+	MaxSteps int64 // default 50 million
+	MaxDepth int   // default 200 frames
+
+	heap   [][]int64
+	log    []int64
+	steps  int64
+	calls  int64
+	allocs int64
+}
+
+type excSignal struct{ kind Exception }
+
+// Run executes the entry method with the given arguments (padded or
+// truncated to two, matching the binary calling convention).
+func (ip *Interp) Run(entry dex.MethodID, args []int64) (Result, error) {
+	if ip.App == nil {
+		return Result{}, fmt.Errorf("hgraph: interpreter has no app")
+	}
+	if int(entry) >= len(ip.App.Methods) {
+		return Result{}, fmt.Errorf("hgraph: entry method m%d out of range", entry)
+	}
+	if ip.MaxSteps == 0 {
+		ip.MaxSteps = 50_000_000
+	}
+	if ip.MaxDepth == 0 {
+		ip.MaxDepth = 200
+	}
+	ip.heap, ip.log = nil, nil
+	ip.steps, ip.calls, ip.allocs = 0, 0, 0
+
+	a2 := make([]int64, 2)
+	copy(a2, args)
+	ret, sig, err := ip.call(entry, a2, 0)
+	res := Result{Ret: ret, Log: ip.log, Steps: ip.steps, Calls: ip.calls, Allocs: ip.allocs}
+	if err != nil {
+		return res, err
+	}
+	if sig != nil {
+		res.Exc = sig.kind
+		res.Ret = 0
+	}
+	return res, nil
+}
+
+// call executes one method invocation.
+func (ip *Interp) call(id dex.MethodID, args []int64, depth int) (int64, *excSignal, error) {
+	ip.calls++
+	if depth >= ip.MaxDepth {
+		return 0, &excSignal{ExcStackOverflow}, nil
+	}
+	m := ip.App.Methods[id]
+	if m.Native {
+		// JNI stub semantics: return the first argument.
+		return args[0], nil, nil
+	}
+	regs := make([]int64, m.NumRegs)
+	for i := 0; i < m.NumIns && i < len(args); i++ {
+		regs[m.NumRegs-m.NumIns+i] = args[i]
+	}
+
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(m.Code) {
+			return 0, nil, fmt.Errorf("hgraph: %s: pc %d out of range", m.FullName(), pc)
+		}
+		ip.steps++
+		if ip.steps > ip.MaxSteps {
+			return 0, &excSignal{ExcStepLimit}, nil
+		}
+		in := m.Code[pc]
+		switch in.Op {
+		case dex.OpNopCode:
+		case dex.OpConst:
+			regs[in.A] = in.Lit
+		case dex.OpConstPool:
+			regs[in.A] = int64(m.Pool[in.Lit])
+		case dex.OpMove:
+			regs[in.A] = regs[in.B]
+		case dex.OpAdd:
+			regs[in.A] = regs[in.B] + regs[in.C]
+		case dex.OpSub:
+			regs[in.A] = regs[in.B] - regs[in.C]
+		case dex.OpAnd:
+			regs[in.A] = regs[in.B] & regs[in.C]
+		case dex.OpOr:
+			regs[in.A] = regs[in.B] | regs[in.C]
+		case dex.OpXor:
+			regs[in.A] = regs[in.B] ^ regs[in.C]
+		case dex.OpMul:
+			regs[in.A] = regs[in.B] * regs[in.C]
+		case dex.OpShl:
+			regs[in.A] = regs[in.B] << uint64(regs[in.C]&63)
+		case dex.OpShr:
+			regs[in.A] = int64(uint64(regs[in.B]) >> uint64(regs[in.C]&63))
+		case dex.OpAddLit:
+			regs[in.A] = regs[in.B] + in.Lit
+
+		case dex.OpIfEq, dex.OpIfNe, dex.OpIfLt, dex.OpIfGe, dex.OpIfEqz, dex.OpIfNez:
+			if branchTaken(in.Op, regs[in.A], regs[in.B]) {
+				pc = int(in.Target)
+				continue
+			}
+		case dex.OpGoto:
+			pc = int(in.Target)
+			continue
+		case dex.OpPackedSwitch:
+			idx := regs[in.A]
+			if idx >= 0 && idx < int64(len(in.Targets)) {
+				pc = int(in.Targets[idx])
+				continue
+			}
+
+		case dex.OpInvoke:
+			ret, sig, err := ip.call(in.Method, []int64{regs[in.B], regs[in.C]}, depth+1)
+			if sig != nil || err != nil {
+				return 0, sig, err
+			}
+			regs[in.A] = ret
+		case dex.OpInvokeNative:
+			ret, sig, err := ip.native(in.Native, regs[in.B], regs[in.C])
+			if sig != nil || err != nil {
+				return 0, sig, err
+			}
+			regs[in.A] = ret
+		case dex.OpNewInstance:
+			regs[in.A] = ip.allocObject(in.Lit)
+
+		case dex.OpIGet:
+			obj, sig, err := ip.object(m, regs[in.B], in.Lit)
+			if sig != nil || err != nil {
+				return 0, sig, err
+			}
+			regs[in.A] = obj[in.Lit]
+		case dex.OpIPut:
+			obj, sig, err := ip.object(m, regs[in.B], in.Lit)
+			if sig != nil || err != nil {
+				return 0, sig, err
+			}
+			obj[in.Lit] = regs[in.A]
+
+		case dex.OpNewArray:
+			n := regs[in.B]
+			if n < 0 {
+				return 0, &excSignal{ExcArrayBounds}, nil
+			}
+			if n > 1<<20 {
+				return 0, nil, fmt.Errorf("hgraph: %s: unreasonable array length %d", m.FullName(), n)
+			}
+			regs[in.A] = ip.allocArray(n)
+		case dex.OpAGet:
+			arr, sig, err := ip.array(regs[in.B], regs[in.C])
+			if sig != nil || err != nil {
+				return 0, sig, err
+			}
+			regs[in.A] = arr[regs[in.C]]
+		case dex.OpAPut:
+			arr, sig, err := ip.array(regs[in.B], regs[in.C])
+			if sig != nil || err != nil {
+				return 0, sig, err
+			}
+			arr[regs[in.C]] = regs[in.A]
+		case dex.OpArrayLen:
+			if regs[in.B] == 0 {
+				return 0, &excSignal{ExcNullPointer}, nil
+			}
+			arr, err := ip.deref(regs[in.B])
+			if err != nil {
+				return 0, nil, err
+			}
+			regs[in.A] = int64(len(arr))
+
+		case dex.OpReturn:
+			return regs[in.A], nil, nil
+		case dex.OpReturnVoid:
+			return 0, nil, nil
+		default:
+			return 0, nil, fmt.Errorf("hgraph: %s: bad opcode %s", m.FullName(), in.Op)
+		}
+		pc++
+	}
+}
+
+func branchTaken(op dex.Opcode, a, b int64) bool {
+	switch op {
+	case dex.OpIfEq:
+		return a == b
+	case dex.OpIfNe:
+		return a != b
+	case dex.OpIfLt:
+		return a < b
+	case dex.OpIfGe:
+		return a >= b
+	case dex.OpIfEqz:
+		return a == 0
+	case dex.OpIfNez:
+		return a != 0
+	}
+	return false
+}
+
+// allocObject allocates size slots (at least one) and returns the handle
+// (1-based). The binary allocation stub applies the same minimum.
+func (ip *Interp) allocObject(size int64) int64 {
+	if size <= 0 {
+		size = 1
+	}
+	return ip.allocArray(size)
+}
+
+// allocArray allocates exactly n slots; n may be zero.
+func (ip *Interp) allocArray(n int64) int64 {
+	ip.allocs++
+	ip.heap = append(ip.heap, make([]int64, n))
+	return int64(len(ip.heap))
+}
+
+// deref resolves a heap handle.
+func (ip *Interp) deref(ref int64) ([]int64, error) {
+	if ref < 1 || ref > int64(len(ip.heap)) {
+		return nil, fmt.Errorf("hgraph: dangling reference %d", ref)
+	}
+	return ip.heap[ref-1], nil
+}
+
+// object resolves a field access base, null-checking first.
+func (ip *Interp) object(m *dex.Method, ref, slot int64) ([]int64, *excSignal, error) {
+	if ref == 0 {
+		return nil, &excSignal{ExcNullPointer}, nil
+	}
+	obj, err := ip.deref(ref)
+	if err != nil {
+		return nil, nil, err
+	}
+	if slot < 0 || slot >= int64(len(obj)) {
+		return nil, nil, fmt.Errorf("hgraph: %s: field slot %d out of range (object size %d)", m.FullName(), slot, len(obj))
+	}
+	return obj, nil, nil
+}
+
+// array resolves an array access with null and bounds checks, matching the
+// order of checks in the generated binary (null first, then bounds).
+func (ip *Interp) array(ref, idx int64) ([]int64, *excSignal, error) {
+	if ref == 0 {
+		return nil, &excSignal{ExcNullPointer}, nil
+	}
+	arr, err := ip.deref(ref)
+	if err != nil {
+		return nil, nil, err
+	}
+	if idx < 0 || idx >= int64(len(arr)) {
+		return nil, &excSignal{ExcArrayBounds}, nil
+	}
+	return arr, nil, nil
+}
+
+// native implements the ART runtime entrypoints.
+func (ip *Interp) native(f dex.NativeFunc, a, b int64) (int64, *excSignal, error) {
+	switch f {
+	case dex.NativeAllocObjectResolved:
+		if a > 1<<20 {
+			return 0, nil, fmt.Errorf("hgraph: unreasonable object size %d", a)
+		}
+		return ip.allocObject(a), nil, nil
+	case dex.NativeAllocArrayResolved:
+		if a < 0 {
+			return 0, &excSignal{ExcArrayBounds}, nil
+		}
+		if a > 1<<20 {
+			return 0, nil, fmt.Errorf("hgraph: unreasonable array length %d", a)
+		}
+		return ip.allocArray(a), nil, nil
+	case dex.NativeThrowNullPointer:
+		return 0, &excSignal{ExcNullPointer}, nil
+	case dex.NativeThrowArrayBounds:
+		return 0, &excSignal{ExcArrayBounds}, nil
+	case dex.NativeThrowStackOverflow:
+		return 0, &excSignal{ExcStackOverflow}, nil
+	case dex.NativeGCSafepoint:
+		return 0, nil, nil
+	case dex.NativeLogValue:
+		ip.log = append(ip.log, a)
+		return a, nil, nil
+	}
+	return 0, nil, fmt.Errorf("hgraph: unknown native function %d", f)
+}

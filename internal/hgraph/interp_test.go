@@ -1,0 +1,271 @@
+package hgraph
+
+import (
+	"testing"
+
+	"repro/internal/dex"
+)
+
+// newApp wraps methods into a validated app.
+func newApp(t *testing.T, methods ...*dex.Method) *dex.App {
+	t.Helper()
+	app := &dex.App{Name: "t"}
+	cls := &dex.Class{Name: "LTest"}
+	app.Files = []*dex.File{{Name: "d", Classes: []*dex.Class{cls}}}
+	for _, m := range methods {
+		app.AddMethod(cls, m)
+	}
+	if err := app.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return app
+}
+
+func run(t *testing.T, app *dex.App, entry dex.MethodID, args ...int64) Result {
+	t.Helper()
+	ip := &Interp{App: app}
+	res, err := ip.Run(entry, args)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestInterpCountdownLoop(t *testing.T) {
+	// sum = 0; for i := n; i != 0; i-- { sum += i }; return sum
+	m := method("sum", 3, 1, []dex.Insn{
+		{Op: dex.OpConst, A: 0, Lit: 0},         // v0 = 0 (sum)
+		{Op: dex.OpMove, A: 1, B: 2},            // v1 = n
+		{Op: dex.OpIfEqz, A: 1, Target: 6},      // while v1 != 0
+		{Op: dex.OpAdd, A: 0, B: 0, C: 1},       //   sum += v1
+		{Op: dex.OpAddLit, A: 1, B: 1, Lit: -1}, //   v1--
+		{Op: dex.OpGoto, Target: 2},             //
+		{Op: dex.OpReturn, A: 0},                // return sum
+	})
+	app := newApp(t, m)
+	if got := run(t, app, 0, 10).Ret; got != 55 {
+		t.Errorf("sum(10) = %d, want 55", got)
+	}
+	if got := run(t, app, 0, 0).Ret; got != 0 {
+		t.Errorf("sum(0) = %d, want 0", got)
+	}
+}
+
+func TestInterpCallsAndLog(t *testing.T) {
+	callee := method("double", 2, 1, []dex.Insn{
+		{Op: dex.OpAdd, A: 0, B: 1, C: 1},
+		{Op: dex.OpReturn, A: 0},
+	})
+	caller := method("main", 3, 0, []dex.Insn{
+		{Op: dex.OpConst, A: 0, Lit: 21},
+		{Op: dex.OpInvoke, A: 1, Method: 0, B: 0, C: 0},
+		{Op: dex.OpInvokeNative, A: 2, Native: dex.NativeLogValue, B: 1},
+		{Op: dex.OpReturn, A: 2},
+	})
+	app := newApp(t, callee, caller)
+	res := run(t, app, 1)
+	if res.Ret != 42 {
+		t.Errorf("Ret = %d, want 42", res.Ret)
+	}
+	if len(res.Log) != 1 || res.Log[0] != 42 {
+		t.Errorf("Log = %v", res.Log)
+	}
+	if res.Calls != 2 {
+		t.Errorf("Calls = %d, want 2", res.Calls)
+	}
+}
+
+func TestInterpObjectsAndArrays(t *testing.T) {
+	m := method("mem", 6, 0, []dex.Insn{
+		{Op: dex.OpNewInstance, A: 0, Lit: 4}, // v0 = new(4 fields)
+		{Op: dex.OpConst, A: 1, Lit: 7},       //
+		{Op: dex.OpIPut, A: 1, B: 0, Lit: 2},  // v0.f2 = 7
+		{Op: dex.OpIGet, A: 2, B: 0, Lit: 2},  // v2 = v0.f2
+		{Op: dex.OpConst, A: 3, Lit: 5},       //
+		{Op: dex.OpNewArray, A: 4, B: 3},      // v4 = new[5]
+		{Op: dex.OpConst, A: 5, Lit: 3},       //
+		{Op: dex.OpAPut, A: 2, B: 4, C: 5},    // v4[3] = v2
+		{Op: dex.OpAGet, A: 1, B: 4, C: 5},    // v1 = v4[3]
+		{Op: dex.OpArrayLen, A: 3, B: 4},      // v3 = len(v4)
+		{Op: dex.OpAdd, A: 0, B: 1, C: 3},     // v0 = 7 + 5
+		{Op: dex.OpInvokeNative, A: 0, Native: dex.NativeLogValue, B: 0},
+		{Op: dex.OpReturn, A: 0},
+	})
+	app := newApp(t, m)
+	res := run(t, app, 0)
+	if res.Ret != 12 || res.Allocs != 2 {
+		t.Errorf("Ret = %d Allocs = %d", res.Ret, res.Allocs)
+	}
+}
+
+func TestInterpExceptions(t *testing.T) {
+	cases := []struct {
+		name string
+		code []dex.Insn
+		want Exception
+	}{
+		{
+			"null iget",
+			[]dex.Insn{
+				{Op: dex.OpConst, A: 0, Lit: 0},
+				{Op: dex.OpIGet, A: 1, B: 0, Lit: 0},
+				{Op: dex.OpReturn, A: 1},
+			},
+			ExcNullPointer,
+		},
+		{
+			"null aget",
+			[]dex.Insn{
+				{Op: dex.OpConst, A: 0, Lit: 0},
+				{Op: dex.OpAGet, A: 1, B: 0, C: 0},
+				{Op: dex.OpReturn, A: 1},
+			},
+			ExcNullPointer,
+		},
+		{
+			"null arraylen",
+			[]dex.Insn{
+				{Op: dex.OpConst, A: 0, Lit: 0},
+				{Op: dex.OpArrayLen, A: 1, B: 0},
+				{Op: dex.OpReturn, A: 1},
+			},
+			ExcNullPointer,
+		},
+		{
+			"bounds",
+			[]dex.Insn{
+				{Op: dex.OpConst, A: 0, Lit: 2},
+				{Op: dex.OpNewArray, A: 1, B: 0},
+				{Op: dex.OpAGet, A: 2, B: 1, C: 0}, // v0=2 as index, len 2
+				{Op: dex.OpReturn, A: 2},
+			},
+			ExcArrayBounds,
+		},
+		{
+			"negative bounds",
+			[]dex.Insn{
+				{Op: dex.OpConst, A: 0, Lit: 2},
+				{Op: dex.OpNewArray, A: 1, B: 0},
+				{Op: dex.OpConst, A: 0, Lit: -1},
+				{Op: dex.OpAPut, A: 0, B: 1, C: 0},
+				{Op: dex.OpReturnVoid},
+			},
+			ExcArrayBounds,
+		},
+		{
+			"negative array length",
+			[]dex.Insn{
+				{Op: dex.OpConst, A: 0, Lit: -3},
+				{Op: dex.OpNewArray, A: 1, B: 0},
+				{Op: dex.OpReturnVoid},
+			},
+			ExcArrayBounds,
+		},
+		{
+			"explicit throw",
+			[]dex.Insn{
+				{Op: dex.OpConst, A: 0, Lit: 0},
+				{Op: dex.OpInvokeNative, A: 0, Native: dex.NativeThrowStackOverflow},
+				{Op: dex.OpReturnVoid},
+			},
+			ExcStackOverflow,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			app := newApp(t, method("m", 3, 0, tc.code))
+			res := run(t, app, 0)
+			if res.Exc != tc.want {
+				t.Errorf("Exc = %v, want %v", res.Exc, tc.want)
+			}
+		})
+	}
+}
+
+func TestInterpRecursionOverflows(t *testing.T) {
+	// m(n) = m(n) — infinite recursion must hit the depth limit.
+	rec := method("rec", 2, 1, []dex.Insn{
+		{Op: dex.OpInvoke, A: 0, Method: 0, B: 1, C: 1},
+		{Op: dex.OpReturn, A: 0},
+	})
+	app := newApp(t, rec)
+	res := run(t, app, 0, 1)
+	if res.Exc != ExcStackOverflow {
+		t.Errorf("Exc = %v, want stack overflow", res.Exc)
+	}
+}
+
+func TestInterpStepLimit(t *testing.T) {
+	spin := method("spin", 1, 0, []dex.Insn{
+		{Op: dex.OpGoto, Target: 0},
+	})
+	app := newApp(t, spin)
+	ip := &Interp{App: app, MaxSteps: 1000}
+	res, err := ip.Run(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exc != ExcStepLimit {
+		t.Errorf("Exc = %v, want step limit", res.Exc)
+	}
+}
+
+func TestInterpNativeMethodStub(t *testing.T) {
+	jni := &dex.Method{Class: "LTest", Name: "jni", Native: true, NumRegs: 2, NumIns: 2}
+	caller := method("main", 2, 0, []dex.Insn{
+		{Op: dex.OpConst, A: 0, Lit: 77},
+		{Op: dex.OpInvoke, A: 1, Method: 0, B: 0, C: 0},
+		{Op: dex.OpReturn, A: 1},
+	})
+	app := newApp(t, jni, caller)
+	if got := run(t, app, 1).Ret; got != 77 {
+		t.Errorf("JNI stub returned %d, want 77", got)
+	}
+}
+
+func TestInterpPackedSwitch(t *testing.T) {
+	m := method("sw", 2, 1, []dex.Insn{
+		{Op: dex.OpPackedSwitch, A: 1, Targets: []int32{3, 5}},
+		{Op: dex.OpConst, A: 0, Lit: -1}, // default
+		{Op: dex.OpReturn, A: 0},
+		{Op: dex.OpConst, A: 0, Lit: 100}, // case 0
+		{Op: dex.OpReturn, A: 0},
+		{Op: dex.OpConst, A: 0, Lit: 200}, // case 1
+		{Op: dex.OpReturn, A: 0},
+	})
+	app := newApp(t, m)
+	for arg, want := range map[int64]int64{0: 100, 1: 200, 2: -1, -5: -1} {
+		if got := run(t, app, 0, arg).Ret; got != want {
+			t.Errorf("switch(%d) = %d, want %d", arg, got, want)
+		}
+	}
+}
+
+func TestInterpAllocSemantics(t *testing.T) {
+	// Zero-length arrays keep length 0; alloc-object clamps to >= 1 slot.
+	m := method("alloc", 4, 0, []dex.Insn{
+		{Op: dex.OpConst, A: 0, Lit: 0},
+		{Op: dex.OpNewArray, A: 1, B: 0},
+		{Op: dex.OpArrayLen, A: 2, B: 1},
+		{Op: dex.OpInvokeNative, A: 3, Native: dex.NativeAllocObjectResolved, B: 0},
+		{Op: dex.OpIPut, A: 2, B: 3, Lit: 0}, // must not fault: one slot exists
+		{Op: dex.OpReturn, A: 2},
+	})
+	app := newApp(t, m)
+	res := run(t, app, 0)
+	if res.Ret != 0 || res.Exc != ExcNone {
+		t.Errorf("Ret = %d Exc = %v", res.Ret, res.Exc)
+	}
+}
+
+func TestInterpErrors(t *testing.T) {
+	app := newApp(t, method("m", 1, 0, []dex.Insn{{Op: dex.OpReturnVoid}}))
+	ip := &Interp{App: app}
+	if _, err := ip.Run(99, nil); err == nil {
+		t.Error("Run with bad entry succeeded")
+	}
+	ip2 := &Interp{}
+	if _, err := ip2.Run(0, nil); err == nil {
+		t.Error("Run with nil app succeeded")
+	}
+}

@@ -1,0 +1,322 @@
+package hgraph
+
+import (
+	"sort"
+
+	"repro/internal/dex"
+)
+
+// Dominators computes the immediate dominator of every reachable block
+// with the iterative algorithm of Cooper, Harvey & Kennedy. The entry
+// block's idom is itself; unreachable blocks get -1.
+func Dominators(g *Graph) []int {
+	n := len(g.Blocks)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	// Reverse post-order.
+	order := make([]int, 0, n)
+	state := make([]uint8, n)
+	var dfs func(int)
+	dfs = func(b int) {
+		state[b] = 1
+		for _, s := range g.Blocks[b].Succs {
+			if state[s] == 0 {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(0)
+	// order is post-order; reverse it.
+	for l, r := 0, len(order)-1; l < r; l, r = l+1, r-1 {
+		order[l], order[r] = order[r], order[l]
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range order {
+		rpoNum[b] = i
+	}
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	idom[0] = 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Blocks[b].Preds {
+				if idom[p] == -1 {
+					continue // not yet processed or unreachable
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// dominates reports whether a dominates b under the idom tree.
+func dominates(idom []int, a, b int) bool {
+	for {
+		if b == a {
+			return true
+		}
+		if b == 0 || idom[b] == -1 {
+			return false
+		}
+		if idom[b] == b {
+			return b == a
+		}
+		b = idom[b]
+	}
+}
+
+// loop is one natural loop: the header plus the body block set.
+type loopInfo struct {
+	header int
+	blocks map[int]bool
+}
+
+// naturalLoops finds the natural loop of every back edge (latch -> header
+// where header dominates latch); loops sharing a header are merged.
+func naturalLoops(g *Graph, idom []int) []loopInfo {
+	byHeader := map[int]map[int]bool{}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if idom[s] == -1 || idom[b.ID] == -1 {
+				continue
+			}
+			if !dominates(idom, s, b.ID) {
+				continue // not a back edge
+			}
+			body := byHeader[s]
+			if body == nil {
+				body = map[int]bool{s: true}
+				byHeader[s] = body
+			}
+			// Walk predecessors from the latch up to the header.
+			stack := []int{b.ID}
+			for len(stack) > 0 {
+				cur := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if body[cur] {
+					continue
+				}
+				body[cur] = true
+				for _, p := range g.Blocks[cur].Preds {
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	var loops []loopInfo
+	for h, body := range byHeader {
+		loops = append(loops, loopInfo{header: h, blocks: body})
+	}
+	return loops
+}
+
+// hoistInvariants performs loop-invariant code motion, one of the HGraph
+// code-size/speed optimizations the dex2oat pipeline runs. A pure
+// instruction is hoisted into a freshly created preheader when:
+//
+//   - every operand is loop-invariant (no definition inside the loop,
+//     or defined only by an already-hoisted instruction);
+//   - its destination has exactly one definition in the loop;
+//   - its destination is not live into the header from outside the loop
+//     (hoisting must not clobber a value the first iteration reads);
+//   - its block dominates every loop exit (a value computed on a partial
+//     iteration must not escape) and every in-loop use of the destination.
+func hoistInvariants(g *Graph) bool {
+	idom := Dominators(g)
+	loops := naturalLoops(g, idom)
+	for _, lp := range loops {
+		if g.hoistLoop(lp, idom) {
+			// CFG shape changed (new preheader); let the caller re-run the
+			// pipeline so dominators and loop sets are fresh.
+			return true
+		}
+	}
+	return false
+}
+
+// hoistLoop hoists what it can out of one loop; returns whether anything
+// moved.
+func (g *Graph) hoistLoop(lp loopInfo, idom []int) bool {
+	// Definition counts per register inside the loop.
+	defCount := map[uint8]int{}
+	for b := range lp.blocks {
+		for _, in := range g.Blocks[b].Insns {
+			if d, ok := in.def(); ok {
+				defCount[d]++
+			}
+		}
+	}
+	// Exit blocks: outside blocks with an in-loop predecessor.
+	var exits []int
+	for b := range lp.blocks {
+		for _, s := range g.Blocks[b].Succs {
+			if !lp.blocks[s] {
+				exits = append(exits, s)
+			}
+		}
+	}
+
+	loopBlocks := make([]int, 0, len(lp.blocks))
+	for b := range lp.blocks {
+		loopBlocks = append(loopBlocks, b)
+	}
+	sort.Ints(loopBlocks)
+
+	hoisted := map[uint8]bool{}
+	var hoistedInsns []Insn
+	for again := true; again; {
+		again = false
+		lv := ComputeLiveness(g)
+		// The hoisted set is frozen for the round so that instructions
+		// hoisted together never depend on one another; dependence chains
+		// hoist over successive rounds, which also puts them in dependence
+		// order inside the preheader.
+		type mark struct{ block, idx int }
+		var marks []mark
+		var newlyHoisted []uint8
+		for _, b := range loopBlocks {
+			for idx, in := range g.Blocks[b].Insns {
+				if g.canHoist(in, idx, b, lp, idom, lv, defCount, hoisted, exits) {
+					marks = append(marks, mark{b, idx})
+					d, _ := in.def()
+					newlyHoisted = append(newlyHoisted, d)
+					// One hoist per block per round keeps indices valid.
+					break
+				}
+			}
+		}
+		for _, m := range marks {
+			blk := g.Blocks[m.block]
+			hoistedInsns = append(hoistedInsns, blk.Insns[m.idx])
+			blk.Insns = append(blk.Insns[:m.idx:m.idx], blk.Insns[m.idx+1:]...)
+			again = true
+		}
+		for _, d := range newlyHoisted {
+			hoisted[d] = true
+		}
+	}
+	if len(hoistedInsns) == 0 {
+		return false
+	}
+
+	// Create the preheader and route non-loop predecessors through it.
+	pre := &Block{ID: len(g.Blocks), Insns: hoistedInsns}
+	g.Blocks = append(g.Blocks, pre)
+	h := g.Blocks[lp.header]
+	var outside, inside []int
+	for _, p := range h.Preds {
+		if lp.blocks[p] {
+			inside = append(inside, p)
+		} else {
+			outside = append(outside, p)
+		}
+	}
+	for _, p := range outside {
+		pb := g.Blocks[p]
+		for i, s := range pb.Succs {
+			if s == lp.header {
+				pb.Succs[i] = pre.ID
+			}
+		}
+		if t := pb.Terminator(); t != nil {
+			if t.Op == dex.OpPackedSwitch {
+				for i, tgt := range t.Targets {
+					if tgt == lp.header {
+						t.Targets[i] = pre.ID
+					}
+				}
+			} else if t.Op.IsBranch() && t.Target == lp.header {
+				t.Target = pre.ID
+			}
+		}
+		pre.Preds = append(pre.Preds, p)
+	}
+	pre.Succs = []int{lp.header}
+	h.Preds = append([]int{pre.ID}, inside...)
+	return true
+}
+
+// canHoist checks the safety conditions for hoisting the instruction at
+// g.Blocks[blockID].Insns[inIdx].
+func (g *Graph) canHoist(in Insn, inIdx, blockID int, lp loopInfo, idom []int, lv *Liveness,
+	defCount map[uint8]int, hoisted map[uint8]bool, exits []int) bool {
+	if !in.pure() {
+		return false
+	}
+	d, ok := in.def()
+	if !ok || defCount[d] != 1 || hoisted[d] {
+		return false
+	}
+	// Self-referencing instructions (d among uses) are induction-like.
+	for _, u := range in.uses() {
+		if u == d {
+			return false
+		}
+		if defCount[u] > 0 && !hoisted[u] {
+			return false // operand varies inside the loop
+		}
+	}
+	// The incoming value of d must be dead at the header: hoisting must not
+	// clobber a value the first iteration could read.
+	if lv.In[lp.header].has(d) {
+		return false
+	}
+	// The defining block must dominate every exit (so the value cannot
+	// escape from an iteration that would not have computed it) ...
+	for _, e := range exits {
+		if !dominates(idom, blockID, e) {
+			return false
+		}
+	}
+	// ... and every in-loop use of d.
+	for b := range lp.blocks {
+		for idx, other := range g.Blocks[b].Insns {
+			uses := false
+			for _, u := range other.uses() {
+				uses = uses || u == d
+			}
+			if !uses {
+				continue
+			}
+			if b == blockID {
+				if idx < inIdx {
+					return false
+				}
+			} else if !dominates(idom, blockID, b) {
+				return false
+			}
+		}
+	}
+	return true
+}

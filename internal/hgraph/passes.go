@@ -1,0 +1,538 @@
+package hgraph
+
+import "repro/internal/dex"
+
+// Optimize runs the per-function optimization pipeline the way dex2oat's
+// HGraph phase does when every code-size optimization is enabled: local
+// constant folding and propagation, copy propagation, local value numbering
+// (common subexpression elimination), dead code elimination, unreachable
+// code elimination, and return merging. The pipeline iterates until a pass
+// stops making progress, bounded to a fixed number of rounds.
+func Optimize(g *Graph) {
+	for round := 0; round < 4; round++ {
+		changed := false
+		changed = foldAndPropagate(g) || changed
+		changed = eliminateDeadCode(g) || changed
+		changed = removeUnreachable(g) || changed
+		changed = coalesceBlocks(g) || changed
+		changed = hoistInvariants(g) || changed
+		changed = mergeReturns(g) || changed
+		if !changed {
+			break
+		}
+	}
+}
+
+// foldAndPropagate performs, per basic block: constant propagation, copy
+// propagation, arithmetic constant folding, local value numbering, and
+// folding of conditional branches whose outcome is known.
+func foldAndPropagate(g *Graph) bool {
+	changed := false
+	for _, b := range g.Blocks {
+		if b == nil {
+			continue
+		}
+		if blockFold(g, b) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// exprKey identifies a pure computation for local value numbering.
+type exprKey struct {
+	op   dex.Opcode
+	b, c uint8
+	lit  int64
+}
+
+func blockFold(g *Graph, b *Block) bool {
+	changed := false
+	consts := map[uint8]int64{}  // reg -> known constant
+	copies := map[uint8]uint8{}  // reg -> original it copies
+	exprs := map[exprKey]uint8{} // available expression -> holding reg
+
+	// invalidate removes every fact that mentions r.
+	invalidate := func(r uint8) {
+		delete(consts, r)
+		delete(copies, r)
+		for k, v := range copies {
+			if v == r {
+				delete(copies, k)
+			}
+		}
+		for k, v := range exprs {
+			if v == r || k.b == r || k.c == r {
+				delete(exprs, k)
+			}
+		}
+	}
+	// resolve chases the copy chain for an operand.
+	resolve := func(r uint8) uint8 {
+		if o, ok := copies[r]; ok {
+			return o
+		}
+		return r
+	}
+
+	for idx := range b.Insns {
+		in := &b.Insns[idx]
+
+		// Copy-propagate operands first.
+		switch in.Op {
+		case dex.OpMove, dex.OpAddLit, dex.OpIGet, dex.OpNewArray, dex.OpArrayLen:
+			in.B = resolve(in.B)
+		case dex.OpAdd, dex.OpSub, dex.OpAnd, dex.OpOr, dex.OpXor,
+			dex.OpMul, dex.OpShl, dex.OpShr, dex.OpAGet:
+			in.B, in.C = resolve(in.B), resolve(in.C)
+		case dex.OpIfEq, dex.OpIfNe, dex.OpIfLt, dex.OpIfGe:
+			in.A, in.B = resolve(in.A), resolve(in.B)
+		case dex.OpIfEqz, dex.OpIfNez, dex.OpReturn, dex.OpPackedSwitch:
+			in.A = resolve(in.A)
+		case dex.OpIPut:
+			in.A, in.B = resolve(in.A), resolve(in.B)
+		case dex.OpAPut:
+			in.A, in.B, in.C = resolve(in.A), resolve(in.B), resolve(in.C)
+		case dex.OpInvoke, dex.OpInvokeNative:
+			in.B, in.C = resolve(in.B), resolve(in.C)
+		}
+
+		// Fold arithmetic over known constants.
+		switch in.Op {
+		case dex.OpAdd, dex.OpSub, dex.OpAnd, dex.OpOr, dex.OpXor,
+			dex.OpMul, dex.OpShl, dex.OpShr:
+			vb, okb := consts[in.B]
+			vc, okc := consts[in.C]
+			if okb && okc {
+				*in = Insn{Op: dex.OpConst, A: in.A, Lit: foldArith(in.Op, vb, vc)}
+				changed = true
+			}
+		case dex.OpAddLit:
+			if vb, ok := consts[in.B]; ok {
+				*in = Insn{Op: dex.OpConst, A: in.A, Lit: vb + in.Lit}
+				changed = true
+			}
+		case dex.OpMove:
+			if vb, ok := consts[in.B]; ok {
+				*in = Insn{Op: dex.OpConst, A: in.A, Lit: vb}
+				changed = true
+			}
+		}
+
+		// Algebraic simplification / strength reduction, another of the
+		// HGraph code-size optimizations dex2oat runs: identities with a
+		// constant or repeated operand collapse to moves or constants.
+		if simplified, ok := simplifyAlgebraic(*in, consts); ok {
+			*in = simplified
+			changed = true
+		}
+
+		// Fold conditional branches with known outcomes. Succs[0] is the
+		// fall-through; the recorded Target is the taken edge.
+		if taken, known := foldBranch(in, consts); known {
+			fallThrough := b.Succs[0]
+			if taken {
+				g.removeEdge(b.ID, fallThrough)
+				*in = Insn{Op: dex.OpGoto, Target: in.Target}
+			} else {
+				g.removeEdge(b.ID, in.Target)
+				*in = Insn{Op: dex.OpNopCode}
+			}
+			changed = true
+		}
+
+		// Local value numbering for pure arithmetic.
+		switch in.Op {
+		case dex.OpAdd, dex.OpSub, dex.OpAnd, dex.OpOr, dex.OpXor,
+			dex.OpMul, dex.OpShl, dex.OpShr, dex.OpAddLit:
+			key := exprKey{op: in.Op, b: in.B, lit: in.Lit}
+			if in.Op != dex.OpAddLit {
+				key.c = in.C
+			}
+			if holder, ok := exprs[key]; ok && holder != in.A {
+				*in = Insn{Op: dex.OpMove, A: in.A, B: holder}
+				changed = true
+			} else {
+				d := in.A
+				invalidate(d)
+				if key.b != d && key.c != d {
+					exprs[key] = d
+				}
+				continue
+			}
+		}
+
+		// Update facts for the (possibly rewritten) instruction.
+		if d, ok := in.def(); ok {
+			invalidate(d)
+			switch in.Op {
+			case dex.OpConst:
+				consts[d] = in.Lit
+			case dex.OpMove:
+				if in.B != d {
+					copies[d] = in.B
+				}
+			}
+		}
+	}
+	// Drop nops introduced by branch folding.
+	out := b.Insns[:0]
+	for _, in := range b.Insns {
+		if in.Op != dex.OpNopCode {
+			out = append(out, in)
+		}
+	}
+	b.Insns = out
+	return changed
+}
+
+// simplifyAlgebraic applies operand identities: x+0, x-0, x|0, x^0 → move;
+// x&0 → 0; x-x, x^x → 0; x&x, x|x → move. It returns the replacement and
+// whether one applies (and is actually simpler).
+func simplifyAlgebraic(in Insn, consts map[uint8]int64) (Insn, bool) {
+	isZero := func(r uint8) bool { v, ok := consts[r]; return ok && v == 0 }
+	mv := func(dst, src uint8) (Insn, bool) {
+		if dst == src {
+			return Insn{Op: dex.OpNopCode}, true // self-move: drop entirely
+		}
+		return Insn{Op: dex.OpMove, A: dst, B: src}, true
+	}
+	zero := func(dst uint8) (Insn, bool) {
+		return Insn{Op: dex.OpConst, A: dst, Lit: 0}, true
+	}
+	switch in.Op {
+	case dex.OpAdd, dex.OpOr, dex.OpXor:
+		if in.B == in.C {
+			switch in.Op {
+			case dex.OpXor:
+				return zero(in.A)
+			case dex.OpOr:
+				return mv(in.A, in.B)
+			}
+			// x+x has no cheaper form in the modeled set.
+			return Insn{}, false
+		}
+		if isZero(in.C) {
+			return mv(in.A, in.B)
+		}
+		if isZero(in.B) {
+			return mv(in.A, in.C)
+		}
+	case dex.OpSub:
+		if in.B == in.C {
+			return zero(in.A)
+		}
+		if isZero(in.C) {
+			return mv(in.A, in.B)
+		}
+	case dex.OpAnd:
+		if in.B == in.C {
+			return mv(in.A, in.B)
+		}
+		if isZero(in.B) || isZero(in.C) {
+			return zero(in.A)
+		}
+	case dex.OpMul:
+		isOne := func(r uint8) bool { v, ok := consts[r]; return ok && v == 1 }
+		if isZero(in.B) || isZero(in.C) {
+			return zero(in.A)
+		}
+		if isOne(in.C) {
+			return mv(in.A, in.B)
+		}
+		if isOne(in.B) {
+			return mv(in.A, in.C)
+		}
+	case dex.OpShl, dex.OpShr:
+		if isZero(in.C) {
+			return mv(in.A, in.B)
+		}
+		if isZero(in.B) {
+			return zero(in.A)
+		}
+	case dex.OpAddLit:
+		if in.Lit == 0 {
+			return mv(in.A, in.B)
+		}
+	}
+	return Insn{}, false
+}
+
+// foldArith evaluates a binary arithmetic op over int64 operands, matching
+// the reference interpreter's semantics exactly.
+func foldArith(op dex.Opcode, a, b int64) int64 {
+	switch op {
+	case dex.OpAdd:
+		return a + b
+	case dex.OpSub:
+		return a - b
+	case dex.OpAnd:
+		return a & b
+	case dex.OpOr:
+		return a | b
+	case dex.OpXor:
+		return a ^ b
+	case dex.OpMul:
+		return a * b
+	case dex.OpShl:
+		return a << uint64(b&63)
+	case dex.OpShr:
+		return int64(uint64(a) >> uint64(b&63))
+	}
+	panic("hgraph: not an arithmetic op")
+}
+
+// foldBranch decides a conditional branch whose operands are constants.
+func foldBranch(in *Insn, consts map[uint8]int64) (taken, known bool) {
+	switch in.Op {
+	case dex.OpIfEqz, dex.OpIfNez:
+		va, ok := consts[in.A]
+		if !ok {
+			return false, false
+		}
+		if in.Op == dex.OpIfEqz {
+			return va == 0, true
+		}
+		return va != 0, true
+	case dex.OpIfEq, dex.OpIfNe, dex.OpIfLt, dex.OpIfGe:
+		va, oka := consts[in.A]
+		vb, okb := consts[in.B]
+		if !oka || !okb {
+			return false, false
+		}
+		switch in.Op {
+		case dex.OpIfEq:
+			return va == vb, true
+		case dex.OpIfNe:
+			return va != vb, true
+		case dex.OpIfLt:
+			return va < vb, true
+		default:
+			return va >= vb, true
+		}
+	}
+	return false, false
+}
+
+// eliminateDeadCode removes pure instructions whose results are never read,
+// using global liveness.
+func eliminateDeadCode(g *Graph) bool {
+	lv := ComputeLiveness(g)
+	changed := false
+	for _, b := range g.Blocks {
+		if b == nil {
+			continue
+		}
+		live := lv.Out[b.ID]
+		// Walk backwards, collecting surviving instructions.
+		kept := make([]Insn, 0, len(b.Insns))
+		for i := len(b.Insns) - 1; i >= 0; i-- {
+			in := b.Insns[i]
+			d, hasDef := in.def()
+			if hasDef && in.pure() && !live.has(d) {
+				changed = true
+				continue
+			}
+			if hasDef {
+				live.remove(d)
+			}
+			for _, u := range in.uses() {
+				live.add(u)
+			}
+			kept = append(kept, in)
+		}
+		// Reverse kept back into order.
+		for l, r := 0, len(kept)-1; l < r; l, r = l+1, r-1 {
+			kept[l], kept[r] = kept[r], kept[l]
+		}
+		b.Insns = kept
+	}
+	return changed
+}
+
+// removeUnreachable deletes blocks not reachable from the entry and
+// compacts block IDs.
+func removeUnreachable(g *Graph) bool {
+	reachable := make([]bool, len(g.Blocks))
+	stack := []int{0}
+	reachable[0] = true
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Blocks[id].Succs {
+			if !reachable[s] {
+				reachable[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	all := true
+	for _, r := range reachable {
+		all = all && r
+	}
+	if all {
+		return false
+	}
+	// Renumber.
+	newID := make([]int, len(g.Blocks))
+	var kept []*Block
+	for id, b := range g.Blocks {
+		if reachable[id] {
+			newID[id] = len(kept)
+			kept = append(kept, b)
+		} else {
+			newID[id] = -1
+		}
+	}
+	for _, b := range kept {
+		b.ID = newID[b.ID]
+		b.Succs = remapIDs(b.Succs, newID)
+		b.Preds = remapIDs(b.Preds, newID)
+		if t := b.Terminator(); t != nil {
+			if t.Op == dex.OpPackedSwitch {
+				t.Targets = remapIDs(t.Targets, newID)
+			} else if t.Op.IsBranch() {
+				t.Target = newID[t.Target]
+			}
+		}
+	}
+	g.Blocks = kept
+	return true
+}
+
+// remapIDs rewrites block IDs through the renumbering table, dropping
+// references to removed blocks (only possible for Preds).
+func remapIDs(ids []int, newID []int) []int {
+	out := ids[:0]
+	for _, id := range ids {
+		if n := newID[id]; n >= 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// coalesceBlocks merges a block into its successor when the edge between
+// them is the successor's only incoming edge: a trailing goto is dropped and
+// the successor's instructions are absorbed. This cleans up the chains that
+// branch folding and unreachable elimination leave behind.
+func coalesceBlocks(g *Graph) bool {
+	changed := false
+	for again := true; again; {
+		again = false
+		for _, b := range g.Blocks {
+			if len(b.Succs) != 1 {
+				continue
+			}
+			tid := b.Succs[0]
+			if tid == b.ID {
+				continue
+			}
+			t := g.Blocks[tid]
+			if len(t.Preds) != 1 {
+				continue
+			}
+			if term := b.Terminator(); term != nil {
+				switch term.Op {
+				case dex.OpGoto:
+					b.Insns = b.Insns[:len(b.Insns)-1]
+				case dex.OpReturn, dex.OpReturnVoid, dex.OpPackedSwitch,
+					dex.OpIfEq, dex.OpIfNe, dex.OpIfLt, dex.OpIfGe, dex.OpIfEqz, dex.OpIfNez:
+					continue // not a plain fall-through/goto edge
+				}
+			}
+			b.Insns = append(b.Insns, t.Insns...)
+			b.Succs = append([]int(nil), t.Succs...)
+			for _, s := range t.Succs {
+				preds := g.Blocks[s].Preds
+				for i, p := range preds {
+					if p == tid {
+						preds[i] = b.ID
+					}
+				}
+				g.Blocks[s].Preds = dedupInts(preds)
+			}
+			t.Insns, t.Succs, t.Preds = nil, nil, nil
+			changed, again = true, true
+		}
+		if again {
+			removeUnreachable(g)
+		}
+	}
+	return changed
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for _, x := range xs {
+		dup := false
+		for _, y := range out {
+			if y == x {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// mergeReturns implements the dex2oat "return merging" code-size
+// optimization: all blocks that end in an identical return instruction are
+// rewritten to jump to one canonical return block, so the code generator
+// emits a single epilogue per returned register.
+func mergeReturns(g *Graph) bool {
+	type retKey struct {
+		op  dex.Opcode
+		reg uint8
+	}
+	keyOf := func(in Insn) retKey {
+		k := retKey{op: in.Op, reg: in.A}
+		if in.Op == dex.OpReturnVoid {
+			k.reg = 0
+		}
+		return k
+	}
+	groups := map[retKey][]int{}
+	for _, b := range g.Blocks {
+		t := b.Terminator()
+		if t == nil || (t.Op != dex.OpReturn && t.Op != dex.OpReturnVoid) {
+			continue
+		}
+		k := keyOf(*t)
+		groups[k] = append(groups[k], b.ID)
+	}
+	changed := false
+	for _, ids := range groups {
+		if len(ids) < 2 {
+			continue
+		}
+		// Prefer an existing bare-return block as the canonical copy.
+		canon := -1
+		for _, id := range ids {
+			if len(g.Blocks[id].Insns) == 1 {
+				canon = id
+				break
+			}
+		}
+		if canon == -1 {
+			first := g.Blocks[ids[0]]
+			ret := *first.Terminator()
+			nb := &Block{ID: len(g.Blocks), Insns: []Insn{ret}}
+			g.Blocks = append(g.Blocks, nb)
+			canon = nb.ID
+		}
+		for _, id := range ids {
+			if id == canon {
+				continue
+			}
+			b := g.Blocks[id]
+			b.Insns[len(b.Insns)-1] = Insn{Op: dex.OpGoto, Target: canon}
+			g.addEdge(id, canon)
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,443 @@
+package hgraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dex"
+)
+
+// optimizeMethod runs the pipeline and returns the flattened result wrapped
+// in an app, plus the optimized insn count.
+func optimizeMethod(t *testing.T, m *dex.Method) (*dex.App, int) {
+	t.Helper()
+	g, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Optimize(g)
+	flat, err := FlattenInto(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := &dex.App{Name: "t"}
+	cls := &dex.Class{Name: "LTest"}
+	app.Files = []*dex.File{{Name: "d", Classes: []*dex.Class{cls}}}
+	app.AddMethod(cls, flat)
+	if err := app.Validate(); err != nil {
+		t.Fatalf("optimized method invalid: %v\ncode: %v", err, flat.Code)
+	}
+	return app, len(flat.Code)
+}
+
+func TestConstantFolding(t *testing.T) {
+	m := method("fold", 3, 0, []dex.Insn{
+		{Op: dex.OpConst, A: 0, Lit: 20},
+		{Op: dex.OpConst, A: 1, Lit: 22},
+		{Op: dex.OpAdd, A: 2, B: 0, C: 1},
+		{Op: dex.OpReturn, A: 2},
+	})
+	app, n := optimizeMethod(t, m)
+	if got := run(t, app, 0).Ret; got != 42 {
+		t.Errorf("Ret = %d", got)
+	}
+	// v0/v1 defs become dead after folding; DCE removes them.
+	if n != 2 {
+		t.Errorf("optimized length = %d, want 2 (const+return): %v", n, app.Methods[0].Code)
+	}
+	if app.Methods[0].Code[0].Op != dex.OpConst || app.Methods[0].Code[0].Lit != 42 {
+		t.Errorf("folding failed: %v", app.Methods[0].Code)
+	}
+}
+
+func TestBranchFoldingRemovesDeadArm(t *testing.T) {
+	m := method("bfold", 2, 0, []dex.Insn{
+		{Op: dex.OpConst, A: 0, Lit: 1},
+		{Op: dex.OpIfEqz, A: 0, Target: 4}, // never taken
+		{Op: dex.OpConst, A: 1, Lit: 10},
+		{Op: dex.OpGoto, Target: 5},
+		{Op: dex.OpConst, A: 1, Lit: 20}, // unreachable
+		{Op: dex.OpReturn, A: 1},
+	})
+	app, n := optimizeMethod(t, m)
+	if got := run(t, app, 0).Ret; got != 10 {
+		t.Errorf("Ret = %d, want 10", got)
+	}
+	for _, in := range app.Methods[0].Code {
+		if in.Op == dex.OpConst && in.Lit == 20 {
+			t.Errorf("dead arm survived: %v", app.Methods[0].Code)
+		}
+		if in.Op == dex.OpIfEqz {
+			t.Errorf("decided branch survived: %v", app.Methods[0].Code)
+		}
+	}
+	if n > 3 {
+		t.Errorf("optimized length = %d: %v", n, app.Methods[0].Code)
+	}
+}
+
+func TestBranchFoldingTakenArm(t *testing.T) {
+	m := method("bfold2", 2, 0, []dex.Insn{
+		{Op: dex.OpConst, A: 0, Lit: 0},
+		{Op: dex.OpIfEqz, A: 0, Target: 4}, // always taken
+		{Op: dex.OpConst, A: 1, Lit: 10},   // dead
+		{Op: dex.OpGoto, Target: 5},
+		{Op: dex.OpConst, A: 1, Lit: 20},
+		{Op: dex.OpReturn, A: 1},
+	})
+	app, _ := optimizeMethod(t, m)
+	if got := run(t, app, 0).Ret; got != 20 {
+		t.Errorf("Ret = %d, want 20", got)
+	}
+	for _, in := range app.Methods[0].Code {
+		if in.Op == dex.OpConst && in.Lit == 10 {
+			t.Errorf("dead arm survived: %v", app.Methods[0].Code)
+		}
+	}
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	m := method("dce", 4, 1, []dex.Insn{
+		{Op: dex.OpConst, A: 0, Lit: 1}, // dead
+		{Op: dex.OpAdd, A: 1, B: 3, C: 3},
+		{Op: dex.OpConst, A: 2, Lit: 9}, // dead
+		{Op: dex.OpMove, A: 2, B: 1},    // dead (v2 never read... actually read below)
+		{Op: dex.OpReturn, A: 1},
+	})
+	app, n := optimizeMethod(t, m)
+	if got := run(t, app, 0, 21).Ret; got != 42 {
+		t.Errorf("Ret = %d, want 42", got)
+	}
+	if n != 2 {
+		t.Errorf("optimized length = %d, want 2: %v", n, app.Methods[0].Code)
+	}
+}
+
+func TestDCEKeepsImpureInstructions(t *testing.T) {
+	m := method("impure", 3, 0, []dex.Insn{
+		{Op: dex.OpConst, A: 1, Lit: 7},
+		{Op: dex.OpInvokeNative, A: 0, Native: dex.NativeLogValue, B: 1, C: 1}, // result dead, call live
+		{Op: dex.OpNewInstance, A: 2, Lit: 2},                                  // result dead, alloc live
+		{Op: dex.OpReturnVoid},
+	})
+	app, _ := optimizeMethod(t, m)
+	res := run(t, app, 0)
+	if len(res.Log) != 1 || res.Allocs != 1 {
+		t.Errorf("side effects eliminated: log=%v allocs=%d", res.Log, res.Allocs)
+	}
+}
+
+func TestCSE(t *testing.T) {
+	m := method("cse", 5, 2, []dex.Insn{
+		{Op: dex.OpAdd, A: 0, B: 3, C: 4},
+		{Op: dex.OpAdd, A: 1, B: 3, C: 4}, // same expression
+		{Op: dex.OpAdd, A: 2, B: 0, C: 1},
+		{Op: dex.OpReturn, A: 2},
+	})
+	g, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Optimize(g)
+	adds := 0
+	for _, b := range g.Blocks {
+		for _, in := range b.Insns {
+			if in.Op == dex.OpAdd {
+				adds++
+			}
+		}
+	}
+	if adds != 2 {
+		t.Errorf("adds after CSE = %d, want 2:\n%s", adds, g)
+	}
+	flat, err := FlattenInto(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := newApp(t, flat)
+	if got := run(t, app, 0, 10, 11).Ret; got != 42 {
+		t.Errorf("Ret = %d, want 42", got)
+	}
+}
+
+func TestCopyPropagation(t *testing.T) {
+	m := method("copy", 4, 1, []dex.Insn{
+		{Op: dex.OpMove, A: 0, B: 3},
+		{Op: dex.OpMove, A: 1, B: 0},
+		{Op: dex.OpAdd, A: 2, B: 1, C: 0},
+		{Op: dex.OpReturn, A: 2},
+	})
+	app, n := optimizeMethod(t, m)
+	if got := run(t, app, 0, 21).Ret; got != 42 {
+		t.Errorf("Ret = %d", got)
+	}
+	// Both moves become dead once uses are rewritten to v3.
+	if n != 2 {
+		t.Errorf("optimized length = %d, want 2: %v", n, app.Methods[0].Code)
+	}
+}
+
+func TestReturnMerging(t *testing.T) {
+	// Three arms all branching to identical "return v0" blocks.
+	m := method("retmerge", 2, 1, []dex.Insn{
+		{Op: dex.OpIfEqz, A: 1, Target: 4},
+		{Op: dex.OpIfNez, A: 1, Target: 6},
+		{Op: dex.OpConst, A: 0, Lit: 1},
+		{Op: dex.OpReturn, A: 0},
+		{Op: dex.OpConst, A: 0, Lit: 2},
+		{Op: dex.OpReturn, A: 0},
+		{Op: dex.OpConst, A: 0, Lit: 3},
+		{Op: dex.OpReturn, A: 0},
+	})
+	g, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Optimize(g)
+	returns := 0
+	for _, b := range g.Blocks {
+		for _, in := range b.Insns {
+			if in.Op == dex.OpReturn {
+				returns++
+			}
+		}
+	}
+	if returns > 2 {
+		t.Errorf("returns after merging = %d:\n%s", returns, g)
+	}
+	flat, err := FlattenInto(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := newApp(t, flat)
+	for arg, want := range map[int64]int64{0: 2, 7: 3} {
+		if got := run(t, app, 0, arg).Ret; got != want {
+			t.Errorf("retmerge(%d) = %d, want %d", arg, got, want)
+		}
+	}
+}
+
+func TestUnreachableElimination(t *testing.T) {
+	m := method("unreach", 1, 0, []dex.Insn{
+		{Op: dex.OpGoto, Target: 3},
+		{Op: dex.OpConst, A: 0, Lit: 1}, // unreachable
+		{Op: dex.OpGoto, Target: 1},     // unreachable loop
+		{Op: dex.OpConst, A: 0, Lit: 2},
+		{Op: dex.OpReturn, A: 0},
+	})
+	g, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Optimize(g)
+	if len(g.Blocks) != 1 {
+		t.Errorf("blocks after unreachable elim = %d:\n%s", len(g.Blocks), g)
+	}
+	flat, err := FlattenInto(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := newApp(t, flat)
+	if got := run(t, app, 0).Ret; got != 2 {
+		t.Errorf("Ret = %d, want 2", got)
+	}
+}
+
+// randMethod generates a structured random method: bounded, deterministic
+// control flow (forward branches only), safe memory idioms (masked array
+// indices, fixed-size objects), and observable effects through logging.
+func randMethod(r *rand.Rand) *dex.Method {
+	const (
+		tmpRegs = 3 // v0..v2 random scratch
+		maskReg = 5
+		arrReg  = 3
+		objReg  = 4
+		arg0    = 6
+		arg1    = 7
+	)
+	var code []dex.Insn
+	// Prologue: mask, array, object, and definite assignment of scratch.
+	code = append(code,
+		dex.Insn{Op: dex.OpConst, A: maskReg, Lit: 15},
+		dex.Insn{Op: dex.OpConst, A: 0, Lit: 16},
+		dex.Insn{Op: dex.OpNewArray, A: arrReg, B: 0},
+		dex.Insn{Op: dex.OpNewInstance, A: objReg, Lit: 8},
+		dex.Insn{Op: dex.OpConst, A: 0, Lit: 0},
+		dex.Insn{Op: dex.OpConst, A: 1, Lit: 0},
+		dex.Insn{Op: dex.OpConst, A: 2, Lit: 0},
+	)
+	scratch := func() uint8 { return uint8(r.Intn(tmpRegs)) }
+	operand := func() uint8 {
+		if r.Intn(4) == 0 {
+			return uint8(arg0 + r.Intn(2))
+		}
+		return scratch()
+	}
+	n := 5 + r.Intn(36)
+	type pendingBranch struct {
+		at  int
+		arm int // -1 for plain branches, else packed-switch target index
+	}
+	var branches []pendingBranch
+	for len(code) < n+4 {
+		switch r.Intn(13) {
+		case 0, 1:
+			code = append(code, dex.Insn{Op: dex.OpConst, A: scratch(), Lit: int64(r.Intn(201) - 100)})
+		case 2:
+			code = append(code, dex.Insn{Op: dex.OpMove, A: scratch(), B: operand()})
+		case 3, 4, 5:
+			ops := []dex.Opcode{dex.OpAdd, dex.OpSub, dex.OpAnd, dex.OpOr, dex.OpXor}
+			code = append(code, dex.Insn{Op: ops[r.Intn(len(ops))], A: scratch(), B: operand(), C: operand()})
+		case 6:
+			code = append(code, dex.Insn{Op: dex.OpAddLit, A: scratch(), B: operand(), Lit: int64(r.Intn(21) - 10)})
+		case 7:
+			ops := []dex.Opcode{dex.OpIfEq, dex.OpIfNe, dex.OpIfLt, dex.OpIfGe, dex.OpIfEqz, dex.OpIfNez}
+			code = append(code, dex.Insn{Op: ops[r.Intn(len(ops))], A: operand(), B: operand()})
+			branches = append(branches, pendingBranch{at: len(code) - 1, arm: -1})
+		case 12:
+			arms := 2 + r.Intn(3)
+			code = append(code, dex.Insn{Op: dex.OpPackedSwitch, A: operand(),
+				Targets: make([]int32, arms)})
+			for arm := 0; arm < arms; arm++ {
+				branches = append(branches, pendingBranch{at: len(code) - 1, arm: arm})
+			}
+		case 8:
+			// Masked array access pair.
+			code = append(code,
+				dex.Insn{Op: dex.OpAnd, A: 2, B: operand(), C: maskReg},
+				dex.Insn{Op: dex.OpAGet, A: scratch(), B: arrReg, C: 2},
+			)
+		case 9:
+			code = append(code,
+				dex.Insn{Op: dex.OpAnd, A: 2, B: operand(), C: maskReg},
+				dex.Insn{Op: dex.OpAPut, A: scratch(), B: arrReg, C: 2},
+			)
+		case 10:
+			slot := int64(r.Intn(8))
+			if r.Intn(2) == 0 {
+				code = append(code, dex.Insn{Op: dex.OpIGet, A: scratch(), B: objReg, Lit: slot})
+			} else {
+				code = append(code, dex.Insn{Op: dex.OpIPut, A: scratch(), B: objReg, Lit: slot})
+			}
+		case 11:
+			code = append(code, dex.Insn{Op: dex.OpInvokeNative, A: scratch(), Native: dex.NativeLogValue, B: operand()})
+		}
+	}
+	// Epilogue: log the scratch registers, return v0.
+	for reg := uint8(0); reg < tmpRegs; reg++ {
+		code = append(code, dex.Insn{Op: dex.OpInvokeNative, A: reg, Native: dex.NativeLogValue, B: reg})
+	}
+	code = append(code, dex.Insn{Op: dex.OpReturn, A: 0})
+	// Bind pending branches to random forward targets.
+	for _, pb := range branches {
+		lo, hi := pb.at+1, len(code)-1
+		t := int32(lo + r.Intn(hi-lo+1))
+		if pb.arm < 0 {
+			code[pb.at].Target = t
+		} else {
+			code[pb.at].Targets[pb.arm] = t
+		}
+	}
+	return &dex.Method{
+		Class: "LRand", Name: "m", NumRegs: 8, NumIns: 2, Code: code,
+	}
+}
+
+// TestOptimizePreservesSemantics is the differential property test: for
+// random programs, the optimized pipeline output must match the reference
+// interpreter on return value, log, and exception behaviour.
+func TestOptimizePreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		m := randMethod(r)
+		orig := newApp(t, m)
+		optApp, _ := optimizeMethod(t, m)
+
+		for _, args := range [][]int64{{0, 0}, {1, -1}, {13, 64}, {-100, 7}} {
+			want := run(t, orig, 0, args...)
+			got := run(t, optApp, 0, args...)
+			if want.Ret != got.Ret || want.Exc != got.Exc || !reflect.DeepEqual(want.Log, got.Log) {
+				t.Fatalf("trial %d args %v: optimized diverges\nwant ret=%d exc=%v log=%v\ngot  ret=%d exc=%v log=%v\noriginal: %v\noptimized: %v",
+					trial, args, want.Ret, want.Exc, want.Log, got.Ret, got.Exc, got.Log,
+					m.Code, optApp.Methods[0].Code)
+			}
+		}
+	}
+}
+
+// TestOptimizeShrinksRandomPrograms checks the pipeline never grows code.
+func TestOptimizeShrinksRandomPrograms(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	grew := 0
+	for trial := 0; trial < 200; trial++ {
+		m := randMethod(r)
+		before := len(m.Code)
+		_, after := optimizeMethod(t, m)
+		if after > before+2 { // flattening may add a goto or landing pad
+			grew++
+		}
+	}
+	if grew > 0 {
+		t.Errorf("%d/200 random programs grew under optimization", grew)
+	}
+}
+
+func TestAlgebraicSimplification(t *testing.T) {
+	// v0 = arg; v1 = 0; checks each identity returns the expected value
+	// and that the op disappears from the optimized code.
+	cases := []struct {
+		name string
+		op   dex.Opcode
+		b, c uint8 // operands (v3 = arg, v1 = zero)
+		want func(arg int64) int64
+	}{
+		{"x+0", dex.OpAdd, 3, 1, func(a int64) int64 { return a }},
+		{"0+x", dex.OpAdd, 1, 3, func(a int64) int64 { return a }},
+		{"x-0", dex.OpSub, 3, 1, func(a int64) int64 { return a }},
+		{"x-x", dex.OpSub, 3, 3, func(int64) int64 { return 0 }},
+		{"x&0", dex.OpAnd, 3, 1, func(int64) int64 { return 0 }},
+		{"x&x", dex.OpAnd, 3, 3, func(a int64) int64 { return a }},
+		{"x|0", dex.OpOr, 3, 1, func(a int64) int64 { return a }},
+		{"x|x", dex.OpOr, 3, 3, func(a int64) int64 { return a }},
+		{"x^0", dex.OpXor, 3, 1, func(a int64) int64 { return a }},
+		{"x^x", dex.OpXor, 3, 3, func(int64) int64 { return 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := method(tc.name, 4, 1, []dex.Insn{
+				{Op: dex.OpConst, A: 1, Lit: 0},
+				{Op: tc.op, A: 0, B: tc.b, C: tc.c},
+				{Op: dex.OpReturn, A: 0},
+			})
+			app, n := optimizeMethod(t, m)
+			for _, arg := range []int64{0, 42, -7} {
+				if got := run(t, app, 0, arg).Ret; got != tc.want(arg) {
+					t.Errorf("arg %d: got %d, want %d", arg, got, tc.want(arg))
+				}
+			}
+			for _, in := range app.Methods[0].Code {
+				if in.Op == tc.op {
+					t.Errorf("identity %s not simplified: %v", tc.name, app.Methods[0].Code)
+				}
+			}
+			_ = n
+		})
+	}
+}
+
+func TestAddLitZeroSimplifies(t *testing.T) {
+	m := method("addlit0", 2, 1, []dex.Insn{
+		{Op: dex.OpAddLit, A: 0, B: 1, Lit: 0},
+		{Op: dex.OpReturn, A: 0},
+	})
+	app, n := optimizeMethod(t, m)
+	if got := run(t, app, 0, 55).Ret; got != 55 {
+		t.Errorf("got %d", got)
+	}
+	for _, in := range app.Methods[0].Code {
+		if in.Op == dex.OpAddLit {
+			t.Errorf("add-lit #0 survived: %v (n=%d)", app.Methods[0].Code, n)
+		}
+	}
+}

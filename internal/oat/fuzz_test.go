@@ -1,0 +1,29 @@
+package oat
+
+import "testing"
+
+// FuzzUnmarshal checks the ELF/OAT parser never panics or over-reads on
+// corrupted images, and that accepted images re-marshal.
+func FuzzUnmarshal(f *testing.F) {
+	methods := buildMethods(f, true)
+	img, err := Link(methods, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	data, err := img.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add(data[:64])
+	f.Add([]byte{0x7F, 'E', 'L', 'F', 2, 1, 1, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		parsed, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		if _, err := parsed.Marshal(); err != nil {
+			t.Fatalf("accepted image fails to marshal: %v", err)
+		}
+	})
+}

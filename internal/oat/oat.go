@@ -1,0 +1,208 @@
+// Package oat models the OAT file: the ELF-like container Android stores
+// ahead-of-time compiled code in. The model keeps exactly the structure
+// Calibro interacts with — a text segment holding pattern thunks, outlined
+// functions, and per-method code, plus per-method metadata (LTBO.1 records
+// and stack maps) — and supports binary serialization for the on-disk size
+// experiments (Table 4).
+package oat
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/a64"
+	"repro/internal/abi"
+	"repro/internal/codegen"
+	"repro/internal/dex"
+)
+
+// MethodRecord locates one compiled method inside the text segment.
+type MethodRecord struct {
+	ID       dex.MethodID
+	Offset   int // byte offset within the text segment
+	Size     int // byte size
+	Meta     codegen.Meta
+	StackMap []codegen.StackMapEntry
+}
+
+// FuncRecord locates a non-method code object (a CTO pattern thunk or an
+// LTBO outlined function) inside the text segment.
+type FuncRecord struct {
+	Sym    int
+	Offset int
+	Size   int
+}
+
+// Blob is an extra code object handed to the linker: the outliner delivers
+// outlined functions this way.
+type Blob struct {
+	Sym  int
+	Code []uint32
+}
+
+// Image is a linked OAT image.
+type Image struct {
+	Text     []uint32
+	Methods  []MethodRecord // indexed by dex.MethodID
+	Thunks   []FuncRecord
+	Outlined []FuncRecord
+}
+
+// TextBytes returns the text-segment size in bytes: the paper's primary
+// code-size metric.
+func (img *Image) TextBytes() int { return len(img.Text) * a64.WordSize }
+
+// EntryAddr returns the absolute entry address of a method.
+func (img *Image) EntryAddr(id dex.MethodID) int64 {
+	return abi.TextBase + int64(img.Methods[id].Offset)
+}
+
+// MethodCode returns the code words of one method.
+func (img *Image) MethodCode(id dex.MethodID) []uint32 {
+	r := img.Methods[id]
+	return img.Text[r.Offset/a64.WordSize : (r.Offset+r.Size)/a64.WordSize]
+}
+
+// Link lays out the text segment — thunks first, then outlined functions,
+// then method code — and binds every symbolic call site to its target.
+func Link(methods []*codegen.CompiledMethod, extras []Blob) (*Image, error) {
+	img := &Image{}
+
+	// Collect the thunk symbols referenced anywhere.
+	thunkSyms := map[int]bool{}
+	for _, cm := range methods {
+		for _, ref := range cm.Ext {
+			kind, _ := codegen.UnpackSym(ref.Symbol)
+			switch kind {
+			case codegen.SymKindJavaEntry, codegen.SymKindNativeEP, codegen.SymKindStackCheck:
+				thunkSyms[ref.Symbol] = true
+			case codegen.SymKindOutlined:
+				// bound against extras below
+			default:
+				return nil, fmt.Errorf("oat: unknown symbol kind %d", kind)
+			}
+		}
+	}
+	ordered := make([]int, 0, len(thunkSyms))
+	for s := range thunkSyms {
+		ordered = append(ordered, s)
+	}
+	sort.Ints(ordered)
+
+	symAddr := map[int]int64{}
+	emit := func(words []uint32) (off, size int) {
+		off = len(img.Text) * a64.WordSize
+		img.Text = append(img.Text, words...)
+		return off, len(words) * a64.WordSize
+	}
+
+	for _, sym := range ordered {
+		words, err := codegen.ThunkWords(sym)
+		if err != nil {
+			return nil, err
+		}
+		off, size := emit(words)
+		img.Thunks = append(img.Thunks, FuncRecord{Sym: sym, Offset: off, Size: size})
+		symAddr[sym] = abi.TextBase + int64(off)
+	}
+	for _, b := range extras {
+		if _, dup := symAddr[b.Sym]; dup {
+			return nil, fmt.Errorf("oat: duplicate symbol %s", codegen.SymName(b.Sym))
+		}
+		off, size := emit(b.Code)
+		img.Outlined = append(img.Outlined, FuncRecord{Sym: b.Sym, Offset: off, Size: size})
+		symAddr[b.Sym] = abi.TextBase + int64(off)
+	}
+
+	img.Methods = make([]MethodRecord, len(methods))
+	for i, cm := range methods {
+		if cm.M.ID != dex.MethodID(i) {
+			return nil, fmt.Errorf("oat: method table out of order at %d", i)
+		}
+		off, size := emit(cm.Code)
+		img.Methods[i] = MethodRecord{
+			ID: cm.M.ID, Offset: off, Size: size,
+			Meta: cm.Meta, StackMap: cm.StackMap,
+		}
+	}
+
+	// Bind symbolic call sites now that layout is fixed.
+	for i, cm := range methods {
+		base := abi.TextBase + int64(img.Methods[i].Offset)
+		for _, ref := range cm.Ext {
+			target, ok := symAddr[ref.Symbol]
+			if !ok {
+				return nil, fmt.Errorf("oat: %s: unresolved symbol %s",
+					cm.M.FullName(), codegen.SymName(ref.Symbol))
+			}
+			wordIdx := (img.Methods[i].Offset + ref.InstOff) / a64.WordSize
+			patched, err := a64.PatchRel(img.Text[wordIdx], target-(base+int64(ref.InstOff)))
+			if err != nil {
+				return nil, fmt.Errorf("oat: %s: binding %s: %w",
+					cm.M.FullName(), codegen.SymName(ref.Symbol), err)
+			}
+			img.Text[wordIdx] = patched
+		}
+	}
+	return img, nil
+}
+
+// Validate checks the internal consistency of an image, the checks a
+// loader would make before mapping it: records in bounds and word-aligned,
+// method table indexed by ID, per-method metadata offsets inside the
+// method, safepoints on call instructions, and thunk/outlined bodies that
+// decode.
+func (img *Image) Validate() error {
+	size := img.TextBytes()
+	checkRecord := func(what string, off, sz int) error {
+		if off < 0 || sz < 0 || off%a64.WordSize != 0 || sz%a64.WordSize != 0 || off+sz > size {
+			return fmt.Errorf("oat: %s record [%d,%d) outside text of %d bytes", what, off, off+sz, size)
+		}
+		return nil
+	}
+	for _, f := range append(append([]FuncRecord(nil), img.Thunks...), img.Outlined...) {
+		if err := checkRecord(codegen.SymName(f.Sym), f.Offset, f.Size); err != nil {
+			return err
+		}
+		for w := f.Offset / 4; w < (f.Offset+f.Size)/4; w++ {
+			if _, ok := a64.Decode(img.Text[w]); !ok {
+				return fmt.Errorf("oat: %s contains undecodable word at +%#x",
+					codegen.SymName(f.Sym), w*4-f.Offset)
+			}
+		}
+	}
+	for i, m := range img.Methods {
+		if m.ID != dex.MethodID(i) {
+			return fmt.Errorf("oat: method table slot %d holds m%d", i, m.ID)
+		}
+		if err := checkRecord(fmt.Sprintf("m%d", m.ID), m.Offset, m.Size); err != nil {
+			return err
+		}
+		inMethod := func(off int) bool { return off >= 0 && off < m.Size && off%a64.WordSize == 0 }
+		for _, t := range m.Meta.Terminators {
+			if !inMethod(t) {
+				return fmt.Errorf("oat: m%d terminator offset %#x out of range", m.ID, t)
+			}
+		}
+		for _, r := range m.Meta.PCRel {
+			if !inMethod(r.InstOff) || r.TargetOff < 0 || r.TargetOff > m.Size {
+				return fmt.Errorf("oat: m%d PC-relative record %+v out of range", m.ID, r)
+			}
+		}
+		for _, d := range append(append([]a64.Range(nil), m.Meta.EmbeddedData...), m.Meta.Slowpaths...) {
+			if d.Start < 0 || d.End < d.Start || d.End > m.Size {
+				return fmt.Errorf("oat: m%d range %+v out of range", m.ID, d)
+			}
+		}
+		for _, s := range m.StackMap {
+			if !inMethod(s.NativeOff) {
+				return fmt.Errorf("oat: m%d safepoint at %#x out of range", m.ID, s.NativeOff)
+			}
+			inst, ok := a64.Decode(img.Text[(m.Offset+s.NativeOff)/4])
+			if !ok || (inst.Op != a64.OpBl && inst.Op != a64.OpBlr) {
+				return fmt.Errorf("oat: m%d safepoint at %#x is not a call", m.ID, s.NativeOff)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+// Package outline implements LTBO.2, the linking-time half of Calibro
+// (paper §3.3): choosing candidate methods, detecting repeated binary code
+// sequences with a suffix tree, outlining them into functions, and patching
+// PC-relative instructions — all driven by the metadata collected at
+// compilation time (LTBO.1), so no disassembly or heuristic binary analysis
+// is ever needed.
+//
+// It also implements the two production optimizations of §3.4: K-way
+// paralleled suffix trees, and hot-function filtering (hot methods
+// contribute only their slow paths).
+package outline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/a64"
+	"repro/internal/codegen"
+	"repro/internal/dex"
+	"repro/internal/oat"
+)
+
+// Options controls the outliner.
+type Options struct {
+	// MinLength is the minimum repeat length in instructions (default 2).
+	MinLength int
+	// MinBenefit is the minimum Figure 2 benefit, in instructions, for a
+	// repeat to be outlined (default 1).
+	MinBenefit int
+	// Parallel is the number of suffix trees built over disjoint method
+	// groups (§3.4.1). 1 builds a single global tree.
+	Parallel int
+	// Hot marks methods whose non-slow-path code must not be outlined
+	// (§3.4.2). Nil disables hot-function filtering.
+	Hot map[dex.MethodID]bool
+	// Rounds repeats the detect/outline/patch cycle on the rewritten
+	// binaries (default 1). Later rounds recover repeats that the greedy
+	// non-overlapping selection of earlier rounds fragmented — the
+	// multi-round scheme of the iOS outlining line of work the paper
+	// builds on. Rounds stop early when a pass creates nothing.
+	Rounds int
+	// DedupFunctions merges identical outlined-function bodies created by
+	// different suffix trees (or rounds) into one copy. The paper accepts
+	// the cross-tree duplication as the price of PlOpti (§3.4.1);
+	// deduplication recovers part of that loss for one cheap linear pass.
+	DedupFunctions bool
+	// Detector selects the repeat-detection backend. The default suffix
+	// tree matches the paper; the suffix-array backend finds the identical
+	// repeat families with a far smaller memory footprint (the resource
+	// the paper's global tree exhausts at production scale).
+	Detector DetectorKind
+}
+
+// DetectorKind selects a repeat-detection backend.
+type DetectorKind int
+
+// Detection backends.
+const (
+	DetectorSuffixTree DetectorKind = iota
+	DetectorSuffixArray
+)
+
+func (o Options) withDefaults() Options {
+	if o.MinLength == 0 {
+		o.MinLength = 2
+	}
+	if o.MinBenefit == 0 {
+		o.MinBenefit = 1
+	}
+	if o.Parallel == 0 {
+		o.Parallel = 1
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 1
+	}
+	return o
+}
+
+// Stats reports what the outliner did; the build-time experiment (Table 6)
+// reads the phase durations.
+type Stats struct {
+	CandidateMethods int
+	ExcludedIndirect int
+	ExcludedNative   int
+	HotFiltered      int // hot methods reduced to their slow paths
+
+	SequenceSymbols     int
+	OutlinedFunctions   int
+	OutlinedOccurrences int
+	WordsRemoved        int // call-site words removed (net of inserted bl)
+	WordsAdded          int // outlined function words (bodies + returns)
+
+	TreeBuild time.Duration
+	Detect    time.Duration
+	Rewrite   time.Duration
+}
+
+// NetWordsSaved is the net text-segment saving in instruction words.
+func (s *Stats) NetWordsSaved() int { return s.WordsRemoved - s.WordsAdded }
+
+// Run outlines the compiled methods in place and returns the outlined
+// functions as linker blobs. Methods' Code, Meta, StackMap, and Ext are
+// rewritten; the caller links with oat.Link(methods, blobs).
+func Run(methods []*codegen.CompiledMethod, opts Options) ([]oat.Blob, *Stats, error) {
+	opts = opts.withDefaults()
+	total := &Stats{}
+	var blobs []oat.Blob
+	for round := 0; round < opts.Rounds; round++ {
+		created, stats, err := runPass(methods, opts, len(blobs))
+		if err != nil {
+			return nil, total, err
+		}
+		accumulate(total, stats)
+		blobs = append(blobs, created...)
+		if len(created) == 0 {
+			break
+		}
+	}
+	if opts.DedupFunctions {
+		blobs = dedupBlobs(methods, blobs, total)
+	}
+	return blobs, total, nil
+}
+
+// dedupBlobs merges byte-identical outlined functions: call sites of every
+// duplicate are redirected to the first copy, and duplicates are dropped.
+// Call sites carry symbols (displacements bind at link), so the redirect is
+// a symbol rewrite, no patching needed.
+func dedupBlobs(methods []*codegen.CompiledMethod, blobs []oat.Blob, total *Stats) []oat.Blob {
+	canon := map[string]int{} // body -> canonical symbol
+	remap := map[int]int{}
+	var kept []oat.Blob
+	for _, b := range blobs {
+		key := blobKey(b.Code)
+		if sym, ok := canon[key]; ok {
+			remap[b.Sym] = sym
+			total.OutlinedFunctions--
+			total.WordsAdded -= len(b.Code)
+			continue
+		}
+		canon[key] = b.Sym
+		kept = append(kept, b)
+	}
+	if len(remap) == 0 {
+		return blobs
+	}
+	for _, cm := range methods {
+		for i, e := range cm.Ext {
+			if sym, ok := remap[e.Symbol]; ok {
+				cm.Ext[i].Symbol = sym
+			}
+		}
+	}
+	return kept
+}
+
+func blobKey(words []uint32) string {
+	b := make([]byte, 4*len(words))
+	for i, w := range words {
+		b[4*i] = byte(w)
+		b[4*i+1] = byte(w >> 8)
+		b[4*i+2] = byte(w >> 16)
+		b[4*i+3] = byte(w >> 24)
+	}
+	return string(b)
+}
+
+// accumulate folds one pass's stats into the running total. Counts add;
+// phase durations add (rounds run sequentially); exclusion counts are
+// identical each round and kept from the first.
+func accumulate(total, pass *Stats) {
+	if total.CandidateMethods == 0 {
+		total.CandidateMethods = pass.CandidateMethods
+		total.ExcludedIndirect = pass.ExcludedIndirect
+		total.ExcludedNative = pass.ExcludedNative
+		total.HotFiltered = pass.HotFiltered
+		total.SequenceSymbols = pass.SequenceSymbols
+	}
+	total.OutlinedFunctions += pass.OutlinedFunctions
+	total.OutlinedOccurrences += pass.OutlinedOccurrences
+	total.WordsRemoved += pass.WordsRemoved
+	total.WordsAdded += pass.WordsAdded
+	total.TreeBuild += pass.TreeBuild
+	total.Detect += pass.Detect
+	total.Rewrite += pass.Rewrite
+}
+
+// runPass performs one detect/outline/patch cycle.
+func runPass(methods []*codegen.CompiledMethod, opts Options, symBase int) ([]oat.Blob, *Stats, error) {
+	stats := &Stats{}
+
+	// §3.3.1: choose candidate methods.
+	var candidates []int
+	for i, cm := range methods {
+		switch {
+		case cm.Meta.IsNative:
+			stats.ExcludedNative++
+		case cm.Meta.HasIndirectJump:
+			stats.ExcludedIndirect++
+		default:
+			if opts.Hot != nil && opts.Hot[cm.M.ID] {
+				stats.HotFiltered++
+			}
+			candidates = append(candidates, i)
+		}
+	}
+	stats.CandidateMethods = len(candidates)
+	if len(candidates) == 0 {
+		return nil, stats, nil
+	}
+
+	// §3.4.1: partition the candidates into K groups evenly.
+	k := opts.Parallel
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	groups := make([][]int, k)
+	for idx, mi := range candidates {
+		groups[idx%k] = append(groups[idx%k], mi)
+	}
+
+	type groupResult struct {
+		funcs []outlinedFunc
+		stats Stats
+		err   error
+	}
+	results := make([]groupResult, k)
+	var wg sync.WaitGroup
+	for gi := range groups {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			funcs, st, err := outlineGroup(methods, groups[gi], opts)
+			results[gi] = groupResult{funcs: funcs, stats: st, err: err}
+		}(gi)
+	}
+	wg.Wait()
+
+	// Merge deterministically in group order.
+	var blobs []oat.Blob
+	var rewrites []rewritePlan
+	for _, res := range results {
+		if res.err != nil {
+			return nil, stats, res.err
+		}
+		stats.SequenceSymbols += res.stats.SequenceSymbols
+		if res.stats.TreeBuild > stats.TreeBuild {
+			stats.TreeBuild = res.stats.TreeBuild // parallel: max, not sum
+		}
+		if res.stats.Detect > stats.Detect {
+			stats.Detect = res.stats.Detect
+		}
+		for _, f := range res.funcs {
+			sym := codegen.PackSym(codegen.SymKindOutlined, int64(symBase+len(blobs)))
+			body := append(append([]uint32(nil), f.words...),
+				a64.MustEncode(a64.Inst{Op: a64.OpBr, Rn: a64.LR}))
+			blobs = append(blobs, oat.Blob{Sym: sym, Code: body})
+			stats.OutlinedFunctions++
+			stats.WordsAdded += len(body)
+			for _, occ := range f.occurrences {
+				stats.OutlinedOccurrences++
+				stats.WordsRemoved += len(f.words) - 1 // bl replaces the sequence
+				rewrites = append(rewrites, rewritePlan{
+					method: occ.method, start: occ.wordOff, length: len(f.words), sym: sym,
+				})
+			}
+		}
+	}
+
+	// §3.3.3-3.3.4: rewrite the binaries and patch PC-relative
+	// instructions, one method at a time.
+	start := time.Now()
+	byMethod := map[int][]rewritePlan{}
+	for _, rp := range rewrites {
+		byMethod[rp.method] = append(byMethod[rp.method], rp)
+	}
+	for mi, plans := range byMethod {
+		if err := rewriteMethod(methods[mi], plans); err != nil {
+			return nil, stats, fmt.Errorf("outline: %s: %w", methods[mi].M.FullName(), err)
+		}
+	}
+	stats.Rewrite = time.Since(start)
+	return blobs, stats, nil
+}
+
+// occurrence locates one selected instance of a repeat.
+type occurrence struct {
+	method  int // index into methods
+	wordOff int // word index within the method's code
+}
+
+// outlinedFunc is one function the outliner will emit.
+type outlinedFunc struct {
+	words       []uint32
+	occurrences []occurrence
+}
+
+// rewritePlan is one call-site rewrite.
+type rewritePlan struct {
+	method int
+	start  int // word index
+	length int // words replaced
+	sym    int
+}

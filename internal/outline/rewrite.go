@@ -1,0 +1,134 @@
+package outline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/a64"
+	"repro/internal/codegen"
+)
+
+// rewriteMethod replaces each planned sequence with a single bl to its
+// outlined function (§3.3.3) and patches every PC-relative instruction
+// whose displacement the rewrite changed (§3.3.4). Metadata and stack maps
+// are remapped so they stay consistent with the new code (§3.5).
+func rewriteMethod(cm *codegen.CompiledMethod, plans []rewritePlan) error {
+	sort.Slice(plans, func(a, b int) bool { return plans[a].start < plans[b].start })
+	for i := 1; i < len(plans); i++ {
+		if plans[i].start < plans[i-1].start+plans[i-1].length {
+			return fmt.Errorf("overlapping rewrite plans at word %d", plans[i].start)
+		}
+	}
+
+	old := cm.Code
+	n := len(old)
+	newIdx := make([]int, n+1) // old word index -> new word index
+	newCode := make([]uint32, 0, n)
+	var addedExt []a64.ExtRef
+
+	pi := 0
+	for w := 0; w < n; {
+		if pi < len(plans) && plans[pi].start == w {
+			p := plans[pi]
+			if w+p.length > n {
+				return fmt.Errorf("rewrite plan overruns code (start %d len %d of %d)", w, p.length, n)
+			}
+			// Interior words map to the bl's position; nothing may target
+			// them (targets are separators), but metadata ranges that
+			// *enclose* the region still map monotonically.
+			for j := 0; j < p.length; j++ {
+				newIdx[w+j] = len(newCode)
+			}
+			addedExt = append(addedExt, a64.ExtRef{InstOff: len(newCode) * a64.WordSize, Symbol: p.sym})
+			newCode = append(newCode, a64.MustEncode(a64.Inst{Op: a64.OpBl}))
+			w += p.length
+			pi++
+			continue
+		}
+		newIdx[w] = len(newCode)
+		newCode = append(newCode, old[w])
+		w++
+	}
+	newIdx[n] = len(newCode)
+
+	mapOff := func(off int) (int, error) {
+		if off%a64.WordSize != 0 || off/a64.WordSize > n {
+			return 0, fmt.Errorf("unmappable offset %#x", off)
+		}
+		return newIdx[off/a64.WordSize] * a64.WordSize, nil
+	}
+
+	// §3.3.4: patch PC-relative instructions.
+	for i, r := range cm.Meta.PCRel {
+		ni, err := mapOff(r.InstOff)
+		if err != nil {
+			return err
+		}
+		nt, err := mapOff(r.TargetOff)
+		if err != nil {
+			return err
+		}
+		if nt-ni != r.TargetOff-r.InstOff {
+			patched, err := a64.PatchRel(newCode[ni/a64.WordSize], int64(nt-ni))
+			if err != nil {
+				return fmt.Errorf("patching PC-relative at %#x: %w", r.InstOff, err)
+			}
+			newCode[ni/a64.WordSize] = patched
+		}
+		cm.Meta.PCRel[i] = a64.Reloc{InstOff: ni, TargetOff: nt}
+	}
+
+	// Remap terminators, embedded data, slow paths, stack maps, and the
+	// pre-existing external call sites.
+	for i, t := range cm.Meta.Terminators {
+		nt, err := mapOff(t)
+		if err != nil {
+			return err
+		}
+		cm.Meta.Terminators[i] = nt
+	}
+	mapRanges := func(rs []a64.Range) error {
+		for i, rg := range rs {
+			s, err := mapOff(rg.Start)
+			if err != nil {
+				return err
+			}
+			e, err := mapOff(rg.End)
+			if err != nil {
+				return err
+			}
+			rs[i] = a64.Range{Start: s, End: e}
+		}
+		return nil
+	}
+	if err := mapRanges(cm.Meta.EmbeddedData); err != nil {
+		return err
+	}
+	if err := mapRanges(cm.Meta.Slowpaths); err != nil {
+		return err
+	}
+	for i, s := range cm.StackMap {
+		no, err := mapOff(s.NativeOff)
+		if err != nil {
+			return err
+		}
+		// Safepoints sit on call instructions, which are separators and
+		// therefore survive verbatim; a safepoint landing on a different
+		// word would corrupt runtime stack walking (§3.5).
+		if newCode[no/a64.WordSize] != old[s.NativeOff/a64.WordSize] {
+			return fmt.Errorf("stack map entry at %#x no longer matches its instruction", s.NativeOff)
+		}
+		cm.StackMap[i].NativeOff = no
+	}
+	for i, e := range cm.Ext {
+		no, err := mapOff(e.InstOff)
+		if err != nil {
+			return err
+		}
+		cm.Ext[i].InstOff = no
+	}
+	cm.Ext = append(cm.Ext, addedExt...)
+	sort.Slice(cm.Ext, func(a, b int) bool { return cm.Ext[a].InstOff < cm.Ext[b].InstOff })
+	cm.Code = newCode
+	return nil
+}

@@ -1,0 +1,271 @@
+package outline
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/a64"
+	"repro/internal/codegen"
+	"repro/internal/suffixarray"
+	"repro/internal/suffixtree"
+)
+
+// position maps one sequence index back to a method word.
+type position struct {
+	method int32 // index into methods; -1 for separators
+	word   int32 // word index within the method code
+}
+
+// separatorWords computes, for one method, which word positions may not
+// take part in any repeat. The compile-time metadata (§3.2) makes this
+// exact — no disassembly heuristics:
+//
+//   - embedded data (literal pools, jump tables);
+//   - control-transfer instructions (terminators and calls): an outlined
+//     body must be single-entry-single-exit straight-line code, and a bl
+//     inside it would clobber the x30 the outlined function returns with;
+//   - PC-relative instructions and, crucially, their *targets*: an
+//     instruction that is a branch target must survive the rewrite at an
+//     addressable offset;
+//   - unresolved call sites (bl bound at link time);
+//   - everything outside slow paths when the method is hot (§3.4.2);
+//   - any instruction reading or writing the link register;
+//   - any word that does not decode (defense in depth; with LTBO.1
+//     metadata this only triggers for data already excluded).
+func separatorWords(cm *codegen.CompiledMethod, hot bool) []bool {
+	n := len(cm.Code)
+	sep := make([]bool, n)
+	markByte := func(off int) {
+		if off%a64.WordSize == 0 && off/a64.WordSize < n {
+			sep[off/a64.WordSize] = true
+		}
+	}
+	for _, t := range cm.Meta.Terminators {
+		markByte(t)
+	}
+	for _, r := range cm.Meta.PCRel {
+		markByte(r.InstOff)
+		markByte(r.TargetOff)
+	}
+	for _, e := range cm.Ext {
+		markByte(e.InstOff)
+	}
+	for _, d := range cm.Meta.EmbeddedData {
+		for off := d.Start; off < d.End; off += a64.WordSize {
+			markByte(off)
+		}
+	}
+	if hot {
+		inSlow := make([]bool, n)
+		for _, s := range cm.Meta.Slowpaths {
+			for off := s.Start; off < s.End; off += a64.WordSize {
+				if off/a64.WordSize < n {
+					inSlow[off/a64.WordSize] = true
+				}
+			}
+		}
+		for w := 0; w < n; w++ {
+			if !inSlow[w] {
+				sep[w] = true
+			}
+		}
+	}
+	for w := 0; w < n; w++ {
+		if sep[w] {
+			continue
+		}
+		inst, ok := a64.Decode(cm.Code[w])
+		if !ok || usesLR(inst) {
+			sep[w] = true
+		}
+	}
+	return sep
+}
+
+// usesLR reports whether any register field of the instruction names x30.
+// Over-approximate: fields unused by the op are zero and never 30.
+func usesLR(i a64.Inst) bool {
+	return i.Rd == a64.LR || i.Rn == a64.LR || i.Rm == a64.LR || i.Rt2 == a64.LR
+}
+
+// symbolizer interns instruction words into dense symbols and mints unique
+// separator symbols from the same counter, so the two can never collide.
+type symbolizer struct {
+	dict map[uint32]uint32
+	rev  []uint32 // symbol -> original word (separators hold 0)
+	next uint32
+}
+
+func newSymbolizer() *symbolizer {
+	return &symbolizer{dict: map[uint32]uint32{}}
+}
+
+func (s *symbolizer) word(w uint32) uint32 {
+	if id, ok := s.dict[w]; ok {
+		return id
+	}
+	id := s.next
+	s.next++
+	s.dict[w] = id
+	s.rev = append(s.rev, w)
+	return id
+}
+
+func (s *symbolizer) separator() uint32 {
+	id := s.next
+	s.next++
+	s.rev = append(s.rev, 0)
+	return id
+}
+
+// wordsOf translates a symbol label back to instruction words.
+func (s *symbolizer) wordsOf(label []uint32) []uint32 {
+	out := make([]uint32, len(label))
+	for i, id := range label {
+		out[i] = s.rev[id]
+	}
+	return out
+}
+
+// buildSequence symbolizes a group of methods into one sequence.
+func buildSequence(methods []*codegen.CompiledMethod, group []int, opts Options) ([]uint32, []position) {
+	sym := newSymbolizer()
+	var seq []uint32
+	var pos []position
+	for _, mi := range group {
+		cm := methods[mi]
+		hot := opts.Hot != nil && opts.Hot[cm.M.ID]
+		sep := separatorWords(cm, hot)
+		for w, word := range cm.Code {
+			if sep[w] {
+				seq = append(seq, sym.separator())
+				pos = append(pos, position{method: -1})
+			} else {
+				seq = append(seq, sym.word(word))
+				pos = append(pos, position{method: int32(mi), word: int32(w)})
+			}
+		}
+		// Method boundary.
+		seq = append(seq, sym.separator())
+		pos = append(pos, position{method: -1})
+	}
+	return seq, pos
+}
+
+// repeatCand is one detected repeat, detector-agnostic.
+type repeatCand struct {
+	length, count int
+	ord           int          // deterministic tie-break ordinal
+	occurrences   func() []int // start positions in the sequence
+}
+
+// detectRepeats runs the configured detection backend.
+func detectRepeats(seq []uint32, opts Options, st *Stats) []repeatCand {
+	var cands []repeatCand
+	switch opts.Detector {
+	case DetectorSuffixArray:
+		t0 := time.Now()
+		arr := suffixarray.Build(seq)
+		st.TreeBuild = time.Since(t0)
+		t1 := time.Now()
+		for _, rep := range arr.Repeats(opts.MinLength, 2) {
+			rep := rep
+			cands = append(cands, repeatCand{
+				length: rep.Length, count: rep.Count,
+				ord:         rep.Occurrences()[0]*1000 + rep.Length,
+				occurrences: rep.Occurrences,
+			})
+		}
+		st.Detect = time.Since(t1)
+	default: // DetectorSuffixTree
+		t0 := time.Now()
+		tree := suffixtree.Build(seq)
+		st.TreeBuild = time.Since(t0)
+		t1 := time.Now()
+		for _, rep := range tree.Repeats(opts.MinLength, 2) {
+			rep := rep
+			cands = append(cands, repeatCand{
+				length: rep.Length, count: rep.Count, ord: rep.Node,
+				occurrences: func() []int { return tree.Occurrences(rep.Node) },
+			})
+		}
+		st.Detect = time.Since(t1)
+	}
+	return cands
+}
+
+// outlineGroup runs detection and selection over one method group and
+// returns the functions to create (with their chosen occurrences).
+func outlineGroup(methods []*codegen.CompiledMethod, group []int, opts Options) ([]outlinedFunc, Stats, error) {
+	var st Stats
+	seq, pos := buildSequence(methods, group, opts)
+	st.SequenceSymbols = len(seq)
+	if len(seq) == 0 {
+		return nil, st, nil
+	}
+
+	repeats := detectRepeats(seq, opts, &st)
+	t1 := time.Now()
+	// Rank by potential benefit, longest first among ties, the detector's
+	// ordinal as the deterministic tie-break.
+	sort.Slice(repeats, func(a, b int) bool {
+		ba := suffixtree.Benefit(repeats[a].length, repeats[a].count)
+		bb := suffixtree.Benefit(repeats[b].length, repeats[b].count)
+		if ba != bb {
+			return ba > bb
+		}
+		if repeats[a].length != repeats[b].length {
+			return repeats[a].length > repeats[b].length
+		}
+		return repeats[a].ord < repeats[b].ord
+	})
+
+	taken := make([]bool, len(seq))
+	var funcs []outlinedFunc
+	for _, rep := range repeats {
+		if suffixtree.Benefit(rep.length, rep.count) < opts.MinBenefit {
+			break // sorted by benefit: nothing below can qualify either
+		}
+		occs := rep.occurrences()
+		sort.Ints(occs)
+		var chosen []int
+		lastEnd := -1
+		for _, o := range occs {
+			if o < lastEnd {
+				continue // overlaps previous occurrence of this repeat
+			}
+			free := true
+			for p := o; p < o+rep.length; p++ {
+				if taken[p] {
+					free = false
+					break
+				}
+			}
+			if !free {
+				continue
+			}
+			chosen = append(chosen, o)
+			lastEnd = o + rep.length
+		}
+		if len(chosen) < 2 || suffixtree.Benefit(rep.length, len(chosen)) < opts.MinBenefit {
+			continue
+		}
+		f := outlinedFunc{}
+		first := chosen[0]
+		for p := first; p < first+rep.length; p++ {
+			f.words = append(f.words, methods[pos[p].method].Code[pos[p].word])
+		}
+		for _, o := range chosen {
+			for p := o; p < o+rep.length; p++ {
+				taken[p] = true
+			}
+			f.occurrences = append(f.occurrences, occurrence{
+				method:  int(pos[o].method),
+				wordOff: int(pos[o].word),
+			})
+		}
+		funcs = append(funcs, f)
+	}
+	st.Detect += time.Since(t1)
+	return funcs, st, nil
+}

@@ -1,0 +1,179 @@
+package outline
+
+import (
+	"fmt"
+
+	"repro/internal/a64"
+	"repro/internal/codegen"
+	"repro/internal/oat"
+)
+
+// Snapshot captures the pre-outlining state of compiled methods so a
+// rewrite can be verified afterwards.
+type Snapshot struct {
+	codes  [][]uint32
+	pcrels [][]a64.Reloc
+	native []bool
+	indir  []bool
+}
+
+// Snap copies what VerifyRewrite needs.
+func Snap(methods []*codegen.CompiledMethod) *Snapshot {
+	s := &Snapshot{
+		codes:  make([][]uint32, len(methods)),
+		pcrels: make([][]a64.Reloc, len(methods)),
+		native: make([]bool, len(methods)),
+		indir:  make([]bool, len(methods)),
+	}
+	for i, cm := range methods {
+		s.codes[i] = append([]uint32(nil), cm.Code...)
+		s.pcrels[i] = append([]a64.Reloc(nil), cm.Meta.PCRel...)
+		s.native[i] = cm.Meta.IsNative
+		s.indir[i] = cm.Meta.HasIndirectJump
+	}
+	return s
+}
+
+// VerifyRewrite checks the §3.3/§3.5 structural invariants of an outlining
+// rewrite against the pre-state:
+//
+//  1. Protected methods (native, indirect-jump) are byte-identical.
+//  2. Every rewritten method reconstructs its original instruction stream:
+//     replaying the new code and inlining each outlined call's body (minus
+//     the trailing br x30) yields the original words, modulo PC-relative
+//     displacement patches.
+//  3. Every patched PC-relative instruction still refers to the same
+//     original instruction word.
+//  4. Stack map entries land on call instructions.
+//
+// It returns the first violation found.
+func VerifyRewrite(methods []*codegen.CompiledMethod, before *Snapshot, blobs []oat.Blob) error {
+	bodyBySym := map[int][]uint32{}
+	for _, b := range blobs {
+		if len(b.Code) < 1 {
+			return fmt.Errorf("outline: empty blob %s", codegen.SymName(b.Sym))
+		}
+		bodyBySym[b.Sym] = b.Code[:len(b.Code)-1] // strip the br x30
+	}
+
+	for mi, cm := range methods {
+		name := cm.M.FullName()
+		if before.native[mi] || before.indir[mi] {
+			if !wordsEqual(cm.Code, before.codes[mi]) {
+				return fmt.Errorf("outline: protected method %s was modified", name)
+			}
+			continue
+		}
+
+		// Reconstruct the original stream. Ext entries are sorted by the
+		// rewriter; outlined call sites have SymKindOutlined symbols.
+		outlinedAt := map[int]int{} // new word index -> symbol
+		for _, e := range cm.Ext {
+			if kind, _ := codegen.UnpackSym(e.Symbol); kind == codegen.SymKindOutlined {
+				outlinedAt[e.InstOff/a64.WordSize] = e.Symbol
+			}
+		}
+		var rebuilt []uint32
+		newToOld := make(map[int]int) // new word index -> rebuilt (old) word index
+		for w := 0; w < len(cm.Code); w++ {
+			newToOld[w] = len(rebuilt)
+			if sym, ok := outlinedAt[w]; ok {
+				body, found := bodyBySym[sym]
+				if !found {
+					return fmt.Errorf("outline: %s calls unknown %s", name, codegen.SymName(sym))
+				}
+				rebuilt = append(rebuilt, body...)
+				continue
+			}
+			rebuilt = append(rebuilt, cm.Code[w])
+		}
+		orig := before.codes[mi]
+		if len(rebuilt) != len(orig) {
+			return fmt.Errorf("outline: %s reconstructs to %d words, original %d", name, len(rebuilt), len(orig))
+		}
+		// Identify positions whose displacement was legitimately patched.
+		patched := map[int]bool{}
+		for _, r := range cm.Meta.PCRel {
+			patched[newToOld[r.InstOff/a64.WordSize]] = true
+		}
+		for w := range rebuilt {
+			if rebuilt[w] == orig[w] {
+				continue
+			}
+			if !patched[w] {
+				return fmt.Errorf("outline: %s word %d changed (%#08x -> %#08x) without being a PC-relative patch",
+					name, w, orig[w], rebuilt[w])
+			}
+			// A patched word must differ only in its displacement field:
+			// re-patching the original with the new displacement must
+			// reproduce the new word.
+			ni, ok := a64.Decode(rebuilt[w])
+			if !ok {
+				return fmt.Errorf("outline: %s patched word %d does not decode", name, w)
+			}
+			same, err := a64.PatchRel(orig[w], ni.Imm)
+			if err != nil || same != rebuilt[w] {
+				return fmt.Errorf("outline: %s word %d patch altered more than the displacement", name, w)
+			}
+		}
+
+		// PC-relative instructions must keep their logical targets: the
+		// new target word (or the outlined body head) must equal the old
+		// target word.
+		for _, r := range cm.Meta.PCRel {
+			oldInst := newToOld[r.InstOff/a64.WordSize]
+			oldTarget := newToOld[r.TargetOff/a64.WordSize]
+			// Find the matching original reloc by instruction position.
+			found := false
+			for _, orr := range before.pcrels[mi] {
+				if orr.InstOff/a64.WordSize == oldInst {
+					found = true
+					if orr.TargetOff/a64.WordSize != oldTarget {
+						return fmt.Errorf("outline: %s PC-relative at old word %d retargeted from %d to %d",
+							name, oldInst, orr.TargetOff/a64.WordSize, oldTarget)
+					}
+				}
+			}
+			if !found {
+				return fmt.Errorf("outline: %s has a PC-relative at new offset %#x with no pre-state counterpart",
+					name, r.InstOff)
+			}
+		}
+
+		// Stack maps sit on calls.
+		for _, s := range cm.StackMap {
+			i, ok := a64.Decode(cm.Code[s.NativeOff/a64.WordSize])
+			if !ok || (i.Op != a64.OpBl && i.Op != a64.OpBlr) {
+				return fmt.Errorf("outline: %s safepoint at %#x is not a call", name, s.NativeOff)
+			}
+		}
+	}
+	return nil
+}
+
+// RunVerified is Run followed by VerifyRewrite against an automatic
+// snapshot; intended for tooling and tests that want the §3.5 consistency
+// guarantees checked explicitly.
+func RunVerified(methods []*codegen.CompiledMethod, opts Options) ([]oat.Blob, *Stats, error) {
+	snap := Snap(methods)
+	blobs, stats, err := Run(methods, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	if err := VerifyRewrite(methods, snap, blobs); err != nil {
+		return nil, stats, err
+	}
+	return blobs, stats, nil
+}
+
+func wordsEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

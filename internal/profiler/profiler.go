@@ -1,0 +1,123 @@
+// Package profiler models simpleperf-based collection of per-function
+// execution time (paper §3.4.2, Figure 6): the emulator's instruction
+// stream is sampled periodically, samples are attributed to methods by PC
+// range, and the hot set is the smallest set of top functions covering a
+// target fraction (80% in the paper) of total samples.
+package profiler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/abi"
+	"repro/internal/dex"
+	"repro/internal/emu"
+	"repro/internal/oat"
+	"repro/internal/workload"
+)
+
+// FunctionProfile is one method's sample count.
+type FunctionProfile struct {
+	Method  dex.MethodID
+	Samples int64
+}
+
+// Profile is the aggregated result of profiling a script.
+type Profile struct {
+	TotalSamples int64
+	OtherSamples int64 // thunks, outlined functions: no owning method
+	Functions    []FunctionProfile
+}
+
+// DefaultSamplePeriod is the instruction-sampling period. A prime keeps
+// the sampler from phase-locking with loop bodies.
+const DefaultSamplePeriod = 127
+
+// Collect executes the script on the image, sampling every period
+// instructions. period <= 0 selects DefaultSamplePeriod.
+func Collect(img *oat.Image, script []workload.Run, period int64) (*Profile, error) {
+	if period <= 0 {
+		period = DefaultSamplePeriod
+	}
+	if len(script) == 0 {
+		return nil, fmt.Errorf("profiler: empty script")
+	}
+
+	// Method lookup by text offset: records are laid out in ascending
+	// offset order with thunks/outlined functions before them.
+	starts := make([]int, len(img.Methods))
+	for i, m := range img.Methods {
+		starts[i] = m.Offset
+	}
+	methodAt := func(pc int64) (dex.MethodID, bool) {
+		off := int(pc - abi.TextBase)
+		i := sort.SearchInts(starts, off+1) - 1
+		if i < 0 {
+			return 0, false
+		}
+		m := img.Methods[i]
+		if off >= m.Offset+m.Size {
+			return 0, false
+		}
+		return m.ID, true
+	}
+
+	samples := make(map[dex.MethodID]int64)
+	var other, total int64
+	machine := emu.New(img)
+	var countdown int64
+	machine.Hook = func(pc int64) {
+		countdown++
+		if countdown < period {
+			return
+		}
+		countdown = 0
+		total++
+		if id, ok := methodAt(pc); ok {
+			samples[id]++
+		} else {
+			other++
+		}
+	}
+	for _, r := range script {
+		if _, err := machine.Run(r.Entry, r.Args[:]); err != nil {
+			return nil, fmt.Errorf("profiler: run m%d: %w", r.Entry, err)
+		}
+	}
+
+	p := &Profile{TotalSamples: total, OtherSamples: other}
+	for id, s := range samples {
+		p.Functions = append(p.Functions, FunctionProfile{Method: id, Samples: s})
+	}
+	sort.Slice(p.Functions, func(a, b int) bool {
+		if p.Functions[a].Samples != p.Functions[b].Samples {
+			return p.Functions[a].Samples > p.Functions[b].Samples
+		}
+		return p.Functions[a].Method < p.Functions[b].Method
+	})
+	return p, nil
+}
+
+// HotSet returns the smallest prefix of the sample-sorted function list
+// whose samples cover frac of all method-attributed samples — the §3.4.2
+// rule with frac = 0.8.
+func (p *Profile) HotSet(frac float64) map[dex.MethodID]bool {
+	hot := make(map[dex.MethodID]bool)
+	var methodTotal int64
+	for _, f := range p.Functions {
+		methodTotal += f.Samples
+	}
+	if methodTotal == 0 {
+		return hot
+	}
+	target := int64(frac * float64(methodTotal))
+	var acc int64
+	for _, f := range p.Functions {
+		if acc >= target {
+			break
+		}
+		hot[f.Method] = true
+		acc += f.Samples
+	}
+	return hot
+}

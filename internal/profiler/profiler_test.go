@@ -1,0 +1,111 @@
+package profiler
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/dex"
+	"repro/internal/oat"
+	"repro/internal/workload"
+)
+
+func buildImage(t *testing.T) (*oat.Image, *workload.Manifest) {
+	t.Helper()
+	app, man, err := workload.Generate(workload.Profile{
+		Name: "p", Seed: 13, Methods: 100, HotFrac: 0.05, HotLoopIters: 150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods, err := codegen.Compile(app, codegen.Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := oat.Link(methods, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, man
+}
+
+func TestCollectAttributesSamples(t *testing.T) {
+	img, man := buildImage(t)
+	prof, err := Collect(img, workload.Script(man, 2, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.TotalSamples == 0 || len(prof.Functions) == 0 {
+		t.Fatalf("no samples: %+v", prof)
+	}
+	var sum int64
+	for i, f := range prof.Functions {
+		sum += f.Samples
+		if i > 0 && f.Samples > prof.Functions[i-1].Samples {
+			t.Fatal("functions not sorted by samples")
+		}
+	}
+	if sum+prof.OtherSamples != prof.TotalSamples {
+		t.Errorf("samples do not add up: %d + %d != %d", sum, prof.OtherSamples, prof.TotalSamples)
+	}
+}
+
+func TestHotSetCoverageRule(t *testing.T) {
+	img, man := buildImage(t)
+	prof, err := Collect(img, workload.Script(man, 2, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := prof.HotSet(0.8)
+	var methodTotal, hotTotal int64
+	for _, f := range prof.Functions {
+		methodTotal += f.Samples
+		if hot[f.Method] {
+			hotTotal += f.Samples
+		}
+	}
+	if float64(hotTotal) < 0.8*float64(methodTotal) {
+		t.Errorf("hot set covers %d of %d samples (< 80%%)", hotTotal, methodTotal)
+	}
+	// Removing the smallest hot member must drop coverage below 80%:
+	// minimality of the prefix rule.
+	var smallest dex.MethodID
+	var min int64 = 1 << 62
+	for _, f := range prof.Functions {
+		if hot[f.Method] && f.Samples < min {
+			min, smallest = f.Samples, f.Method
+		}
+	}
+	if float64(hotTotal-min) >= 0.8*float64(methodTotal) {
+		t.Errorf("hot set not minimal: dropping m%d keeps coverage", smallest)
+	}
+}
+
+func TestHotSetEmptyProfile(t *testing.T) {
+	p := &Profile{}
+	if len(p.HotSet(0.8)) != 0 {
+		t.Error("empty profile produced a hot set")
+	}
+}
+
+func TestCollectEmptyScript(t *testing.T) {
+	img, _ := buildImage(t)
+	if _, err := Collect(img, nil, 0); err == nil {
+		t.Error("empty script accepted")
+	}
+}
+
+func TestCustomPeriod(t *testing.T) {
+	img, man := buildImage(t)
+	script := workload.Script(man, 1, 3)
+	coarse, err := Collect(img, script, 1009)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Collect(img, script, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.TotalSamples <= coarse.TotalSamples {
+		t.Errorf("finer period took fewer samples: %d <= %d", fine.TotalSamples, coarse.TotalSamples)
+	}
+}

@@ -1,0 +1,114 @@
+// Package report renders the experiment tables in the layout of the
+// paper's evaluation section: one column per app, configuration rows, and
+// ratio rows relative to the baseline.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	update := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	update(t.Header)
+	for _, r := range t.Rows {
+		update(r)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Bytes renders a byte count the way the paper does (MiB with no decimals
+// above 10 MiB, otherwise KiB).
+func Bytes(n int) string {
+	switch {
+	case n >= 10<<20:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fM", float64(n)/(1<<20))
+	default:
+		return fmt.Sprintf("%.0fK", float64(n)/(1<<10))
+	}
+}
+
+// Pct renders a ratio as a percentage with two decimals, paper style.
+func Pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }
+
+// Reduction renders the reduction of v relative to base.
+func Reduction(base, v int) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return Pct(float64(base-v) / float64(base))
+}
+
+// Growth renders the growth of v relative to base.
+func Growth(base, v time.Duration) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return Pct(float64(v-base) / float64(base))
+}
+
+// Dur renders a duration in the paper's m/s style.
+func Dur(d time.Duration) string {
+	d = d.Round(time.Second / 10)
+	if d >= time.Minute {
+		m := d / time.Minute
+		s := (d - m*time.Minute).Seconds()
+		return fmt.Sprintf("%dm%04.1fs", m, s)
+	}
+	return fmt.Sprintf("%.1fs", d.Seconds())
+}
+
+// Count renders large counts with a k/M suffix (Figure 4 style).
+func Count(n int64) string {
+	switch {
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.0fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

@@ -1,0 +1,81 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"name", "value"}}
+	tab.AddRow("a", "1")
+	tab.AddRow("longer-name", "22")
+	s := tab.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("header and separator widths differ:\n%s", s)
+	}
+	if !strings.HasPrefix(lines[4], "longer-name") {
+		t.Errorf("row misrendered: %q", lines[4])
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[int]string{
+		512:       "0K",
+		2048:      "2K",
+		1 << 20:   "1.0M",
+		15 << 20:  "15M",
+		357 << 20: "357M",
+	}
+	for in, want := range cases {
+		if got := Bytes(in); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPctAndReduction(t *testing.T) {
+	if got := Pct(0.1519); got != "15.19%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Reduction(1000, 808); got != "19.20%" {
+		t.Errorf("Reduction = %q", got)
+	}
+	if got := Reduction(0, 5); got != "n/a" {
+		t.Errorf("Reduction(0) = %q", got)
+	}
+}
+
+func TestGrowthAndDur(t *testing.T) {
+	if got := Growth(10*time.Second, 59*time.Second); got != "490.00%" {
+		t.Errorf("Growth = %q", got)
+	}
+	if got := Growth(0, time.Second); got != "n/a" {
+		t.Errorf("Growth(0) = %q", got)
+	}
+	if got := Dur(3*time.Minute + 13*time.Second); got != "3m13.0s" {
+		t.Errorf("Dur = %q", got)
+	}
+	if got := Dur(32 * time.Second); got != "32.0s" {
+		t.Errorf("Dur = %q", got)
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := map[int64]string{
+		17:       "17",
+		1006_000: "1.0M",
+		217_000:  "217k",
+		173_4:    "2k",
+		42_107e6: "42107.0M",
+	}
+	for in, want := range cases {
+		if got := Count(in); got != want {
+			t.Errorf("Count(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package suffixarray
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/suffixtree"
+)
+
+func sym(s string) []uint32 {
+	out := make([]uint32, len(s))
+	for i := range s {
+		out[i] = uint32(s[i])
+	}
+	return out
+}
+
+func TestSuffixArrayOrder(t *testing.T) {
+	seq := sym("banana$")
+	a := Build(seq)
+	// Verify lexicographic order directly.
+	sa := a.SA()
+	less := func(i, j int32) bool {
+		x, y := seq[i:], seq[j:]
+		for k := 0; k < len(x) && k < len(y); k++ {
+			if x[k] != y[k] {
+				return x[k] < y[k]
+			}
+		}
+		return len(x) < len(y)
+	}
+	for i := 1; i < len(sa); i++ {
+		if !less(sa[i-1], sa[i]) {
+			t.Fatalf("sa not sorted at %d: %v", i, sa)
+		}
+	}
+	// LCP sanity: lcp of "ana..." suffixes.
+	found3 := false
+	for _, l := range a.LCP() {
+		if l == 3 {
+			found3 = true // "ana" shared between "ana$" and "anana$"
+		}
+	}
+	if !found3 {
+		t.Errorf("lcp table %v lacks the ana overlap", a.LCP())
+	}
+}
+
+func TestRepeatsMatchBananaTree(t *testing.T) {
+	a := Build(sym("banana$"))
+	got := map[string]int{}
+	for _, r := range a.Repeats(1, 2) {
+		label := ""
+		for _, s := range r.Label() {
+			label += string(rune(s))
+		}
+		got[label] = r.Count
+	}
+	want := map[string]int{"a": 3, "ana": 2, "na": 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("repeats = %v, want %v", got, want)
+	}
+}
+
+// TestEquivalenceWithSuffixTree: on random sequences, the LCP-interval
+// repeats must be exactly the suffix tree's internal-node repeats —
+// same (label, count, occurrence set) families.
+func TestEquivalenceWithSuffixTree(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 10 + r.Intn(200)
+		seq := make([]uint32, n)
+		for i := range seq {
+			seq[i] = uint32(r.Intn(2 + r.Intn(6)))
+		}
+		seq = append(seq, 0xFFFFFFFF)
+
+		type fam struct {
+			label string
+			count int
+			occ   string
+		}
+		famKey := func(label []uint32, occ []int) fam {
+			sort.Ints(occ)
+			lb, ob := "", ""
+			for _, s := range label {
+				lb += string(rune(s)) + ","
+			}
+			for _, o := range occ {
+				ob += string(rune(o)) + ","
+			}
+			return fam{label: lb, count: len(occ), occ: ob}
+		}
+
+		tree := suffixtree.Build(seq)
+		want := map[fam]bool{}
+		for _, rep := range tree.Repeats(1, 2) {
+			want[famKey(tree.Label(rep.Node), tree.Occurrences(rep.Node))] = true
+		}
+		arr := Build(seq)
+		got := map[fam]bool{}
+		for _, rep := range arr.Repeats(1, 2) {
+			got[famKey(rep.Label(), rep.Occurrences())] = true
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: detector disagreement: tree %d families, array %d families",
+				trial, len(want), len(got))
+		}
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if a := Build(nil); a.Len() != 0 || len(a.Repeats(1, 2)) != 0 {
+		t.Error("empty sequence mishandled")
+	}
+	if a := Build([]uint32{7}); len(a.Repeats(1, 2)) != 0 {
+		t.Error("singleton produced repeats")
+	}
+}
+
+func TestLCPKasaiAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + r.Intn(120)
+		seq := make([]uint32, n)
+		for i := range seq {
+			seq[i] = uint32(r.Intn(4))
+		}
+		seq = append(seq, 0xFFFFFFFF)
+		a := Build(seq)
+		sa, lcp := a.SA(), a.LCP()
+		for i := 1; i < len(sa); i++ {
+			want := 0
+			x, y := int(sa[i-1]), int(sa[i])
+			for x+want < len(seq) && y+want < len(seq) && seq[x+want] == seq[y+want] {
+				want++
+			}
+			if int(lcp[i]) != want {
+				t.Fatalf("trial %d: lcp[%d] = %d, want %d", trial, i, lcp[i], want)
+			}
+		}
+	}
+}

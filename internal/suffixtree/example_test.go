@@ -1,0 +1,48 @@
+package suffixtree_test
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/suffixtree"
+)
+
+// The paper's Figure 1 example: the suffix tree of "banana" exposes the
+// repeated substrings and their occurrence counts.
+func ExampleBuild() {
+	seq := make([]uint32, 0, 7)
+	for _, r := range "banana$" {
+		seq = append(seq, uint32(r))
+	}
+	tree := suffixtree.Build(seq)
+
+	var lines []string
+	for _, rep := range tree.Repeats(1, 2) {
+		label := ""
+		for _, s := range tree.Label(rep.Node) {
+			label += string(rune(s))
+		}
+		lines = append(lines, fmt.Sprintf("%q repeats %d times", label, rep.Count))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	// Output:
+	// "a" repeats 3 times
+	// "ana" repeats 2 times
+	// "na" repeats 2 times
+}
+
+// The Figure 2 benefit model: outlining a sequence of Length instructions
+// that repeats RepeatedTimes saves Length*RepeatedTimes -
+// (RepeatedTimes + 1 + Length) instructions.
+func ExampleBenefit() {
+	fmt.Println(suffixtree.Benefit(2, 2))  // too short and too rare: not worth it
+	fmt.Println(suffixtree.Benefit(5, 10)) // clearly worth it
+	fmt.Printf("%.3f\n", suffixtree.ReductionRatio(5, 10))
+	// Output:
+	// -1
+	// 34
+	// 0.680
+}

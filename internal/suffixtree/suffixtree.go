@@ -1,0 +1,293 @@
+// Package suffixtree implements Ukkonen's on-line suffix tree construction
+// (O(n), Ukkonen 1995) over sequences of uint32 symbols, plus the repeat
+// enumeration and the benefit model (paper Figure 2) that Calibro's
+// redundancy detection is built on (§2.1.2, §2.2, §3.3.2).
+//
+// Sequences are instruction words mapped to symbols by the outliner; every
+// basic-block terminator is mapped to a symbol unique to its position, so
+// no repeated substring can cross a basic-block boundary (§3.3.2). The same
+// trick generalizes the tree: concatenating many methods with unique
+// separators yields one tree over the whole program.
+package suffixtree
+
+import "fmt"
+
+// node is one suffix-tree node. The edge leading into the node is labeled
+// seq[start:end]; leaves use end == -1 meaning "to the end of the sequence"
+// (Ukkonen's global end).
+type node struct {
+	start    int
+	end      int
+	link     int32
+	children map[uint32]int32
+
+	// Filled by finish():
+	leafCount int32
+	depth     int32 // symbols from the root to the end of this node's edge
+	parent    int32
+}
+
+// Tree is a built suffix tree.
+type Tree struct {
+	seq   []uint32
+	nodes []node
+	// internal build state
+	activeNode   int32
+	activeEdge   int
+	activeLength int
+	remainder    int
+	finished     bool
+}
+
+const root int32 = 0
+
+// Build constructs the suffix tree of seq. The caller must guarantee that
+// the final symbol of seq terminates every intended suffix (the outliner's
+// per-position separator symbols provide this); Build appends nothing.
+func Build(seq []uint32) *Tree {
+	t := &Tree{
+		seq:   seq,
+		nodes: make([]node, 1, 2*len(seq)+2),
+	}
+	t.nodes[0] = node{start: -1, end: -1, children: map[uint32]int32{}}
+	for i := range seq {
+		t.extend(i)
+	}
+	t.finish()
+	return t
+}
+
+// newNode appends a node and returns its index.
+func (t *Tree) newNode(start, end int) int32 {
+	t.nodes = append(t.nodes, node{start: start, end: end, children: map[uint32]int32{}})
+	return int32(len(t.nodes) - 1)
+}
+
+// edgeEnd resolves a node's edge end against the current phase.
+func (t *Tree) edgeEnd(n int32, pos int) int {
+	if t.nodes[n].end == -1 {
+		return pos
+	}
+	return t.nodes[n].end
+}
+
+// extend runs one Ukkonen phase for seq[i].
+func (t *Tree) extend(i int) {
+	t.remainder++
+	var lastCreated int32 = -1
+	addLink := func(n int32) {
+		if lastCreated != -1 {
+			t.nodes[lastCreated].link = n
+		}
+		lastCreated = n
+	}
+	for t.remainder > 0 {
+		if t.activeLength == 0 {
+			t.activeEdge = i
+		}
+		edgeSym := t.seq[t.activeEdge]
+		child, ok := t.nodes[t.activeNode].children[edgeSym]
+		if !ok {
+			leaf := t.newNode(i, -1)
+			t.nodes[t.activeNode].children[edgeSym] = leaf
+			addLink(t.activeNode)
+		} else {
+			edgeLen := t.edgeEnd(child, i+1) - t.nodes[child].start
+			if t.activeLength >= edgeLen {
+				t.activeEdge += edgeLen
+				t.activeLength -= edgeLen
+				t.activeNode = child
+				continue
+			}
+			if t.seq[t.nodes[child].start+t.activeLength] == t.seq[i] {
+				t.activeLength++
+				addLink(t.activeNode)
+				break
+			}
+			split := t.newNode(t.nodes[child].start, t.nodes[child].start+t.activeLength)
+			t.nodes[t.activeNode].children[edgeSym] = split
+			leaf := t.newNode(i, -1)
+			t.nodes[split].children[t.seq[i]] = leaf
+			t.nodes[child].start += t.activeLength
+			t.nodes[split].children[t.seq[t.nodes[child].start]] = child
+			addLink(split)
+		}
+		t.remainder--
+		if t.activeNode == root && t.activeLength > 0 {
+			t.activeLength--
+			t.activeEdge = i - t.remainder + 1
+		} else if t.activeNode != root {
+			t.activeNode = t.nodes[t.activeNode].link
+		}
+	}
+}
+
+// finish computes leaf counts, depths, and parents bottom-up.
+func (t *Tree) finish() {
+	if t.finished {
+		return
+	}
+	t.finished = true
+	n := len(t.seq)
+	// Iterative post-order.
+	type frame struct {
+		node  int32
+		stage int
+	}
+	stack := []frame{{node: root}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		nd := &t.nodes[f.node]
+		if f.stage == 0 {
+			f.stage = 1
+			if f.node != root {
+				parentDepth := t.nodes[nd.parent].depth
+				end := nd.end
+				if end == -1 {
+					end = n
+				}
+				nd.depth = parentDepth + int32(end-nd.start)
+			}
+			if len(nd.children) == 0 {
+				nd.leafCount = 1
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			for _, c := range nd.children {
+				t.nodes[c].parent = f.node
+				stack = append(stack, frame{node: c})
+			}
+			continue
+		}
+		for _, c := range nd.children {
+			nd.leafCount += t.nodes[c].leafCount
+		}
+		stack = stack[:len(stack)-1]
+	}
+}
+
+// NumNodes returns the node count (root included).
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// NumLeaves returns the number of leaves, which equals the number of
+// suffixes represented.
+func (t *Tree) NumLeaves() int { return int(t.nodes[root].leafCount) }
+
+// Repeat describes a repeated subsequence found in the tree: an internal
+// node whose subtree holds Count >= 2 leaves; the subsequence is the path
+// label from the root, of the given Length.
+type Repeat struct {
+	Node   int
+	Length int
+	Count  int
+}
+
+// Repeats enumerates internal nodes representing repeats with
+// Length >= minLen and Count >= minCount, in no particular order.
+func (t *Tree) Repeats(minLen, minCount int) []Repeat {
+	if minCount < 2 {
+		minCount = 2
+	}
+	var out []Repeat
+	for idx := 1; idx < len(t.nodes); idx++ {
+		nd := &t.nodes[idx]
+		if len(nd.children) == 0 {
+			continue // leaf
+		}
+		if int(nd.depth) >= minLen && int(nd.leafCount) >= minCount {
+			out = append(out, Repeat{Node: idx, Length: int(nd.depth), Count: int(nd.leafCount)})
+		}
+	}
+	return out
+}
+
+// Occurrences returns the start positions (in seq) of the repeat rooted at
+// the given node, one per descendant leaf, in increasing order is NOT
+// guaranteed; callers sort as needed.
+func (t *Tree) Occurrences(nodeIdx int) []int {
+	n := len(t.seq)
+	var occ []int
+	var stack []int32
+	stack = append(stack, int32(nodeIdx))
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := &t.nodes[cur]
+		if len(nd.children) == 0 {
+			// Leaf: the suffix starts at n - depth; the repeat occurrence
+			// starts there too (the repeat is a prefix of the suffix).
+			suffixStart := n - int(nd.depth)
+			occ = append(occ, suffixStart)
+			continue
+		}
+		for _, c := range nd.children {
+			stack = append(stack, c)
+		}
+	}
+	return occ
+}
+
+// Label returns the subsequence represented by a node (the path label).
+func (t *Tree) Label(nodeIdx int) []uint32 {
+	nd := &t.nodes[nodeIdx]
+	end := nd.end
+	if end == -1 {
+		end = len(t.seq)
+	}
+	// Walk one occurrence instead of composing edges: the repeat is
+	// seq[occ : occ+depth] for any occurrence.
+	occ := t.firstLeafSuffix(int32(nodeIdx))
+	return t.seq[occ : occ+int(nd.depth)]
+}
+
+func (t *Tree) firstLeafSuffix(nodeIdx int32) int {
+	cur := nodeIdx
+	for len(t.nodes[cur].children) > 0 {
+		for _, c := range t.nodes[cur].children {
+			cur = c
+			break
+		}
+	}
+	return len(t.seq) - int(t.nodes[cur].depth)
+}
+
+// Benefit evaluates the paper's Figure 2 model: the instruction-count
+// saving from outlining a repeat of the given length occurring count times
+// (the +1 is the outlined function's return instruction).
+func Benefit(length, count int) int {
+	original := length * count
+	optimized := count + 1 + length
+	return original - optimized
+}
+
+// ReductionRatio is Figure 2's ratio form of Benefit.
+func ReductionRatio(length, count int) float64 {
+	original := length * count
+	if original == 0 {
+		return 0
+	}
+	return float64(Benefit(length, count)) / float64(original)
+}
+
+// Validate performs internal consistency checks (used by tests): every
+// occurrence of every repeat matches the node's label.
+func (t *Tree) Validate() error {
+	for idx := 1; idx < len(t.nodes); idx++ {
+		nd := &t.nodes[idx]
+		if len(nd.children) == 0 {
+			continue
+		}
+		label := t.Label(idx)
+		for _, occ := range t.Occurrences(idx) {
+			if occ < 0 || occ+len(label) > len(t.seq) {
+				return fmt.Errorf("suffixtree: node %d occurrence %d out of range", idx, occ)
+			}
+			for k, s := range label {
+				if t.seq[occ+k] != s {
+					return fmt.Errorf("suffixtree: node %d occurrence %d mismatches label at +%d", idx, occ, k)
+				}
+			}
+		}
+	}
+	return nil
+}

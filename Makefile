@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: ci build vet test test-short fuzz bench
+
+# ci is the gate every change must pass: compile everything, vet
+# everything, run the full test suite.
+ci: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# test-short skips the full-scale soak tests.
+test-short:
+	$(GO) test -short ./...
+
+# fuzz gives the serialization and lint fuzzers a short budget each.
+fuzz:
+	$(GO) test ./internal/oat -run xxx -fuzz FuzzUnmarshal -fuzztime 20s
+	$(GO) test ./internal/oat -run xxx -fuzz FuzzUnmarshalLint -fuzztime 20s
+
+# bench regenerates the paper's tables and figures.
+bench:
+	$(GO) test -bench=. -benchmem .

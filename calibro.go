@@ -23,6 +23,7 @@
 package calibro
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/dex"
 	"repro/internal/emu"
@@ -68,6 +69,15 @@ type (
 	ScriptRun = workload.Run
 	// Exception enumerates modeled runtime exceptions.
 	Exception = hgraph.Exception
+	// Finding is one oatlint diagnostic.
+	Finding = analysis.Finding
+	// FindingSeverity grades a lint finding.
+	FindingSeverity = analysis.Severity
+	// LintReport is the full static-analyzer output: findings at every
+	// severity plus per-method summaries.
+	LintReport = analysis.Report
+	// CFG is a control-flow graph recovered from linked code.
+	CFG = analysis.CFG
 )
 
 // Exceptions raised by the modeled runtime.
@@ -76,6 +86,13 @@ const (
 	ExcNullPointer   = hgraph.ExcNullPointer
 	ExcArrayBounds   = hgraph.ExcArrayBounds
 	ExcStackOverflow = hgraph.ExcStackOverflow
+)
+
+// Lint finding severities.
+const (
+	SevInfo  = analysis.SevInfo
+	SevWarn  = analysis.SevWarn
+	SevError = analysis.SevError
 )
 
 // GenerateApp builds a synthetic application from a profile.
@@ -153,6 +170,23 @@ func AnalyzeRedundancy(res *BuildResult, bounded bool) *Analysis {
 // (pre-CTO) build.
 func CountPatterns(res *BuildResult) PatternCounts {
 	return outline.CountPatterns(res.Methods)
+}
+
+// LintImage statically verifies a linked image — CFG recovery,
+// control-flow integrity, and the stack/register dataflow checks — and
+// returns the findings that should block loading it (warnings and
+// errors). It needs nothing but the image, so it works on untrusted or
+// cached images long after the build that produced them.
+func LintImage(img *Image) []Finding { return analysis.Lint(img) }
+
+// AnalyzeImage runs the same verifier and returns the full report,
+// including advisory findings and per-method CFG statistics.
+func AnalyzeImage(img *Image) *LintReport { return analysis.Analyze(img) }
+
+// RecoverCFG reconstructs one method's control-flow graph from a linked
+// image's decoded instructions, with any findings recovery produced.
+func RecoverCFG(img *Image, id MethodID) (*CFG, []Finding) {
+	return analysis.MethodCFG(img, id)
 }
 
 // MarshalImage serializes an image to the on-disk ELF OAT format.

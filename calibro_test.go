@@ -175,3 +175,52 @@ func TestAssembleDisassemble(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestLintPublicAPI exercises the oatlint surface: LintImage on a clean
+// build, AnalyzeImage statistics, and per-method CFG recovery.
+func TestLintPublicAPI(t *testing.T) {
+	app, err := Assemble(`
+.app L
+.file f.dex
+.class LX
+.method m regs=3 ins=1
+    const v0, 7
+    if-lt v2, v0, :low
+    mul v1, v2, v0
+    return v1
+  :low
+    return v0
+.end method
+.end class
+.end file
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(app, CTOOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := LintImage(res.Image); len(fs) != 0 {
+		t.Fatalf("clean image has findings: %v", fs)
+	}
+	rep := AnalyzeImage(res.Image)
+	if len(rep.Methods) != 1 || rep.Methods[0].Blocks < 3 {
+		t.Errorf("report: %+v", rep.Methods)
+	}
+	cfg, fs := RecoverCFG(res.Image, 0)
+	for _, f := range fs {
+		if f.Severity >= SevWarn {
+			t.Errorf("CFG recovery: %s", f)
+		}
+	}
+	if cfg == nil || len(cfg.Blocks) < 3 {
+		t.Fatalf("expected a branching CFG, got %+v", cfg)
+	}
+
+	// A corrupted image produces findings through the same surface.
+	res.Image.Text[res.Image.Methods[0].Offset/4] = 0xFFFF_FFFF
+	if fs := LintImage(res.Image); len(fs) == 0 {
+		t.Error("corrupted image lints clean")
+	}
+}

@@ -10,7 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"repro/internal/a64"
@@ -21,46 +21,57 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("oatdump: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, writes the dump to
+// out, and returns the process exit code.
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("oatdump", flag.ContinueOnError)
+	fs.SetOutput(errOut)
 	var (
-		in       = flag.String("i", "", "input OAT image (required)")
-		methodID = flag.Int("method", -1, "dump one method in full (disassembly + metadata)")
-		disasm   = flag.Bool("disasm", false, "disassemble every method")
-		thunks   = flag.Bool("thunks", false, "disassemble thunks and outlined functions")
-		verify   = flag.Bool("verify", false, "run loader-style integrity checks")
+		in       = fs.String("i", "", "input OAT image (required)")
+		methodID = fs.Int("method", -1, "dump one method in full (disassembly + metadata)")
+		disasm   = fs.Bool("disasm", false, "disassemble every method")
+		thunks   = fs.Bool("thunks", false, "disassemble thunks and outlined functions")
+		verify   = fs.Bool("verify", false, "run loader-style integrity checks")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *in == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	data, err := os.ReadFile(*in)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(errOut, "oatdump:", err)
+		return 1
 	}
 	img, err := oat.Unmarshal(data)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(errOut, "oatdump:", err)
+		return 1
 	}
 
-	fmt.Printf("OAT image: %s text, %d methods, %d pattern thunks, %d outlined functions\n",
+	fmt.Fprintf(out, "OAT image: %s text, %d methods, %d pattern thunks, %d outlined functions\n",
 		report.Bytes(img.TextBytes()), len(img.Methods), len(img.Thunks), len(img.Outlined))
 
 	if *verify {
 		if err := img.Validate(); err != nil {
-			log.Fatalf("integrity check failed: %v", err)
+			fmt.Fprintln(errOut, "oatdump: integrity check failed:", err)
+			return 1
 		}
-		fmt.Println("integrity checks passed")
+		fmt.Fprintln(out, "integrity checks passed")
 	}
 
 	if *thunks {
-		dumpFuncs := func(kind string, fs []oat.FuncRecord) {
-			for _, f := range fs {
-				fmt.Printf("\n%s %s at +%#x (%d bytes):\n", kind, codegen.SymName(f.Sym), f.Offset, f.Size)
+		dumpFuncs := func(kind string, funcs []oat.FuncRecord) {
+			for _, f := range funcs {
+				fmt.Fprintf(out, "\n%s %s at +%#x (%d bytes):\n", kind, codegen.SymName(f.Sym), f.Offset, f.Size)
 				words := img.Text[f.Offset/4 : (f.Offset+f.Size)/4]
 				for _, line := range a64.Disassemble(words, int(abi.TextBase)+f.Offset) {
-					fmt.Println("  " + line)
+					fmt.Fprintln(out, "  "+line)
 				}
 			}
 		}
@@ -79,8 +90,8 @@ func main() {
 		if m.Meta.HasIndirectJump {
 			flags += " indirect-jump"
 		}
-		fmt.Printf("\nmethod m%d at +%#x: %d bytes%s\n", m.ID, m.Offset, m.Size, flags)
-		fmt.Printf("  %d PC-relative sites, %d terminators, %d embedded-data ranges, %d slow-path ranges, %d stack map entries\n",
+		fmt.Fprintf(out, "\nmethod m%d at +%#x: %d bytes%s\n", m.ID, m.Offset, m.Size, flags)
+		fmt.Fprintf(out, "  %d PC-relative sites, %d terminators, %d embedded-data ranges, %d slow-path ranges, %d stack map entries\n",
 			len(m.Meta.PCRel), len(m.Meta.Terminators), len(m.Meta.EmbeddedData),
 			len(m.Meta.Slowpaths), len(m.StackMap))
 		if *disasm || int(m.ID) == *methodID {
@@ -103,8 +114,9 @@ func main() {
 						tag += fmt.Sprintf("   ; safepoint dexpc=%d", s.DexPC)
 					}
 				}
-				fmt.Println("  " + line + tag)
+				fmt.Fprintln(out, "  "+line+tag)
 			}
 		}
 	}
+	return 0
 }

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	calibro "repro"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file")
+
+const dumpTestSrc = `
+.app Dump
+.file classes.dex
+.class LMain
+.method helper regs=3 ins=2
+    add v0, v1, v2
+    return v0
+.end method
+.method run regs=4 ins=1
+    const v0, 5
+    invoke v1, LMain.helper (v3, v0)
+    if-lt v0, v3, :big
+    return v1
+  :big
+    add v1, v1, v0
+    return v1
+.end method
+.end class
+.end file
+`
+
+func writeTestImage(t *testing.T) string {
+	t.Helper()
+	app, err := calibro.Assemble(dumpTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := calibro.Build(app, calibro.CTOOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := calibro.MarshalImage(res.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "app.oat")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDumpGolden pins the full oatdump output (summary, thunks, method
+// metadata, and one method's disassembly) on a deterministic build of the
+// small assembled app. Regenerate with `go test ./cmd/oatdump -update`.
+func TestDumpGolden(t *testing.T) {
+	path := writeTestImage(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-i", path, "-thunks", "-verify", "-method", "1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, errOut.String())
+	}
+	golden := filepath.Join("testdata", "dump.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("output differs from %s (regenerate with -update):\n got:\n%s\nwant:\n%s",
+			golden, out.String(), string(want))
+	}
+}
+
+func TestDumpDisasmFlag(t *testing.T) {
+	path := writeTestImage(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-i", path, "-disasm"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"OAT image:", "method m0", "method m1", "ret"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("disassembly output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestDumpUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"-i", filepath.Join(t.TempDir(), "missing.oat")}, &out, &errOut); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,102 @@
+// Command oatlint statically verifies a linked OAT image from the bytes
+// alone: it recovers per-method and per-outlined-function control-flow
+// graphs, checks control-flow integrity (branch targets, bl callees,
+// outlined-function shape), and runs the dataflow pass proving
+// stack-pointer balance and callee-saved register discipline on every
+// path. Unlike `oatdump -verify`, which performs the loader's shallow
+// structural checks, oatlint re-derives the §3.5 safety argument with no
+// access to any compile-time state — so it can vet cached or untrusted
+// images.
+//
+// Usage:
+//
+//	oatlint [-v] [-rule name] app.oat
+//
+// Exit status is 0 when the image is clean, 1 when there are findings,
+// and 2 on usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/oat"
+	"repro/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it lints the image named by args,
+// writes findings to out, and returns the process exit code.
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("oatlint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	fs.Usage = func() {
+		fmt.Fprintln(errOut, "usage: oatlint [-v] [-rule name] app.oat")
+		fs.PrintDefaults()
+	}
+	var (
+		verbose = fs.Bool("v", false, "report advisory findings and per-method statistics")
+		rule    = fs.String("rule", "", "only report findings under this rule")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(errOut, "oatlint:", err)
+		return 2
+	}
+	img, err := oat.Unmarshal(data)
+	if err != nil {
+		fmt.Fprintln(errOut, "oatlint:", err)
+		return 2
+	}
+
+	rep := analysis.Analyze(img)
+	blocking := 0
+	for _, f := range rep.Findings {
+		if f.Severity >= analysis.SevWarn {
+			blocking++
+		}
+		if *rule != "" && f.Rule != *rule {
+			continue
+		}
+		if f.Severity >= analysis.SevWarn || *verbose {
+			fmt.Fprintln(out, f)
+		}
+	}
+
+	if *verbose {
+		var insts, blocks, dead, calls int
+		for _, m := range rep.Methods {
+			insts += m.Insts
+			blocks += m.Blocks
+			dead += m.DeadBlocks
+			calls += m.Calls
+		}
+		fmt.Fprintf(out, "%s text: %d methods (%d instructions, %d blocks, %d dead, %d call sites), %d thunks, %d outlined functions\n",
+			report.Bytes(rep.TextBytes), len(rep.Methods), insts, blocks, dead, calls,
+			rep.Thunks, rep.Outlined)
+	}
+
+	if blocking > 0 {
+		plural := "s"
+		if blocking == 1 {
+			plural = ""
+		}
+		fmt.Fprintf(out, "oatlint: %d finding%s\n", blocking, plural)
+		return 1
+	}
+	fmt.Fprintln(out, "oatlint: image is clean")
+	return 0
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	calibro "repro"
+	"repro/internal/a64"
+)
+
+// lintTestSrc is a small two-method app in the smali-like text format;
+// enough to produce calls, branches, and CTO thunks.
+const lintTestSrc = `
+.app Lint
+.file classes.dex
+.class LMain
+.method helper regs=3 ins=2
+    add v0, v1, v2
+    return v0
+.end method
+.method run regs=4 ins=1
+    const v0, 5
+    invoke v1, LMain.helper (v3, v0)
+    if-lt v0, v3, :big
+    return v1
+  :big
+    add v1, v1, v0
+    return v1
+.end method
+.end class
+.end file
+`
+
+// writeTestImage assembles, builds, and marshals the test app.
+func writeTestImage(t *testing.T, corrupt bool) string {
+	t.Helper()
+	app, err := calibro.Assemble(lintTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := calibro.Build(app, calibro.CTOOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt {
+		// Break the first method's prologue word: decodes nowhere.
+		res.Image.Text[res.Image.Methods[0].Offset/a64.WordSize] = 0xFFFF_FFFF
+	}
+	data, err := calibro.MarshalImage(res.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "app.oat")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLintCleanImage(t *testing.T) {
+	path := writeTestImage(t, false)
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d on a clean image; output:\n%s%s", code, out.String(), errOut.String())
+	}
+	if got := out.String(); got != "oatlint: image is clean\n" {
+		t.Errorf("output %q", got)
+	}
+}
+
+func TestLintCorruptImage(t *testing.T) {
+	path := writeTestImage(t, true)
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d on a corrupted image, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "[decode]") || !strings.Contains(out.String(), "m0+0") {
+		t.Errorf("findings do not name the method and offset:\n%s", out.String())
+	}
+}
+
+func TestLintVerbose(t *testing.T) {
+	path := writeTestImage(t, false)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-v", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "2 methods") ||
+		!strings.Contains(out.String(), "outlined functions") {
+		t.Errorf("verbose summary missing:\n%s", out.String())
+	}
+}
+
+func TestLintRuleFilter(t *testing.T) {
+	path := writeTestImage(t, true)
+	var out, errOut bytes.Buffer
+	run([]string{"-rule", "sp-balance", path}, &out, &errOut)
+	if strings.Contains(out.String(), "[decode]") {
+		t.Errorf("-rule filter leaked other rules:\n%s", out.String())
+	}
+}
+
+func TestLintUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.oat")}, &out, &errOut); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.oat")
+	if err := os.WriteFile(bad, []byte("not an oat image"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{bad}, &out, &errOut); code != 2 {
+		t.Errorf("unparsable file: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,216 @@
+// Package analysis is oatlint: a standalone static verifier for linked
+// OAT images. It takes only a linked *oat.Image — no compile-time
+// Snapshot, no symbol side tables — and re-establishes the §3.5
+// well-formedness argument from the bytes alone: it reconstructs
+// per-method and per-outlined-function control-flow graphs from the
+// decoded A64 words, validates control-flow integrity (every branch
+// lands on an instruction boundary of its own method, every bl lands on
+// a region head, nothing enters the middle of an outlined function, and
+// every outlined function is straight-line code ending in br x30), and
+// runs an abstract-interpretation dataflow pass proving stack-pointer
+// balance, callee-saved register discipline, and link-register integrity
+// on every path — including paths that route through outlined calls.
+//
+// Where outline.VerifyRewrite is the link-time, metadata-assisted check
+// (it needs the pre-outlining snapshot), this package is the load-time,
+// image-only check: it can lint an image that was marshaled to disk,
+// cached, shipped, and unmarshaled by a different process.
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/a64"
+	"repro/internal/dex"
+	"repro/internal/oat"
+)
+
+// MethodSummary is the analyzer's per-method accounting, exposed for
+// tooling (oatlint -v) and tests.
+type MethodSummary struct {
+	ID         dex.MethodID
+	Insts      int // decoded instruction words
+	DataWords  int // embedded-data words
+	Blocks     int // recovered basic blocks
+	DeadBlocks int // blocks unreachable from the entry
+	Calls      int // bl/blr sites
+}
+
+// Report is the full analyzer output: every finding at every severity,
+// plus per-method summaries and image-level statistics.
+type Report struct {
+	Findings  []Finding
+	Methods   []MethodSummary
+	Thunks    int
+	Outlined  int
+	TextBytes int
+}
+
+// ErrorCount returns the number of findings at SevError.
+func (r *Report) ErrorCount() int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Severity == SevError {
+			n++
+		}
+	}
+	return n
+}
+
+// Analyze verifies a linked image and returns the full report. It never
+// panics on malformed input: every structural defect becomes a finding.
+func Analyze(img *oat.Image) *Report {
+	var fs findings
+	l := buildLayout(img, &fs)
+
+	// Shared code first: thunks and outlined functions are verified once,
+	// and the decoded blob bodies feed the per-method dataflow replay.
+	for _, r := range l.regions {
+		switch r.kind {
+		case regionThunk:
+			l.checkThunk(r, &fs)
+		case regionBlob:
+			l.checkBlob(r, &fs)
+		}
+	}
+
+	rep := &Report{
+		Thunks:    len(img.Thunks),
+		Outlined:  len(img.Outlined),
+		TextBytes: img.TextBytes(),
+	}
+	for _, r := range l.regions {
+		if r.kind != regionMethod {
+			continue
+		}
+		mc := newMethodCtx(l, r, &fs)
+		mc.checkMetadata()
+		mc.recoverCFG()
+		mc.runDataflow()
+		rep.Methods = append(rep.Methods, mc.summary())
+	}
+	rep.Findings = fs.list
+	return rep
+}
+
+// Lint verifies a linked image and returns the findings that matter: all
+// warnings and errors, suppressing advisory (SevInfo) output. A loader
+// that wants a go/no-go answer checks len(Lint(img)) == 0.
+func Lint(img *oat.Image) []Finding {
+	var out []Finding
+	for _, f := range Analyze(img).Findings {
+		if f.Severity >= SevWarn {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// checkMetadata cross-checks the serialized LTBO metadata against the
+// code it describes. The metadata is what the link-time rewriter trusts,
+// so a disagreement means a future outlining pass over this image would
+// corrupt it even though the code itself still runs.
+func (mc *methodCtx) checkMetadata() {
+	for _, rel := range mc.rec.Meta.PCRel {
+		if rel.InstOff < 0 || rel.InstOff%a64.WordSize != 0 || rel.InstOff >= mc.r.size {
+			mc.errf(rel.InstOff, RuleMetadata, "PC-relative record outside the method")
+			continue
+		}
+		w := rel.InstOff / a64.WordSize
+		if !mc.decoded[w] {
+			mc.errf(rel.InstOff, RuleMetadata, "PC-relative record covers a non-instruction word")
+			continue
+		}
+		inst := mc.insts[w]
+		if !inst.Op.IsPCRel() {
+			mc.errf(rel.InstOff, RuleMetadata,
+				"PC-relative record covers %s, which is not PC-relative", inst.Op)
+			continue
+		}
+		// The recorded target must match what the encoded displacement
+		// says; adrp works in 4K pages and is excluded from the exact
+		// comparison.
+		if inst.Op != a64.OpAdrp && rel.InstOff+int(inst.Imm) != rel.TargetOff {
+			mc.errf(rel.InstOff, RuleMetadata,
+				"recorded target %#x disagrees with encoded displacement (%#x)",
+				rel.TargetOff, rel.InstOff+int(inst.Imm))
+		}
+	}
+
+	// The reverse direction: every decoded PC-relative instruction other
+	// than bl (calls are external references, not intra-method relocs)
+	// should have a record, or the rewriter will move code out from under
+	// it.
+	recorded := make(map[int]bool, len(mc.rec.Meta.PCRel))
+	for _, rel := range mc.rec.Meta.PCRel {
+		recorded[rel.InstOff] = true
+	}
+	for w := range mc.words {
+		if !mc.decoded[w] {
+			continue
+		}
+		inst := mc.insts[w]
+		if inst.Op.IsPCRel() && inst.Op != a64.OpBl && !recorded[w*a64.WordSize] {
+			mc.warnf(w*a64.WordSize, RuleMetadata,
+				"%s has no PC-relative record; outlining this method would break it", inst.Op)
+		}
+	}
+
+	for _, t := range mc.rec.Meta.Terminators {
+		if t < 0 || t%a64.WordSize != 0 || t >= mc.r.size {
+			mc.errf(t, RuleMetadata, "terminator record outside the method")
+			continue
+		}
+		// The collector records every control transfer: branches, calls,
+		// returns, and the brk of a slowpath trap.
+		w := t / a64.WordSize
+		if !mc.decoded[w] || !(mc.insts[w].Op.IsBranch() || mc.insts[w].Op == a64.OpBrk) {
+			mc.errf(t, RuleMetadata, "terminator record does not cover a control-transfer instruction")
+		}
+	}
+
+	for _, sp := range mc.rec.Meta.Slowpaths {
+		if sp.Start < 0 || sp.End < sp.Start || sp.End > mc.r.size {
+			mc.errf(sp.Start, RuleMetadata,
+				"slowpath range [%#x,%#x) outside the method", sp.Start, sp.End)
+		}
+	}
+
+	for _, sm := range mc.rec.StackMap {
+		if sm.NativeOff < 0 || sm.NativeOff%a64.WordSize != 0 || sm.NativeOff >= mc.r.size {
+			mc.errf(sm.NativeOff, RuleSafepoint, "stack map entry outside the method")
+			continue
+		}
+		w := sm.NativeOff / a64.WordSize
+		if !mc.decoded[w] || (mc.insts[w].Op != a64.OpBl && mc.insts[w].Op != a64.OpBlr) {
+			mc.errf(sm.NativeOff, RuleSafepoint,
+				"stack map entry does not sit on a call instruction")
+		}
+	}
+}
+
+// summary collects the per-method statistics after all passes ran.
+func (mc *methodCtx) summary() MethodSummary {
+	s := MethodSummary{ID: mc.id(), Calls: mc.calls}
+	for w := range mc.words {
+		switch {
+		case mc.data[w]:
+			s.DataWords++
+		case mc.decoded[w]:
+			s.Insts++
+		}
+	}
+	if mc.cfg != nil {
+		s.Blocks = len(mc.cfg.Blocks)
+		for bi := range mc.cfg.Blocks {
+			if bi < len(mc.reach) && !mc.reach[bi] {
+				s.DeadBlocks++
+			}
+		}
+	}
+	return s
+}
+
+func dexID(i int) dex.MethodID { return dex.MethodID(i) }
+
+func methodName(id dex.MethodID) string { return fmt.Sprintf("m%d", id) }

@@ -1,0 +1,303 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/a64"
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dex"
+	"repro/internal/oat"
+)
+
+// findInst locates the first instruction in method m matching pred,
+// returning its method-relative byte offset.
+func findInst(t *testing.T, img *oat.Image, m int, pred func(a64.Inst) bool) int {
+	t.Helper()
+	rec := img.Methods[m]
+	for w := 0; w < rec.Size/a64.WordSize; w++ {
+		word := img.Text[rec.Offset/a64.WordSize+w]
+		if inst, ok := a64.Decode(word); ok && pred(inst) {
+			return w * a64.WordSize
+		}
+	}
+	t.Fatalf("m%d: no matching instruction", m)
+	return -1
+}
+
+// findMethodWith returns the index of the first method containing an
+// instruction matching pred.
+func findMethodWith(img *oat.Image, pred func(a64.Inst) bool) int {
+	for m, rec := range img.Methods {
+		for w := 0; w < rec.Size/a64.WordSize; w++ {
+			if inst, ok := a64.Decode(img.Text[rec.Offset/a64.WordSize+w]); ok && pred(inst) {
+				return m
+			}
+		}
+	}
+	return -1
+}
+
+// setWord rewrites one word of method m at byte offset off.
+func setWord(img *oat.Image, m, off int, word uint32) {
+	img.Text[(img.Methods[m].Offset+off)/a64.WordSize] = word
+}
+
+// wantFinding asserts that linting the image produces at least one
+// finding under rule naming the given method and offset.
+func wantFinding(t *testing.T, img *oat.Image, rule string, m dex.MethodID, off int) {
+	t.Helper()
+	findings := analysis.Lint(img)
+	for _, f := range findings {
+		if f.Rule == rule && f.Method == m && f.Off == off {
+			t.Logf("finding: %s", f)
+			return
+		}
+	}
+	t.Errorf("no [%s] finding for m%d+%#x; got %d findings:", rule, m, off, len(findings))
+	for i, f := range findings {
+		if i == 8 {
+			break
+		}
+		t.Errorf("  %s", f)
+	}
+}
+
+// TestCorruptBranch flips a conditional branch to a displacement that
+// escapes the method: the acceptance criterion's "deliberately corrupted
+// image" case. The finding must name the method and the offset.
+func TestCorruptBranch(t *testing.T) {
+	img := buildApp(t, core.CTOLTBO())
+	m := findMethodWith(img, func(i a64.Inst) bool { return i.Op == a64.OpBCond })
+	if m < 0 {
+		t.Fatal("no conditional branch in any method")
+	}
+	off := findInst(t, img, m, func(i a64.Inst) bool { return i.Op == a64.OpBCond })
+	word := img.Text[(img.Methods[m].Offset+off)/a64.WordSize]
+	patched, err := a64.PatchRel(word, -1<<18) // far before any method
+	if err != nil {
+		t.Fatal(err)
+	}
+	setWord(img, m, off, patched)
+	wantFinding(t, img, analysis.RuleBranchTarget, dex.MethodID(m), off)
+}
+
+// TestCorruptBranchMisaligned points a branch displacement such that the
+// recorded metadata and the code disagree — the single-bit-flip case:
+// even when the flipped target still lands on some instruction boundary,
+// the metadata cross-check catches it.
+func TestCorruptBranchMetadata(t *testing.T) {
+	img := buildApp(t, core.CTOLTBO())
+	// Find a method with a recorded local branch and move its target by
+	// one word: still in-method, still aligned, but no longer what the
+	// metadata promises.
+	for m, rec := range img.Methods {
+		for _, rel := range rec.Meta.PCRel {
+			w := (rec.Offset + rel.InstOff) / a64.WordSize
+			inst, ok := a64.Decode(img.Text[w])
+			if !ok || inst.Op != a64.OpB {
+				continue
+			}
+			newOff := inst.Imm - a64.WordSize
+			if rel.InstOff+int(newOff) <= 0 {
+				continue
+			}
+			patched, err := a64.PatchRel(img.Text[w], newOff)
+			if err != nil {
+				continue
+			}
+			img.Text[w] = patched
+			wantFinding(t, img, analysis.RuleMetadata, dex.MethodID(m), rel.InstOff)
+			return
+		}
+	}
+	t.Fatal("no recorded unconditional branch found")
+}
+
+// TestCorruptBlobExit replaces an outlined function's br x30 exit with a
+// ret: the blob no longer returns through the canonical exit and must be
+// flagged, and every method is still analyzed without the replay.
+func TestCorruptBlobExit(t *testing.T) {
+	img := buildApp(t, core.CTOLTBO())
+	if len(img.Outlined) == 0 {
+		t.Fatal("build produced no outlined functions")
+	}
+	f := img.Outlined[0]
+	last := (f.Offset + f.Size - a64.WordSize) / a64.WordSize
+	img.Text[last] = a64.MustEncode(a64.Inst{Op: a64.OpRet, Rn: a64.LR})
+	var hit bool
+	for _, fd := range analysis.Lint(img) {
+		if fd.Rule == analysis.RuleBlobShape && fd.Method == analysis.NoMethod {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Error("corrupted outlined-function exit produced no blob-shape finding")
+	}
+}
+
+// TestCorruptCallIntoBlobInterior retargets a bl so it lands in the
+// middle of an outlined function.
+func TestCorruptCallIntoBlobInterior(t *testing.T) {
+	img := buildApp(t, core.CTOLTBO())
+	var blob *oat.FuncRecord
+	for i := range img.Outlined {
+		if img.Outlined[i].Size > 2*a64.WordSize {
+			blob = &img.Outlined[i]
+			break
+		}
+	}
+	if blob == nil {
+		t.Fatal("no multi-instruction outlined function")
+	}
+	m := findMethodWith(img, func(i a64.Inst) bool { return i.Op == a64.OpBl })
+	off := findInst(t, img, m, func(i a64.Inst) bool { return i.Op == a64.OpBl })
+	abs := img.Methods[m].Offset + off
+	patched, err := a64.PatchRel(
+		img.Text[abs/a64.WordSize], int64(blob.Offset+a64.WordSize-abs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	setWord(img, m, off, patched)
+	wantFinding(t, img, analysis.RuleBlobEntry, dex.MethodID(m), off)
+}
+
+// TestCorruptEpilogue shrinks the frame-release of one method's
+// epilogue, leaving sp unbalanced at ret.
+func TestCorruptEpilogue(t *testing.T) {
+	img := buildApp(t, core.Baseline())
+	isRelease := func(i a64.Inst) bool {
+		return i.Op == a64.OpLdp && i.Index == a64.IndexPost && i.Rn == 31 && i.Imm > 16
+	}
+	m := findMethodWith(img, isRelease)
+	if m < 0 {
+		t.Fatal("no frame-releasing epilogue found")
+	}
+	off := findInst(t, img, m, isRelease)
+	word := img.Text[(img.Methods[m].Offset+off)/a64.WordSize]
+	inst, _ := a64.Decode(word)
+	inst.Imm -= 16
+	setWord(img, m, off, a64.MustEncode(inst))
+	var hit bool
+	for _, f := range analysis.Lint(img) {
+		if f.Rule == analysis.RuleSPBalance && f.Method == dex.MethodID(m) {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Error("unbalanced epilogue produced no sp-balance finding")
+	}
+}
+
+// TestCorruptCalleeSaved turns a callee-saved restore into a restore of
+// the wrong register, so x20's entry value never comes back.
+func TestCorruptCalleeSaved(t *testing.T) {
+	img := buildApp(t, core.Baseline())
+	isRestore := func(i a64.Inst) bool {
+		return i.Op == a64.OpLdp && i.Index == a64.IndexOffset && i.Rn == 31 &&
+			i.Rd == a64.Reg(20)
+	}
+	m := findMethodWith(img, isRestore)
+	if m < 0 {
+		t.Fatal("no x20 restore found")
+	}
+	off := findInst(t, img, m, isRestore)
+	word := img.Text[(img.Methods[m].Offset+off)/a64.WordSize]
+	inst, _ := a64.Decode(word)
+	inst.Rd = a64.Reg(9) // restore into a scratch reg instead
+	setWord(img, m, off, a64.MustEncode(inst))
+	var hit bool
+	for _, f := range analysis.Lint(img) {
+		if f.Rule == analysis.RuleCalleeSaved && f.Method == dex.MethodID(m) {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Error("clobbered callee-saved restore produced no finding")
+	}
+}
+
+// TestCorruptRecord pushes a method record past the text end.
+func TestCorruptRecord(t *testing.T) {
+	img := buildApp(t, core.Baseline())
+	img.Methods[3].Size = img.TextBytes() // extends past the end
+	var hit bool
+	for _, f := range analysis.Lint(img) {
+		if f.Rule == analysis.RuleRecord {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Error("oversized method record produced no record finding")
+	}
+}
+
+// TestCorruptUndecodable stomps an instruction word with garbage.
+func TestCorruptUndecodable(t *testing.T) {
+	img := buildApp(t, core.CTOOnly())
+	rec := img.Methods[5]
+	// Offset 0 is the prologue stp: never embedded data.
+	setWord(img, 5, 0, 0xFFFFFFFF)
+	_ = rec
+	wantFinding(t, img, analysis.RuleDecode, dex.MethodID(5), 0)
+}
+
+// TestMethodCFG exercises the public per-method CFG entry point.
+func TestMethodCFG(t *testing.T) {
+	img := buildApp(t, core.CTOLTBO())
+	m := findMethodWith(img, func(i a64.Inst) bool { return i.Op == a64.OpBCond })
+	cfg, findings := analysis.MethodCFG(img, dex.MethodID(m))
+	for _, f := range findings {
+		if f.Severity >= analysis.SevWarn {
+			t.Errorf("unexpected: %s", f)
+		}
+	}
+	if cfg == nil || len(cfg.Blocks) < 2 {
+		t.Fatalf("m%d: expected a branching CFG, got %+v", m, cfg)
+	}
+	if cfg.Blocks[0].Start != 0 {
+		t.Errorf("entry block starts at %#x", cfg.Blocks[0].Start)
+	}
+	// Every successor index must be valid, and some block must branch.
+	branching := false
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			if s < 0 || s >= len(cfg.Blocks) {
+				t.Fatalf("successor %d out of range", s)
+			}
+		}
+		if b.Term == a64.OpBCond {
+			branching = true
+		}
+	}
+	if !branching {
+		t.Error("no conditional block terminator recovered")
+	}
+}
+
+// TestFindingString pins the diagnostic rendering tooling greps on.
+func TestFindingString(t *testing.T) {
+	f := analysis.Finding{
+		Severity: analysis.SevError, Method: 12, Off: 0x48,
+		Rule: analysis.RuleSPBalance, Msg: "oops",
+	}
+	if got := f.String(); got != "m12+0x48: error [sp-balance] oops" {
+		t.Errorf("Finding.String() = %q", got)
+	}
+	g := analysis.Finding{
+		Severity: analysis.SevWarn, Method: analysis.NoMethod, Off: -1,
+		Rule: analysis.RuleRecord, Msg: "bad table",
+	}
+	if got := g.String(); !strings.HasPrefix(got, "image: warn") {
+		t.Errorf("image-level Finding.String() = %q", got)
+	}
+}
+
+// TestSeverityNames pins severity rendering.
+func TestSeverityNames(t *testing.T) {
+	if analysis.SevInfo.String() != "info" || analysis.SevWarn.String() != "warn" ||
+		analysis.SevError.String() != "error" {
+		t.Error("severity names broken")
+	}
+}

@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/a64"
+	"repro/internal/abi"
+	"repro/internal/codegen"
+	"repro/internal/oat"
+)
+
+// regionKind classifies a span of the text segment.
+type regionKind uint8
+
+const (
+	regionThunk regionKind = iota
+	regionBlob
+	regionMethod
+)
+
+func (k regionKind) String() string {
+	switch k {
+	case regionThunk:
+		return "thunk"
+	case regionBlob:
+		return "outlined function"
+	default:
+		return "method"
+	}
+}
+
+// region is one laid-out code object.
+type region struct {
+	kind   regionKind
+	sym    int // thunk/blob symbol
+	method int // method table index, -1 otherwise
+	off    int // byte offset in text
+	size   int // byte size
+}
+
+// layout indexes a linked image for address classification: which region a
+// text offset falls in, and which offsets are legal bl targets.
+type layout struct {
+	img     *oat.Image
+	regions []region // sorted by offset; only well-formed records
+	heads   map[int]int
+	blobs   map[int]*blobInfo // blob text offset -> decoded body
+}
+
+// blobInfo is the decoded form of one outlined function, used both for the
+// blob's own shape checks and to replay its effect at every call site
+// during the dataflow pass.
+type blobInfo struct {
+	sym   int
+	insts []a64.Inst // decoded body, including the trailing br x30
+	ok    bool       // shape checks passed; safe to replay at call sites
+}
+
+// buildLayout validates the record tables and constructs the address
+// index. Malformed records produce findings and are excluded from the
+// index so later passes can assume well-formed regions.
+func buildLayout(img *oat.Image, fs *findings) *layout {
+	l := &layout{
+		img:   img,
+		heads: map[int]int{},
+		blobs: map[int]*blobInfo{},
+	}
+	size := img.TextBytes()
+	wellFormed := func(what string, off, sz int) bool {
+		if off < 0 || sz < 0 || off%a64.WordSize != 0 || sz%a64.WordSize != 0 || off+sz > size {
+			fs.add(SevError, NoMethod, -1, RuleRecord,
+				"%s record [%d,%d) outside text of %d bytes or misaligned", what, off, off+sz, size)
+			return false
+		}
+		return true
+	}
+	for _, f := range img.Thunks {
+		if wellFormed(codegen.SymName(f.Sym), f.Offset, f.Size) {
+			l.regions = append(l.regions, region{kind: regionThunk, sym: f.Sym, method: -1, off: f.Offset, size: f.Size})
+		}
+	}
+	for _, f := range img.Outlined {
+		if wellFormed(codegen.SymName(f.Sym), f.Offset, f.Size) {
+			l.regions = append(l.regions, region{kind: regionBlob, sym: f.Sym, method: -1, off: f.Offset, size: f.Size})
+		}
+	}
+	for i, m := range img.Methods {
+		if m.ID != dexID(i) {
+			fs.add(SevError, NoMethod, -1, RuleRecord, "method table slot %d holds m%d", i, m.ID)
+			continue
+		}
+		if wellFormed(methodName(m.ID), m.Offset, m.Size) {
+			l.regions = append(l.regions, region{kind: regionMethod, method: i, off: m.Offset, size: m.Size})
+		}
+	}
+	sort.Slice(l.regions, func(a, b int) bool { return l.regions[a].off < l.regions[b].off })
+	for i := 1; i < len(l.regions); i++ {
+		prev, cur := l.regions[i-1], l.regions[i]
+		if cur.off < prev.off+prev.size {
+			fs.add(SevError, NoMethod, cur.off, RuleRecord,
+				"%s at +%#x overlaps %s ending at +%#x",
+				cur.kind, cur.off, prev.kind, prev.off+prev.size)
+		}
+	}
+	for _, r := range l.regions {
+		if r.size > 0 {
+			l.heads[r.off] = int(r.kind) // value unused; presence marks a head
+		}
+	}
+	return l
+}
+
+// at classifies a text byte offset: the region containing it, if any.
+func (l *layout) at(off int) (region, bool) {
+	i := sort.Search(len(l.regions), func(i int) bool {
+		return l.regions[i].off+l.regions[i].size > off
+	})
+	if i < len(l.regions) && off >= l.regions[i].off {
+		return l.regions[i], true
+	}
+	return region{}, false
+}
+
+// words returns the text words of a region.
+func (l *layout) words(r region) []uint32 {
+	return l.img.Text[r.off/a64.WordSize : (r.off+r.size)/a64.WordSize]
+}
+
+// checkThunk verifies a pattern thunk: every word decodes, no word writes
+// sp or the frame pointer, and the thunk exits through a terminator (br to
+// a register, or ret) as the CTO patterns require.
+func (l *layout) checkThunk(r region, fs *findings) {
+	words := l.words(r)
+	name := codegen.SymName(r.sym)
+	if len(words) == 0 {
+		fs.add(SevError, NoMethod, r.off, RuleRecord, "%s is empty", name)
+		return
+	}
+	for w, word := range words {
+		inst, ok := a64.Decode(word)
+		if !ok {
+			fs.add(SevError, NoMethod, r.off+w*a64.WordSize, RuleDecode,
+				"%s word %#08x does not decode", name, word)
+			return
+		}
+		if writesSP(inst) {
+			fs.add(SevError, NoMethod, r.off+w*a64.WordSize, RuleBlobShape,
+				"%s modifies sp", name)
+		}
+	}
+	last, _ := a64.Decode(words[len(words)-1])
+	if last.Op != a64.OpBr && last.Op != a64.OpRet {
+		fs.add(SevError, NoMethod, r.off+(len(words)-1)*a64.WordSize, RuleBlobShape,
+			"%s ends in %s, not a br/ret exit", name, last.Op)
+	}
+}
+
+// checkBlob verifies the §3.3 shape of an outlined function — single-entry
+// single-exit straight-line code: every word decodes, no instruction
+// before the last transfers control, is PC-relative, or clobbers x30/sp,
+// and the last instruction is exactly br x30. A blob that passes is safe
+// to replay inline at call sites during the dataflow pass.
+func (l *layout) checkBlob(r region, fs *findings) *blobInfo {
+	words := l.words(r)
+	name := codegen.SymName(r.sym)
+	info := &blobInfo{sym: r.sym}
+	l.blobs[r.off] = info
+	if len(words) == 0 {
+		fs.add(SevError, NoMethod, r.off, RuleRecord, "%s is empty", name)
+		return info
+	}
+	ok := true
+	for w, word := range words {
+		inst, decoded := a64.Decode(word)
+		if !decoded {
+			fs.add(SevError, NoMethod, r.off+w*a64.WordSize, RuleDecode,
+				"%s word %#08x does not decode", name, word)
+			ok = false
+			break
+		}
+		info.insts = append(info.insts, inst)
+		off := r.off + w*a64.WordSize
+		if w == len(words)-1 {
+			if inst.Op != a64.OpBr || inst.Rn != a64.LR {
+				fs.add(SevError, NoMethod, off, RuleBlobShape,
+					"%s ends in %q, want br x30", name, inst)
+				ok = false
+			}
+			break
+		}
+		switch {
+		case inst.Op.IsBranch():
+			fs.add(SevError, NoMethod, off, RuleBlobShape,
+				"%s contains control transfer %q before its exit", name, inst)
+			ok = false
+		case inst.Op.IsPCRel():
+			fs.add(SevError, NoMethod, off, RuleBlobShape,
+				"%s contains PC-relative %q, unpatchable once outlined", name, inst)
+			ok = false
+		case writesReg(inst, a64.LR):
+			fs.add(SevError, NoMethod, off, RuleBlobShape,
+				"%s clobbers x30 before br x30", name)
+			ok = false
+		case writesSP(inst):
+			fs.add(SevError, NoMethod, off, RuleBlobShape, "%s modifies sp", name)
+			ok = false
+		}
+	}
+	info.ok = ok && len(info.insts) == len(words)
+	return info
+}
+
+// writesSP reports whether the instruction modifies the stack pointer:
+// add/sub immediate with Rd=31 (SP in that encoding class), or a pre/post
+// indexed load/store pair with writeback to an sp base.
+func writesSP(i a64.Inst) bool {
+	switch i.Op {
+	case a64.OpAddImm, a64.OpSubImm:
+		return i.Rd == 31
+	case a64.OpLdp, a64.OpStp:
+		return i.Index != a64.IndexOffset && i.Rn == 31
+	}
+	return false
+}
+
+// writesReg reports whether the instruction writes general-purpose
+// register r (r != 31; register 31 writes are SP/ZR special cases handled
+// by writesSP).
+func writesReg(i a64.Inst, r a64.Reg) bool {
+	if r == 31 {
+		return false
+	}
+	switch i.Op {
+	case a64.OpAddImm, a64.OpSubImm, a64.OpAddsImm, a64.OpSubsImm,
+		a64.OpMovz, a64.OpMovn, a64.OpMovk,
+		a64.OpAddReg, a64.OpAddsReg, a64.OpSubReg, a64.OpSubsReg,
+		a64.OpAndReg, a64.OpOrrReg, a64.OpEorReg,
+		a64.OpMul, a64.OpLslReg, a64.OpLsrReg,
+		a64.OpLdrImm, a64.OpLdrReg, a64.OpLdrLit,
+		a64.OpAdr, a64.OpAdrp:
+		return i.Rd == r
+	case a64.OpLdp:
+		return i.Rd == r || i.Rt2 == r || (i.Index != a64.IndexOffset && i.Rn == r)
+	case a64.OpStp:
+		return i.Index != a64.IndexOffset && i.Rn == r
+	case a64.OpBl, a64.OpBlr:
+		return r == a64.LR
+	}
+	return false
+}
+
+// textAddr converts a text byte offset to its mapped virtual address.
+func textAddr(off int) int64 { return abi.TextBase + int64(off) }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/codegen"
 	"repro/internal/dex"
 	"repro/internal/oat"
@@ -47,6 +48,12 @@ type Config struct {
 	// Detector selects the repeat-detection backend (suffix tree by
 	// default; outline.DetectorSuffixArray for the low-memory variant).
 	Detector outline.DetectorKind
+	// VerifyImage runs the static image verifier (internal/analysis) on
+	// the linked image and fails the build on any warning or error. It is
+	// the image-only counterpart of the always-on outline.VerifyRewrite:
+	// it needs no compile-time snapshot, so it checks exactly what a
+	// loader of the serialized image could check.
+	VerifyImage bool
 }
 
 // Baseline is the original AOSP configuration.
@@ -83,11 +90,12 @@ type Result struct {
 	CompileTime time.Duration
 	OutlineTime time.Duration
 	LinkTime    time.Duration
+	VerifyTime  time.Duration // zero unless Config.VerifyImage
 }
 
 // TotalTime is the end-to-end build duration.
 func (r *Result) TotalTime() time.Duration {
-	return r.CompileTime + r.OutlineTime + r.LinkTime
+	return r.CompileTime + r.OutlineTime + r.LinkTime + r.VerifyTime
 }
 
 // TextBytes is the paper's code-size metric.
@@ -142,6 +150,15 @@ func Build(app *dex.App, cfg Config) (*Result, error) {
 	}
 	res.LinkTime = time.Since(t2)
 	res.Image = img
+
+	if cfg.VerifyImage {
+		t3 := time.Now()
+		if findings := analysis.Lint(img); len(findings) > 0 {
+			return nil, fmt.Errorf("core: image verification failed: %d findings, first: %s",
+				len(findings), findings[0])
+		}
+		res.VerifyTime = time.Since(t3)
+	}
 	return res, nil
 }
 

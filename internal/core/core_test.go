@@ -169,3 +169,30 @@ func TestBuildTimesRecorded(t *testing.T) {
 		t.Errorf("times: compile=%v outline=%v link=%v", res.CompileTime, res.OutlineTime, res.LinkTime)
 	}
 }
+
+// TestVerifyImage exercises the opt-in post-link verification: a clean
+// build passes (and records the verification time), and a config that
+// would produce findings fails the build rather than returning an image.
+func TestVerifyImage(t *testing.T) {
+	app, _ := testApp(t, 40)
+	cfg := CTOLTBO()
+	cfg.VerifyImage = true
+	res, err := Build(app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifyTime <= 0 {
+		t.Error("VerifyImage build recorded no verification time")
+	}
+	if res.TotalTime() < res.VerifyTime {
+		t.Error("TotalTime excludes VerifyTime")
+	}
+
+	off, err := Build(app, CTOLTBO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.VerifyTime != 0 {
+		t.Error("verification ran without the flag")
+	}
+}

@@ -1,0 +1,72 @@
+package oat_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/codegen"
+	"repro/internal/oat"
+	"repro/internal/workload"
+)
+
+// This file lives outside package oat because it drives the static
+// analyzer, which itself imports oat.
+
+// lintFuzzImage builds a small linked image to seed the corpus.
+func lintFuzzImage(f *testing.F) *oat.Image {
+	f.Helper()
+	app, _, err := workload.Generate(workload.Profile{
+		Name: "fuzz", Seed: 11, Methods: 25,
+		NativeFrac: 0.1, SwitchFrac: 0.1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	methods, err := codegen.Compile(app, codegen.Options{CTO: true, Optimize: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	img, err := oat.Link(methods, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return img
+}
+
+// FuzzUnmarshalLint feeds mutated serialized images through the parser
+// and the full static analyzer: whatever Unmarshal accepts, Analyze must
+// process without panicking — every structural defect has to surface as
+// a finding, not a crash. This is the analyzer's core robustness
+// contract, since its whole purpose is vetting untrusted images.
+func FuzzUnmarshalLint(f *testing.F) {
+	img := lintFuzzImage(f)
+	data, err := img.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	// Seed a few targeted corruptions: flipped branch bits, a stomped
+	// record table, a truncated text section.
+	if len(data) > 512 {
+		for _, off := range []int{200, len(data) / 2, len(data) - 64} {
+			mut := append([]byte(nil), data...)
+			mut[off] ^= 0x40
+			f.Add(mut)
+		}
+		f.Add(data[:len(data)/2])
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		parsed, err := oat.Unmarshal(b)
+		if err != nil {
+			return
+		}
+		rep := analysis.Analyze(parsed)
+		// The report must be internally consistent even for garbage.
+		if len(rep.Methods) != len(parsed.Methods) {
+			t.Fatalf("report covers %d of %d methods", len(rep.Methods), len(parsed.Methods))
+		}
+		for _, fd := range rep.Findings {
+			_ = fd.String() // rendering must not panic either
+		}
+	})
+}

@@ -119,24 +119,24 @@ func VerifyRewrite(methods []*codegen.CompiledMethod, before *Snapshot, blobs []
 
 		// PC-relative instructions must keep their logical targets: the
 		// new target word (or the outlined body head) must equal the old
-		// target word.
+		// target word. Index the pre-state relocs by instruction word once
+		// (each instruction has at most one reloc) so the check is linear
+		// in the reloc count rather than quadratic.
+		origTarget := make(map[int]int, len(before.pcrels[mi]))
+		for _, orr := range before.pcrels[mi] {
+			origTarget[orr.InstOff/a64.WordSize] = orr.TargetOff / a64.WordSize
+		}
 		for _, r := range cm.Meta.PCRel {
 			oldInst := newToOld[r.InstOff/a64.WordSize]
 			oldTarget := newToOld[r.TargetOff/a64.WordSize]
-			// Find the matching original reloc by instruction position.
-			found := false
-			for _, orr := range before.pcrels[mi] {
-				if orr.InstOff/a64.WordSize == oldInst {
-					found = true
-					if orr.TargetOff/a64.WordSize != oldTarget {
-						return fmt.Errorf("outline: %s PC-relative at old word %d retargeted from %d to %d",
-							name, oldInst, orr.TargetOff/a64.WordSize, oldTarget)
-					}
-				}
-			}
+			want, found := origTarget[oldInst]
 			if !found {
 				return fmt.Errorf("outline: %s has a PC-relative at new offset %#x with no pre-state counterpart",
 					name, r.InstOff)
+			}
+			if want != oldTarget {
+				return fmt.Errorf("outline: %s PC-relative at old word %d retargeted from %d to %d",
+					name, oldInst, want, oldTarget)
 			}
 		}
 

@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci build vet test test-short fuzz bench
+.PHONY: ci build vet test test-short race fuzz bench
 
 # ci is the gate every change must pass: compile everything, vet
-# everything, run the full test suite.
-ci: build vet test
+# everything, run the full test suite, and run the short suite under the
+# race detector (the build pipeline fans out per-method work since -j).
+ci: build vet test race
 
 build:
 	$(GO) build ./...
@@ -18,6 +19,11 @@ test:
 # test-short skips the full-scale soak tests.
 test-short:
 	$(GO) test -short ./...
+
+# race runs the short suite under the race detector; the parallel
+# per-method stages (compile, analysis, outline, verify) must stay clean.
+race:
+	$(GO) test -race -short ./...
 
 # fuzz gives the serialization and lint fuzzers a short budget each.
 fuzz:

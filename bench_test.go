@@ -20,6 +20,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/codegen"
 	"repro/internal/outline"
 	"repro/internal/report"
 	"repro/internal/suffixtree"
@@ -396,6 +397,28 @@ func BenchmarkTable6_BuildTime(b *testing.B) {
 		}
 		if i == 0 {
 			fmt.Println(t)
+			// Per-stage breakdown: the times Result records are parallel
+			// wall clocks, so this is where the -j worker pool shows up.
+			st := &report.Table{
+				Title:  fmt.Sprintf("per-stage wall time, CTO+LTBO+PlOpti at -j %d", build(b, apps[0], "plopti").Workers),
+				Header: append([]string{""}, appNames(apps)...),
+			}
+			stages := []struct {
+				name string
+				get  func(*BuildResult) float64
+			}{
+				{"compile", func(r *BuildResult) float64 { return r.CompileTime.Seconds() }},
+				{"outline", func(r *BuildResult) float64 { return r.OutlineTime.Seconds() }},
+				{"link", func(r *BuildResult) float64 { return r.LinkTime.Seconds() }},
+			}
+			for _, s := range stages {
+				row := []string{s.name}
+				for _, ab := range apps {
+					row = append(row, fmt.Sprintf("%.3fs", s.get(build(b, ab, "plopti"))))
+				}
+				st.AddRow(row...)
+			}
+			fmt.Println(st)
 			fmt.Printf("paper: CTO+LTBO +489.5%%, CTO+LTBO+PlOpti +70.8%% (on %d-thread host %s)\n",
 				runtime.NumCPU(), runtime.GOARCH)
 		}
@@ -477,6 +500,36 @@ func BenchmarkCompile(b *testing.B) {
 		if _, err := Build(apps[1].app, Baseline()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCompileWorkers isolates the compile stage at -j 1 vs -j 8 on
+// the WeChat app. On a multi-core host the 8-worker run should finish the
+// same methods at least twice as fast; on a single-CPU host the two
+// sub-benchmarks coincide (the pool degrades to a bounded serial walk).
+func BenchmarkCompileWorkers(b *testing.B) {
+	apps := suite(b)
+	var wechat *appBundle
+	for _, ab := range apps {
+		if ab.prof.Name == "Wechat" {
+			wechat = ab
+		}
+	}
+	for _, j := range []int{1, 8} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				methods, err := codegen.Compile(wechat.app, codegen.Options{
+					CTO: true, Optimize: true, Workers: j,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(methods) != len(wechat.app.Methods) {
+					b.Fatal("short compile")
+				}
+			}
+			b.ReportMetric(float64(len(wechat.app.Methods))*float64(b.N)/b.Elapsed().Seconds(), "methods/s")
+		})
 	}
 }
 

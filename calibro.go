@@ -116,7 +116,10 @@ func Script(man *AppManifest, rounds int, seed int64) []ScriptRun {
 	return workload.Script(man, rounds, seed)
 }
 
-// Build compiles and links an app under the given configuration.
+// Build compiles and links an app under the given configuration. The
+// per-method stages (compile, outline, rewrite verification, image lint)
+// fan out on Config.Workers goroutines — <= 0 selects GOMAXPROCS — and
+// the linked image is byte-identical for every width.
 func Build(app *App, cfg Config) (*BuildResult, error) { return core.Build(app, cfg) }
 
 // ProfileGuidedBuild runs the Figure 6 loop: build, profile the script,
@@ -179,9 +182,21 @@ func CountPatterns(res *BuildResult) PatternCounts {
 // cached images long after the build that produced them.
 func LintImage(img *Image) []Finding { return analysis.Lint(img) }
 
+// LintImageParallel is LintImage with an explicit worker count (<= 0
+// selects GOMAXPROCS); findings and their order do not depend on it.
+func LintImageParallel(img *Image, workers int) []Finding {
+	return analysis.LintParallel(img, workers)
+}
+
 // AnalyzeImage runs the same verifier and returns the full report,
 // including advisory findings and per-method CFG statistics.
 func AnalyzeImage(img *Image) *LintReport { return analysis.Analyze(img) }
+
+// AnalyzeImageParallel is AnalyzeImage with an explicit worker count
+// (<= 0 selects GOMAXPROCS); the report does not depend on it.
+func AnalyzeImageParallel(img *Image, workers int) *LintReport {
+	return analysis.AnalyzeParallel(img, workers)
+}
 
 // RecoverCFG reconstructs one method's control-flow graph from a linked
 // image's decoded instructions, with any findings recovery produced.

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	calibro -app Wechat [-scale 0.25] [-config baseline|cto|ltbo|plopti|hfopti]
-//	        [-trees 8] [-runs 20] [-measure] [-o out.oat]
+//	        [-trees 8] [-j N] [-runs 20] [-measure] [-o out.oat]
 package main
 
 import (
@@ -31,6 +31,7 @@ func main() {
 		scale   = flag.Float64("scale", 0.25, "app scale factor (1.0 = full reproduction scale)")
 		config  = flag.String("config", "plopti", "baseline | cto | ltbo | plopti | hfopti")
 		trees   = flag.Int("trees", 8, "parallel suffix trees for plopti/hfopti")
+		workers = flag.Int("j", 0, "build worker goroutines; 0 = all CPUs (output is identical for every value)")
 		rounds  = flag.Int("rounds", 1, "outlining rounds")
 		dedup   = flag.Bool("dedup", false, "merge identical outlined functions across trees")
 		runs    = flag.Int("runs", 20, "scripted runs for profiling/measurement")
@@ -83,15 +84,16 @@ func main() {
 	tune := func(c core.Config) core.Config {
 		c.Rounds = *rounds
 		c.DedupFunctions = *dedup
+		c.Workers = *workers
 		return c
 	}
 	var res *core.Result
 	var err error
 	switch *config {
 	case "baseline":
-		res, err = core.Build(app, core.Baseline())
+		res, err = core.Build(app, tune(core.Baseline()))
 	case "cto":
-		res, err = core.Build(app, core.CTOOnly())
+		res, err = core.Build(app, tune(core.CTOOnly()))
 	case "ltbo":
 		res, err = core.Build(app, tune(core.CTOLTBO()))
 	case "plopti":
@@ -105,8 +107,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("config %s: text %s, build %s (compile %s, outline %s, link %s)\n",
-		*config, report.Bytes(res.TextBytes()), report.Dur(res.TotalTime()),
+	fmt.Printf("config %s: text %s, build %s at -j %d (compile %s, outline %s, link %s)\n",
+		*config, report.Bytes(res.TextBytes()), report.Dur(res.TotalTime()), res.Workers,
 		report.Dur(res.CompileTime), report.Dur(res.OutlineTime), report.Dur(res.LinkTime))
 	if s := res.Outline; s != nil {
 		fmt.Printf("outlining: %d candidates, %d functions, %d occurrences, net %d words saved\n",

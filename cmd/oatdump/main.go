@@ -104,6 +104,12 @@ func run(args []string, out, errOut io.Writer) int {
 				return false
 			}
 			words := img.MethodCode(m.ID)
+			if words == nil && m.Size != 0 {
+				// Unmarshal accepts records Validate would reject;
+				// MethodCode refuses to slice them.
+				fmt.Fprintf(out, "  <method record is outside the text segment; run -verify>\n")
+				continue
+			}
 			for i, line := range a64.Disassemble(words, int(abi.TextBase)+m.Offset) {
 				tag := ""
 				if inData(i * 4) {

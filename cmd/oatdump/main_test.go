@@ -96,6 +96,45 @@ func TestDumpDisasmFlag(t *testing.T) {
 	}
 }
 
+// TestDumpCorruptMethodRecord dumps an image whose method record passes
+// parsing but not Validate: the record points outside the text segment.
+// The dumper must survive it — MethodCode returns nil instead of letting
+// a slice expression panic — and -verify must reject the same image.
+func TestDumpCorruptMethodRecord(t *testing.T) {
+	path := writeTestImage(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := calibro.UnmarshalImage(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.Methods[1].Size = 1 << 30 // far beyond the text segment
+	corrupt, err := calibro.MarshalImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptPath := filepath.Join(t.TempDir(), "corrupt.oat")
+	if err := os.WriteFile(corruptPath, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-i", corruptPath, "-disasm"}, &out, &errOut); code != 0 {
+		t.Fatalf("disasm of corrupt image: exit %d; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "outside the text segment") {
+		t.Errorf("dump does not flag the corrupt record:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-i", corruptPath, "-verify"}, &out, &errOut); code != 1 {
+		t.Errorf("-verify accepted the corrupt image (exit %d)", code)
+	}
+}
+
 func TestDumpUsageErrors(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run(nil, &out, &errOut); code != 2 {

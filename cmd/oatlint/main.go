@@ -10,10 +10,12 @@
 //
 // Usage:
 //
-//	oatlint [-v] [-rule name] app.oat
+//	oatlint [-v] [-rule name] [-j N] app.oat
 //
-// Exit status is 0 when the image is clean, 1 when there are findings,
-// and 2 on usage or I/O errors.
+// Per-method checks run on -j worker goroutines (0 = all CPUs); findings
+// and their order are identical for every -j. Exit status is 0 when the
+// image is clean, 1 when there are findings, and 2 on usage or I/O
+// errors.
 package main
 
 import (
@@ -37,12 +39,13 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("oatlint", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	fs.Usage = func() {
-		fmt.Fprintln(errOut, "usage: oatlint [-v] [-rule name] app.oat")
+		fmt.Fprintln(errOut, "usage: oatlint [-v] [-rule name] [-j N] app.oat")
 		fs.PrintDefaults()
 	}
 	var (
 		verbose = fs.Bool("v", false, "report advisory findings and per-method statistics")
 		rule    = fs.String("rule", "", "only report findings under this rule")
+		workers = fs.Int("j", 0, "analysis worker goroutines; 0 = all CPUs (findings are identical for every value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,7 +65,7 @@ func run(args []string, out, errOut io.Writer) int {
 		return 2
 	}
 
-	rep := analysis.Analyze(img)
+	rep := analysis.AnalyzeParallel(img, *workers)
 	blocking := 0
 	for _, f := range rep.Findings {
 		if f.Severity >= analysis.SevWarn {

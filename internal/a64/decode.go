@@ -1,5 +1,7 @@
 package a64
 
+import "fmt"
+
 // signExtend interprets the low bits of v as a signed integer of the given
 // width.
 func signExtend(v uint32, bits uint) int64 {
@@ -227,6 +229,8 @@ type notPCRelError uint32
 
 func errNotPCRel(w uint32) error { return notPCRelError(w) }
 
+// Error names the offending word: this message is the only diagnostic a
+// failed patch surfaces, so it must say *what* refused to patch.
 func (e notPCRelError) Error() string {
-	return "a64: word is not a PC-relative instruction in the modeled subset"
+	return fmt.Sprintf("a64: word %#08x is not a PC-relative instruction in the modeled subset", uint32(e))
 }

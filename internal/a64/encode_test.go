@@ -2,6 +2,7 @@ package a64
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -349,12 +350,17 @@ func TestPatchRel(t *testing.T) {
 		}
 	}
 
-	// Non-PC-relative words must be rejected.
+	// Non-PC-relative words must be rejected, and the diagnostic — the
+	// only thing a failed patch surfaces — must name the offending word.
 	if _, err := PatchRel(MustEncode(Inst{Op: OpNop}), 4); err == nil {
 		t.Error("PatchRel(nop) succeeded, want error")
+	} else if !strings.Contains(err.Error(), "0xd503201f") {
+		t.Errorf("PatchRel(nop) error %q does not name the word 0xd503201f", err)
 	}
 	if _, err := PatchRel(0xFFFFFFFF, 4); err == nil {
 		t.Error("PatchRel(junk) succeeded, want error")
+	} else if !strings.Contains(err.Error(), "0xffffffff") {
+		t.Errorf("PatchRel(junk) error %q does not name the word 0xffffffff", err)
 	}
 	// Out-of-range new displacement must surface the encoder's error.
 	if _, err := PatchRel(MustEncode(Inst{Op: OpBCond, Imm: 4}), 1<<40); err == nil {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/a64"
 	"repro/internal/dex"
 	"repro/internal/oat"
+	"repro/internal/par"
 )
 
 // MethodSummary is the analyzer's per-method accounting, exposed for
@@ -59,12 +60,21 @@ func (r *Report) ErrorCount() int {
 
 // Analyze verifies a linked image and returns the full report. It never
 // panics on malformed input: every structural defect becomes a finding.
-func Analyze(img *oat.Image) *Report {
+// Per-method passes run on runtime.GOMAXPROCS(0) workers; use
+// AnalyzeParallel to pick the width explicitly.
+func Analyze(img *oat.Image) *Report { return AnalyzeParallel(img, 0) }
+
+// AnalyzeParallel is Analyze with an explicit worker count (<= 0 selects
+// GOMAXPROCS). Each method gets its own finding sink, and per-method
+// findings are merged back in method-region order — the order a serial
+// walk produces — so the report is byte-identical for every width.
+func AnalyzeParallel(img *oat.Image, workers int) *Report {
 	var fs findings
 	l := buildLayout(img, &fs)
 
 	// Shared code first: thunks and outlined functions are verified once,
 	// and the decoded blob bodies feed the per-method dataflow replay.
+	// From here on the layout (including the blob index) is read-only.
 	for _, r := range l.regions {
 		switch r.kind {
 		case regionThunk:
@@ -79,15 +89,28 @@ func Analyze(img *oat.Image) *Report {
 		Outlined:  len(img.Outlined),
 		TextBytes: img.TextBytes(),
 	}
+	var mregions []region
 	for _, r := range l.regions {
-		if r.kind != regionMethod {
-			continue
+		if r.kind == regionMethod {
+			mregions = append(mregions, r)
 		}
-		mc := newMethodCtx(l, r, &fs)
+	}
+	type methodResult struct {
+		fs  findings
+		sum MethodSummary
+	}
+	results, _ := par.Map(workers, len(mregions), func(i int) (*methodResult, error) {
+		res := &methodResult{}
+		mc := newMethodCtx(l, mregions[i], &res.fs)
 		mc.checkMetadata()
 		mc.recoverCFG()
 		mc.runDataflow()
-		rep.Methods = append(rep.Methods, mc.summary())
+		res.sum = mc.summary()
+		return res, nil
+	})
+	for _, res := range results {
+		fs.list = append(fs.list, res.fs.list...)
+		rep.Methods = append(rep.Methods, res.sum)
 	}
 	rep.Findings = fs.list
 	return rep
@@ -96,9 +119,13 @@ func Analyze(img *oat.Image) *Report {
 // Lint verifies a linked image and returns the findings that matter: all
 // warnings and errors, suppressing advisory (SevInfo) output. A loader
 // that wants a go/no-go answer checks len(Lint(img)) == 0.
-func Lint(img *oat.Image) []Finding {
+func Lint(img *oat.Image) []Finding { return LintParallel(img, 0) }
+
+// LintParallel is Lint with an explicit worker count (<= 0 selects
+// GOMAXPROCS). Finding order does not depend on the width.
+func LintParallel(img *oat.Image, workers int) []Finding {
 	var out []Finding
-	for _, f := range Analyze(img).Findings {
+	for _, f := range AnalyzeParallel(img, workers).Findings {
 		if f.Severity >= SevWarn {
 			out = append(out, f)
 		}

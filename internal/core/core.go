@@ -15,6 +15,7 @@ import (
 	"repro/internal/dex"
 	"repro/internal/oat"
 	"repro/internal/outline"
+	"repro/internal/par"
 	"repro/internal/profiler"
 	"repro/internal/workload"
 )
@@ -54,6 +55,13 @@ type Config struct {
 	// it needs no compile-time snapshot, so it checks exactly what a
 	// loader of the serialized image could check.
 	VerifyImage bool
+	// Workers bounds the goroutines every per-method pipeline stage
+	// (compile, outline, rewrite verification, image lint) fans out on;
+	// <= 0 selects runtime.GOMAXPROCS(0). The determinism contract is
+	// that the linked image — and any error — is byte-identical for
+	// every value; only wall-clock time changes. The cmd/calibro and
+	// cmd/oatlint -j flags set this.
+	Workers int
 }
 
 // Baseline is the original AOSP configuration.
@@ -87,6 +95,13 @@ type Result struct {
 	Methods []*codegen.CompiledMethod
 	Outline *outline.Stats // nil when LTBO is off
 
+	// Workers is the resolved pool width the parallel stages ran with,
+	// so build-time reports (Table 6) can label their columns.
+	Workers int
+
+	// Per-stage wall-clock times. Compile, outline, and verify are
+	// parallel stages: these are elapsed times at Workers width, not CPU
+	// time summed over the pool.
 	CompileTime time.Duration
 	OutlineTime time.Duration
 	LinkTime    time.Duration
@@ -103,10 +118,12 @@ func (r *Result) TextBytes() int { return r.Image.TextBytes() }
 
 // Build compiles and links the app under the given configuration.
 func Build(app *dex.App, cfg Config) (*Result, error) {
-	res := &Result{}
+	res := &Result{Workers: par.Workers(cfg.Workers)}
 
 	t0 := time.Now()
-	methods, err := codegen.Compile(app, codegen.Options{CTO: cfg.CTO, Optimize: cfg.OptimizeIR})
+	methods, err := codegen.Compile(app, codegen.Options{
+		CTO: cfg.CTO, Optimize: cfg.OptimizeIR, Workers: cfg.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -122,6 +139,7 @@ func Build(app *dex.App, cfg Config) (*Result, error) {
 			Rounds:         cfg.Rounds,
 			DedupFunctions: cfg.DedupFunctions,
 			Detector:       cfg.Detector,
+			Workers:        cfg.Workers,
 		}
 		if cfg.HotFilter {
 			if cfg.Profile == nil {
@@ -153,7 +171,7 @@ func Build(app *dex.App, cfg Config) (*Result, error) {
 
 	if cfg.VerifyImage {
 		t3 := time.Now()
-		if findings := analysis.Lint(img); len(findings) > 0 {
+		if findings := analysis.LintParallel(img, cfg.Workers); len(findings) > 0 {
 			return nil, fmt.Errorf("core: image verification failed: %d findings, first: %s",
 				len(findings), findings[0])
 		}

@@ -57,9 +57,20 @@ func (img *Image) EntryAddr(id dex.MethodID) int64 {
 	return abi.TextBase + int64(img.Methods[id].Offset)
 }
 
-// MethodCode returns the code words of one method.
+// MethodCode returns the code words of one method, or nil when the id or
+// its record does not resolve to a word-aligned range inside the text
+// segment. Unmarshal accepts record tables Validate would reject (so
+// tooling can inspect corrupt images), which makes the nil here — not a
+// slice panic — the contract a dumper of untrusted images relies on.
 func (img *Image) MethodCode(id dex.MethodID) []uint32 {
+	if int(id) < 0 || int(id) >= len(img.Methods) {
+		return nil
+	}
 	r := img.Methods[id]
+	if r.Offset < 0 || r.Size < 0 || r.Offset%a64.WordSize != 0 || r.Size%a64.WordSize != 0 ||
+		r.Offset+r.Size > img.TextBytes() {
+		return nil
+	}
 	return img.Text[r.Offset/a64.WordSize : (r.Offset+r.Size)/a64.WordSize]
 }
 

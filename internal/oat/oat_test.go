@@ -61,6 +61,39 @@ func TestLinkLayout(t *testing.T) {
 	}
 }
 
+// TestMethodCodeCorruptRecord checks that MethodCode refuses — with nil,
+// not a panic — records that parse but would fail Validate: out-of-range
+// ids and offsets/sizes outside or misaligned within the text segment.
+func TestMethodCodeCorruptRecord(t *testing.T) {
+	methods := buildMethods(t, false)
+	img, err := Link(methods, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.MethodCode(dex.MethodID(len(img.Methods))) != nil {
+		t.Error("id past the method table returned code")
+	}
+	if img.MethodCode(^dex.MethodID(0)) != nil {
+		t.Error("NoMethod-style id returned code")
+	}
+	corrupt := func(name string, mutate func(*MethodRecord)) {
+		rec := img.Methods[0]
+		defer func() { img.Methods[0] = rec }()
+		mutate(&img.Methods[0])
+		if img.MethodCode(0) != nil {
+			t.Errorf("%s: corrupt record returned code", name)
+		}
+	}
+	corrupt("size overruns text", func(m *MethodRecord) { m.Size = img.TextBytes() + a64.WordSize })
+	corrupt("negative offset", func(m *MethodRecord) { m.Offset = -4 })
+	corrupt("negative size", func(m *MethodRecord) { m.Size = -4 })
+	corrupt("misaligned offset", func(m *MethodRecord) { m.Offset += 2 })
+	corrupt("misaligned size", func(m *MethodRecord) { m.Size += 2 })
+	if img.MethodCode(0) == nil {
+		t.Error("restored record no longer returns code")
+	}
+}
+
 func TestLinkBindsThunkCalls(t *testing.T) {
 	methods := buildMethods(t, true)
 	img, err := Link(methods, nil)

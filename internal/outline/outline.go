@@ -12,13 +12,14 @@ package outline
 
 import (
 	"fmt"
-	"sync"
+	"sort"
 	"time"
 
 	"repro/internal/a64"
 	"repro/internal/codegen"
 	"repro/internal/dex"
 	"repro/internal/oat"
+	"repro/internal/par"
 )
 
 // Options controls the outliner.
@@ -50,6 +51,12 @@ type Options struct {
 	// repeat families with a far smaller memory footprint (the resource
 	// the paper's global tree exhausts at production scale).
 	Detector DetectorKind
+	// Workers bounds the goroutines the outliner uses for the group
+	// fan-out, the per-method separator scans, and the per-method
+	// rewrites; <= 0 selects runtime.GOMAXPROCS(0). Distinct from
+	// Parallel, which partitions the *input* into K trees and changes
+	// what is outlined; Workers changes only scheduling, never output.
+	Workers int
 }
 
 // DetectorKind selects a repeat-detection backend.
@@ -223,27 +230,19 @@ func runPass(methods []*codegen.CompiledMethod, opts Options, symBase int) ([]oa
 	type groupResult struct {
 		funcs []outlinedFunc
 		stats Stats
-		err   error
 	}
-	results := make([]groupResult, k)
-	var wg sync.WaitGroup
-	for gi := range groups {
-		wg.Add(1)
-		go func(gi int) {
-			defer wg.Done()
-			funcs, st, err := outlineGroup(methods, groups[gi], opts)
-			results[gi] = groupResult{funcs: funcs, stats: st, err: err}
-		}(gi)
+	results, err := par.Map(opts.Workers, k, func(gi int) (groupResult, error) {
+		funcs, st, err := outlineGroup(methods, groups[gi], opts)
+		return groupResult{funcs: funcs, stats: st}, err
+	})
+	if err != nil {
+		return nil, stats, err
 	}
-	wg.Wait()
 
 	// Merge deterministically in group order.
 	var blobs []oat.Blob
 	var rewrites []rewritePlan
 	for _, res := range results {
-		if res.err != nil {
-			return nil, stats, res.err
-		}
 		stats.SequenceSymbols += res.stats.SequenceSymbols
 		if res.stats.TreeBuild > stats.TreeBuild {
 			stats.TreeBuild = res.stats.TreeBuild // parallel: max, not sum
@@ -269,16 +268,28 @@ func runPass(methods []*codegen.CompiledMethod, opts Options, symBase int) ([]oa
 	}
 
 	// §3.3.3-3.3.4: rewrite the binaries and patch PC-relative
-	// instructions, one method at a time.
+	// instructions, one method at a time. Each rewrite touches only its
+	// own method, so the rewrites fan out on the pool; iterating methods
+	// in ascending index order makes the first reported error — and the
+	// Rewrite timing's attribution — independent of map iteration order.
 	start := time.Now()
 	byMethod := map[int][]rewritePlan{}
 	for _, rp := range rewrites {
 		byMethod[rp.method] = append(byMethod[rp.method], rp)
 	}
-	for mi, plans := range byMethod {
-		if err := rewriteMethod(methods[mi], plans); err != nil {
-			return nil, stats, fmt.Errorf("outline: %s: %w", methods[mi].M.FullName(), err)
+	order := make([]int, 0, len(byMethod))
+	for mi := range byMethod {
+		order = append(order, mi)
+	}
+	sort.Ints(order)
+	if err := par.Each(opts.Workers, len(order), func(i int) error {
+		mi := order[i]
+		if err := rewriteMethod(methods[mi], byMethod[mi]); err != nil {
+			return fmt.Errorf("outline: %s: %w", methods[mi].M.FullName(), err)
 		}
+		return nil
+	}); err != nil {
+		return nil, stats, err
 	}
 	stats.Rewrite = time.Since(start)
 	return blobs, stats, nil

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/a64"
 	"repro/internal/codegen"
+	"repro/internal/par"
 	"repro/internal/suffixarray"
 	"repro/internal/suffixtree"
 )
@@ -127,15 +128,24 @@ func (s *symbolizer) wordsOf(label []uint32) []uint32 {
 	return out
 }
 
-// buildSequence symbolizes a group of methods into one sequence.
+// buildSequence symbolizes a group of methods into one sequence. The
+// per-method separator scans (metadata walks plus a decode of every word)
+// are independent and fan out on the worker pool; the symbol interning
+// that follows is inherently sequential — symbol identity depends on
+// first-seen order — and stays a serial walk in group order, so the
+// sequence is identical for every worker count.
 func buildSequence(methods []*codegen.CompiledMethod, group []int, opts Options) ([]uint32, []position) {
+	seps, _ := par.Map(opts.Workers, len(group), func(i int) ([]bool, error) {
+		cm := methods[group[i]]
+		hot := opts.Hot != nil && opts.Hot[cm.M.ID]
+		return separatorWords(cm, hot), nil
+	})
 	sym := newSymbolizer()
 	var seq []uint32
 	var pos []position
-	for _, mi := range group {
+	for gi, mi := range group {
 		cm := methods[mi]
-		hot := opts.Hot != nil && opts.Hot[cm.M.ID]
-		sep := separatorWords(cm, hot)
+		sep := seps[gi]
 		for w, word := range cm.Code {
 			if sep[w] {
 				seq = append(seq, sym.separator())

@@ -6,6 +6,7 @@ import (
 	"repro/internal/a64"
 	"repro/internal/codegen"
 	"repro/internal/oat"
+	"repro/internal/par"
 )
 
 // Snapshot captures the pre-outlining state of compiled methods so a
@@ -46,8 +47,17 @@ func Snap(methods []*codegen.CompiledMethod) *Snapshot {
 //     original instruction word.
 //  4. Stack map entries land on call instructions.
 //
-// It returns the first violation found.
+// It returns the first violation found. Methods replay independently on
+// runtime.GOMAXPROCS(0) workers (use VerifyRewriteParallel for an
+// explicit width); when several methods are violated, the lowest method
+// index's error is reported, exactly as a serial scan would.
 func VerifyRewrite(methods []*codegen.CompiledMethod, before *Snapshot, blobs []oat.Blob) error {
+	return VerifyRewriteParallel(methods, before, blobs, 0)
+}
+
+// VerifyRewriteParallel is VerifyRewrite with an explicit worker count
+// (<= 0 selects GOMAXPROCS).
+func VerifyRewriteParallel(methods []*codegen.CompiledMethod, before *Snapshot, blobs []oat.Blob, workers int) error {
 	bodyBySym := map[int][]uint32{}
 	for _, b := range blobs {
 		if len(b.Code) < 1 {
@@ -55,97 +65,103 @@ func VerifyRewrite(methods []*codegen.CompiledMethod, before *Snapshot, blobs []
 		}
 		bodyBySym[b.Sym] = b.Code[:len(b.Code)-1] // strip the br x30
 	}
+	return par.Each(workers, len(methods), func(mi int) error {
+		return verifyMethod(methods[mi], mi, before, bodyBySym)
+	})
+}
 
-	for mi, cm := range methods {
-		name := cm.M.FullName()
-		if before.native[mi] || before.indir[mi] {
-			if !wordsEqual(cm.Code, before.codes[mi]) {
-				return fmt.Errorf("outline: protected method %s was modified", name)
+// verifyMethod replays one method's rewrite against the snapshot. It reads
+// only the method, the snapshot slot mi, and the (read-only) blob bodies,
+// so replays are safe to run concurrently.
+func verifyMethod(cm *codegen.CompiledMethod, mi int, before *Snapshot, bodyBySym map[int][]uint32) error {
+	name := cm.M.FullName()
+	if before.native[mi] || before.indir[mi] {
+		if !wordsEqual(cm.Code, before.codes[mi]) {
+			return fmt.Errorf("outline: protected method %s was modified", name)
+		}
+		return nil
+	}
+
+	// Reconstruct the original stream. Ext entries are sorted by the
+	// rewriter; outlined call sites have SymKindOutlined symbols.
+	outlinedAt := map[int]int{} // new word index -> symbol
+	for _, e := range cm.Ext {
+		if kind, _ := codegen.UnpackSym(e.Symbol); kind == codegen.SymKindOutlined {
+			outlinedAt[e.InstOff/a64.WordSize] = e.Symbol
+		}
+	}
+	var rebuilt []uint32
+	newToOld := make(map[int]int) // new word index -> rebuilt (old) word index
+	for w := 0; w < len(cm.Code); w++ {
+		newToOld[w] = len(rebuilt)
+		if sym, ok := outlinedAt[w]; ok {
+			body, found := bodyBySym[sym]
+			if !found {
+				return fmt.Errorf("outline: %s calls unknown %s", name, codegen.SymName(sym))
 			}
+			rebuilt = append(rebuilt, body...)
 			continue
 		}
+		rebuilt = append(rebuilt, cm.Code[w])
+	}
+	orig := before.codes[mi]
+	if len(rebuilt) != len(orig) {
+		return fmt.Errorf("outline: %s reconstructs to %d words, original %d", name, len(rebuilt), len(orig))
+	}
+	// Identify positions whose displacement was legitimately patched.
+	patched := map[int]bool{}
+	for _, r := range cm.Meta.PCRel {
+		patched[newToOld[r.InstOff/a64.WordSize]] = true
+	}
+	for w := range rebuilt {
+		if rebuilt[w] == orig[w] {
+			continue
+		}
+		if !patched[w] {
+			return fmt.Errorf("outline: %s word %d changed (%#08x -> %#08x) without being a PC-relative patch",
+				name, w, orig[w], rebuilt[w])
+		}
+		// A patched word must differ only in its displacement field:
+		// re-patching the original with the new displacement must
+		// reproduce the new word.
+		ni, ok := a64.Decode(rebuilt[w])
+		if !ok {
+			return fmt.Errorf("outline: %s patched word %d does not decode", name, w)
+		}
+		same, err := a64.PatchRel(orig[w], ni.Imm)
+		if err != nil || same != rebuilt[w] {
+			return fmt.Errorf("outline: %s word %d patch altered more than the displacement", name, w)
+		}
+	}
 
-		// Reconstruct the original stream. Ext entries are sorted by the
-		// rewriter; outlined call sites have SymKindOutlined symbols.
-		outlinedAt := map[int]int{} // new word index -> symbol
-		for _, e := range cm.Ext {
-			if kind, _ := codegen.UnpackSym(e.Symbol); kind == codegen.SymKindOutlined {
-				outlinedAt[e.InstOff/a64.WordSize] = e.Symbol
-			}
+	// PC-relative instructions must keep their logical targets: the
+	// new target word (or the outlined body head) must equal the old
+	// target word. Index the pre-state relocs by instruction word once
+	// (each instruction has at most one reloc) so the check is linear
+	// in the reloc count rather than quadratic.
+	origTarget := make(map[int]int, len(before.pcrels[mi]))
+	for _, orr := range before.pcrels[mi] {
+		origTarget[orr.InstOff/a64.WordSize] = orr.TargetOff / a64.WordSize
+	}
+	for _, r := range cm.Meta.PCRel {
+		oldInst := newToOld[r.InstOff/a64.WordSize]
+		oldTarget := newToOld[r.TargetOff/a64.WordSize]
+		want, found := origTarget[oldInst]
+		if !found {
+			return fmt.Errorf("outline: %s has a PC-relative at new offset %#x with no pre-state counterpart",
+				name, r.InstOff)
 		}
-		var rebuilt []uint32
-		newToOld := make(map[int]int) // new word index -> rebuilt (old) word index
-		for w := 0; w < len(cm.Code); w++ {
-			newToOld[w] = len(rebuilt)
-			if sym, ok := outlinedAt[w]; ok {
-				body, found := bodyBySym[sym]
-				if !found {
-					return fmt.Errorf("outline: %s calls unknown %s", name, codegen.SymName(sym))
-				}
-				rebuilt = append(rebuilt, body...)
-				continue
-			}
-			rebuilt = append(rebuilt, cm.Code[w])
+		if want != oldTarget {
+			return fmt.Errorf("outline: %s PC-relative at old word %d retargeted from %d to %d",
+				name, oldInst, want, oldTarget)
 		}
-		orig := before.codes[mi]
-		if len(rebuilt) != len(orig) {
-			return fmt.Errorf("outline: %s reconstructs to %d words, original %d", name, len(rebuilt), len(orig))
-		}
-		// Identify positions whose displacement was legitimately patched.
-		patched := map[int]bool{}
-		for _, r := range cm.Meta.PCRel {
-			patched[newToOld[r.InstOff/a64.WordSize]] = true
-		}
-		for w := range rebuilt {
-			if rebuilt[w] == orig[w] {
-				continue
-			}
-			if !patched[w] {
-				return fmt.Errorf("outline: %s word %d changed (%#08x -> %#08x) without being a PC-relative patch",
-					name, w, orig[w], rebuilt[w])
-			}
-			// A patched word must differ only in its displacement field:
-			// re-patching the original with the new displacement must
-			// reproduce the new word.
-			ni, ok := a64.Decode(rebuilt[w])
-			if !ok {
-				return fmt.Errorf("outline: %s patched word %d does not decode", name, w)
-			}
-			same, err := a64.PatchRel(orig[w], ni.Imm)
-			if err != nil || same != rebuilt[w] {
-				return fmt.Errorf("outline: %s word %d patch altered more than the displacement", name, w)
-			}
-		}
+	}
 
-		// PC-relative instructions must keep their logical targets: the
-		// new target word (or the outlined body head) must equal the old
-		// target word. Index the pre-state relocs by instruction word once
-		// (each instruction has at most one reloc) so the check is linear
-		// in the reloc count rather than quadratic.
-		origTarget := make(map[int]int, len(before.pcrels[mi]))
-		for _, orr := range before.pcrels[mi] {
-			origTarget[orr.InstOff/a64.WordSize] = orr.TargetOff / a64.WordSize
-		}
-		for _, r := range cm.Meta.PCRel {
-			oldInst := newToOld[r.InstOff/a64.WordSize]
-			oldTarget := newToOld[r.TargetOff/a64.WordSize]
-			want, found := origTarget[oldInst]
-			if !found {
-				return fmt.Errorf("outline: %s has a PC-relative at new offset %#x with no pre-state counterpart",
-					name, r.InstOff)
-			}
-			if want != oldTarget {
-				return fmt.Errorf("outline: %s PC-relative at old word %d retargeted from %d to %d",
-					name, oldInst, want, oldTarget)
-			}
-		}
-
-		// Stack maps sit on calls.
-		for _, s := range cm.StackMap {
-			i, ok := a64.Decode(cm.Code[s.NativeOff/a64.WordSize])
-			if !ok || (i.Op != a64.OpBl && i.Op != a64.OpBlr) {
-				return fmt.Errorf("outline: %s safepoint at %#x is not a call", name, s.NativeOff)
-			}
+	// Stack maps sit on calls.
+	for _, s := range cm.StackMap {
+		i, ok := a64.Decode(cm.Code[s.NativeOff/a64.WordSize])
+		if !ok || (i.Op != a64.OpBl && i.Op != a64.OpBlr) {
+			return fmt.Errorf("outline: %s safepoint at %#x is not a call", name, s.NativeOff)
 		}
 	}
 	return nil
@@ -160,7 +176,7 @@ func RunVerified(methods []*codegen.CompiledMethod, opts Options) ([]oat.Blob, *
 	if err != nil {
 		return nil, stats, err
 	}
-	if err := VerifyRewrite(methods, snap, blobs); err != nil {
+	if err := VerifyRewriteParallel(methods, snap, blobs, opts.Workers); err != nil {
 		return nil, stats, err
 	}
 	return blobs, stats, nil

@@ -1,0 +1,91 @@
+// Package par is the bounded worker pool the per-method pipeline stages
+// fan out on. The paper's production blocker is build time (Table 6: the
+// global suffix tree alone costs +489.5%), and every stage that works on
+// one method at a time — HGraph optimization + code generation, sequence
+// symbolization, rewrite verification, image linting — is embarrassingly
+// parallel. What makes a pool usable for a *build* tool, though, is
+// determinism: the output (and the reported error) must be byte-identical
+// whether the pool runs 1 worker or 64. The helpers here guarantee that
+// by construction:
+//
+//   - results land at their input index, never in completion order;
+//   - when several inputs fail, the error of the lowest index wins, so a
+//     parallel run reports exactly the failure a serial run would;
+//   - the worker count changes scheduling only, never the work done.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: values <= 0 select
+// runtime.GOMAXPROCS(0), anything positive is returned unchanged. Every
+// stage of the pipeline funnels its Config/Options width through this so
+// "0 means the machine" is one rule, defined once.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 selects GOMAXPROCS) and returns the results indexed by i.
+//
+// Determinism contract: out[i] depends only on fn(i); if any calls fail,
+// the returned error is the one from the lowest failing index. A serial
+// run stops at the first failure, a parallel run completes the batch and
+// then selects the same error — either way the caller observes identical
+// results for every worker count.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Each is Map for side-effecting stages: fn(i) must touch only state
+// owned by index i. The same lowest-index-error rule applies.
+func Each(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

@@ -1,0 +1,93 @@
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d, want 7", got)
+	}
+}
+
+// TestMapDeterministicOrder checks that results land at their input index
+// for a wide spread of worker counts and sizes.
+func TestMapDeterministicOrder(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8, 64} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			got, err := Map(w, n, func(i int) (int, error) { return i * i, nil })
+			if err != nil {
+				t.Fatalf("w=%d n=%d: %v", w, n, err)
+			}
+			if len(got) != n {
+				t.Fatalf("w=%d n=%d: %d results", w, n, len(got))
+			}
+			for i, v := range got {
+				if v != i*i {
+					t.Fatalf("w=%d n=%d: out[%d] = %d, want %d", w, n, i, v, i*i)
+				}
+			}
+		}
+	}
+}
+
+// TestMapLowestErrorWins checks that the reported error is the lowest
+// failing index's for every worker count, matching the serial run.
+func TestMapLowestErrorWins(t *testing.T) {
+	fail := map[int]bool{3: true, 41: true, 97: true}
+	want := "input 3 failed"
+	for _, w := range []int{1, 2, 8, 32} {
+		_, err := Map(w, 100, func(i int) (int, error) {
+			if fail[i] {
+				return 0, fmt.Errorf("input %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != want {
+			t.Errorf("w=%d: err = %v, want %q", w, err, want)
+		}
+	}
+}
+
+// TestMapRunsEverything checks that a parallel Map visits every index
+// exactly once.
+func TestMapRunsEverything(t *testing.T) {
+	const n = 500
+	var counts [n]atomic.Int32
+	if err := Each(8, n, func(i int) error {
+		counts[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Errorf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestEachError checks the Each wrapper propagates failures.
+func TestEachError(t *testing.T) {
+	err := Each(4, 10, func(i int) error {
+		if i >= 5 {
+			return fmt.Errorf("boom %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom 5" {
+		t.Errorf("err = %v, want boom 5", err)
+	}
+	if err := Each(4, 10, func(int) error { return nil }); err != nil {
+		t.Errorf("clean Each: %v", err)
+	}
+}

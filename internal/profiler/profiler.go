@@ -98,13 +98,23 @@ func Collect(img *oat.Image, script []workload.Run, period int64) (*Profile, err
 	return p, nil
 }
 
-// HotSet returns the smallest prefix of the sample-sorted function list
-// whose samples cover frac of all method-attributed samples — the §3.4.2
-// rule with frac = 0.8.
+// HotSet returns the smallest set of top functions whose samples cover
+// frac of all method-attributed samples — the §3.4.2 rule with frac =
+// 0.8. Collect returns Functions sorted by descending samples, but a
+// caller-constructed or deserialized profile need not be: HotSet sorts a
+// local copy (samples descending, MethodID ascending on ties) so the hot
+// set never depends on the input order, and p is left untouched.
 func (p *Profile) HotSet(frac float64) map[dex.MethodID]bool {
 	hot := make(map[dex.MethodID]bool)
+	fns := append([]FunctionProfile(nil), p.Functions...)
+	sort.Slice(fns, func(a, b int) bool {
+		if fns[a].Samples != fns[b].Samples {
+			return fns[a].Samples > fns[b].Samples
+		}
+		return fns[a].Method < fns[b].Method
+	})
 	var methodTotal int64
-	for _, f := range p.Functions {
+	for _, f := range fns {
 		methodTotal += f.Samples
 	}
 	if methodTotal == 0 {
@@ -112,7 +122,7 @@ func (p *Profile) HotSet(frac float64) map[dex.MethodID]bool {
 	}
 	target := int64(frac * float64(methodTotal))
 	var acc int64
-	for _, f := range p.Functions {
+	for _, f := range fns {
 		if acc >= target {
 			break
 		}

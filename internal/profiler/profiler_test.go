@@ -80,6 +80,73 @@ func TestHotSetCoverageRule(t *testing.T) {
 	}
 }
 
+// TestHotSetShuffledProfile feeds HotSet a profile whose function list is
+// NOT sorted by descending samples — the shape a caller-constructed or
+// future-deserialized profile has. The hot set must equal the one computed
+// from the sorted profile, and the input must not be reordered in place.
+func TestHotSetShuffledProfile(t *testing.T) {
+	sorted := &Profile{
+		TotalSamples: 1000,
+		Functions: []FunctionProfile{
+			{Method: 4, Samples: 500},
+			{Method: 1, Samples: 300},
+			{Method: 7, Samples: 150},
+			{Method: 2, Samples: 40},
+			{Method: 9, Samples: 10},
+		},
+	}
+	// Worst-case shuffle: ascending by samples, so a prefix walk over the
+	// raw slice would pick the *coldest* functions first.
+	shuffled := &Profile{
+		TotalSamples: 1000,
+		Functions: []FunctionProfile{
+			{Method: 9, Samples: 10},
+			{Method: 2, Samples: 40},
+			{Method: 7, Samples: 150},
+			{Method: 1, Samples: 300},
+			{Method: 4, Samples: 500},
+		},
+	}
+	want := sorted.HotSet(0.8)
+	got := shuffled.HotSet(0.8)
+	if len(want) == 0 {
+		t.Fatal("sorted profile produced an empty hot set")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("shuffled hot set has %d members, want %d", len(got), len(want))
+	}
+	for id := range want {
+		if !got[id] {
+			t.Errorf("shuffled hot set is missing m%d", id)
+		}
+	}
+	// 500+300 = 800 covers exactly 80%: the hot set is {m4, m1}.
+	if !got[4] || !got[1] || len(got) != 2 {
+		t.Errorf("hot set = %v, want {m4, m1}", got)
+	}
+	if shuffled.Functions[0].Method != 9 {
+		t.Error("HotSet reordered the caller's Functions slice")
+	}
+}
+
+// TestHotSetTieBreak checks the deterministic MethodID tie-break between
+// functions with equal sample counts.
+func TestHotSetTieBreak(t *testing.T) {
+	p := &Profile{
+		Functions: []FunctionProfile{
+			{Method: 8, Samples: 100},
+			{Method: 3, Samples: 100},
+			{Method: 5, Samples: 100},
+		},
+	}
+	// target = 0.5*300 = 150: the first sorted entry (m3) is not enough,
+	// the second (m5) tips it over. m8 stays cold.
+	hot := p.HotSet(0.5)
+	if !hot[3] || !hot[5] || hot[8] {
+		t.Errorf("hot set = %v, want {m3, m5}", hot)
+	}
+}
+
 func TestHotSetEmptyProfile(t *testing.T) {
 	p := &Profile{}
 	if len(p.HotSet(0.8)) != 0 {

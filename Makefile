@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci build vet test test-short race fuzz bench
+.PHONY: ci build vet test test-short race fuzz bench bench-obs bench-smoke
 
 # ci is the gate every change must pass: compile everything, vet
-# everything, run the full test suite, and run the short suite under the
-# race detector (the build pipeline fans out per-method work since -j).
-ci: build vet test race
+# everything, run the full test suite, run the short suite under the
+# race detector (the build pipeline fans out per-method work since -j),
+# and smoke the observability benchmarks.
+ci: build vet test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -33,3 +34,15 @@ fuzz:
 # bench regenerates the paper's tables and figures.
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-obs measures the parallel-build and telemetry benchmarks and
+# archives the results (ns/op per case, plus extra metrics) in
+# BENCH_obs.json via cmd/benchjson.
+bench-obs:
+	$(GO) test -run xxx -bench 'BenchmarkCompileWorkers|BenchmarkBuildTraced' -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_obs.json
+
+# bench-smoke is the ci guard for the same benchmarks: one iteration each
+# at the -short scale, just proving they still run.
+bench-smoke:
+	$(GO) test -short -run xxx -bench 'BenchmarkCompileWorkers|BenchmarkBuildTraced' -benchtime 1x . >/dev/null

@@ -370,7 +370,7 @@ func BenchmarkTable6_BuildTime(b *testing.B) {
 			row := []string{rowName(cfg)}
 			for _, ab := range apps {
 				res := build(b, ab, cfg)
-				d := res.TotalTime()
+				d := res.WallTime
 				times[cfg] = append(times[cfg], d.Seconds())
 				row = append(row, report.Dur(d))
 			}
@@ -529,6 +529,40 @@ func BenchmarkCompileWorkers(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(len(wechat.app.Methods))*float64(b.N)/b.Elapsed().Seconds(), "methods/s")
+		})
+	}
+}
+
+// BenchmarkBuildTraced measures the telemetry overhead on a full
+// CTO+LTBO+PlOpti build of the WeChat app: the nil (no-op) tracer against
+// a live one recording every span and counter. The contract is that the
+// nil case is free — its per-span cost is a nil check — and the live case
+// stays a small fraction of the build; the sub-benchmark ns/op ratio is
+// the number to watch.
+func BenchmarkBuildTraced(b *testing.B) {
+	apps := suite(b)
+	var wechat *appBundle
+	for _, ab := range apps {
+		if ab.prof.Name == "Wechat" {
+			wechat = ab
+		}
+	}
+	for _, bc := range []struct {
+		name   string
+		tracer *Tracer
+	}{
+		{"tracer=noop", nil},
+		{"tracer=live", NewTracer()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := CTOLTBOPl(8)
+			cfg.Workers = 8
+			cfg.Tracer = bc.tracer
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(wechat.app, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

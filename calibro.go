@@ -29,6 +29,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/hgraph"
 	"repro/internal/oat"
+	"repro/internal/obs"
 	"repro/internal/outline"
 	"repro/internal/profiler"
 	"repro/internal/workload"
@@ -78,6 +79,14 @@ type (
 	LintReport = analysis.Report
 	// CFG is a control-flow graph recovered from linked code.
 	CFG = analysis.CFG
+	// Tracer records build telemetry — hierarchical spans, per-task worker
+	// lanes, and counters — when assigned to Config.Tracer. A nil Tracer is
+	// the no-op tracer: every method is nil-safe and records nothing.
+	Tracer = obs.Tracer
+	// TelemetrySnapshot is the aggregated metrics view of a Tracer: stage
+	// totals, per-category task distributions, queue waits, worker
+	// occupancy, and counters.
+	TelemetrySnapshot = obs.Snapshot
 )
 
 // Exceptions raised by the modeled runtime.
@@ -144,6 +153,13 @@ var (
 // FullOptimization is CTO+LTBO+PlOpti; pair with ProfileGuidedBuild to add
 // HfOpti.
 func FullOptimization(trees int) Config { return core.CTOLTBOPl(trees) }
+
+// NewTracer returns a live build tracer. Assign it to Config.Tracer before
+// Build; afterwards Tracer.WriteTrace exports a Perfetto-loadable Chrome
+// trace and Tracer.Snapshot / Tracer.WriteMetrics aggregate the metrics.
+// Tracing never changes the built image: output is byte-identical with a
+// live tracer, a nil tracer, and any Config.Workers value.
+func NewTracer() *Tracer { return obs.New() }
 
 // Execute runs a built image on the emulated device.
 func Execute(img *Image, entry MethodID, args []int64) (RunResult, error) {

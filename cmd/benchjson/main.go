@@ -1,0 +1,92 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document, so benchmark results can be archived and diffed across
+// commits. Every input line is echoed to stdout unchanged — the command
+// sits transparently at the end of a pipe — and the parsed results are
+// written to the -o file (default benchmarks.json).
+//
+// Usage:
+//
+//	go test -bench=. . | benchjson -o BENCH.json
+//
+// Parsed per benchmark: the name (with the trailing -GOMAXPROCS tag
+// kept, since it is part of the measurement), iteration count, ns/op,
+// and any extra metrics reported with b.ReportMetric (bytes/op, allocs/op,
+// methods/s, ...).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one result line: name, iterations, ns/op, and the
+// remainder holding optional extra metrics.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+// extraMetric matches one "<value> <unit>" pair in the remainder.
+var extraMetric = regexp.MustCompile(`([0-9.]+) (\S+)`)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type document struct {
+	Results []result `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "benchmarks.json", "write the parsed results to this file")
+	flag.Parse()
+
+	doc := document{Results: []result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		for _, em := range extraMetric.FindAllStringSubmatch(strings.TrimSpace(m[4]), -1) {
+			v, err := strconv.ParseFloat(em[1], 64)
+			if err != nil {
+				continue
+			}
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[em[2]] = v
+		}
+		doc.Results = append(doc.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(doc.Results) == 0 {
+		log.Fatal("no benchmark results on stdin")
+	}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+}

@@ -7,17 +7,30 @@
 //
 //	calibro -app Wechat [-scale 0.25] [-config baseline|cto|ltbo|plopti|hfopti]
 //	        [-trees 8] [-j N] [-runs 20] [-measure] [-o out.oat]
+//	        [-trace t.json] [-metrics m.json] [-stats] [-pprof cpu.out|mem.out]
+//
+// Telemetry: -trace writes a Chrome trace-event JSON of the whole build
+// (open in Perfetto or chrome://tracing; worker lanes appear as threads),
+// -metrics writes the flat metrics snapshot (per-stage totals, per-method
+// p50/p95/max, pool queue wait, outline counters), -stats prints a
+// one-screen telemetry table, and -pprof collects a runtime/pprof profile
+// of the process (a file name starting with "mem" selects a heap
+// snapshot, anything else a CPU profile).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dex"
 	"repro/internal/emu"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
@@ -37,8 +50,27 @@ func main() {
 		runs    = flag.Int("runs", 20, "scripted runs for profiling/measurement")
 		measure = flag.Bool("measure", false, "run the script on the emulator and report cycles/memory")
 		outPath = flag.String("o", "", "write the linked OAT image to this file")
+
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON of the build to this file (Perfetto-loadable)")
+		metricsPath = flag.String("metrics", "", "write the flat metrics snapshot JSON to this file")
+		statsFlag   = flag.Bool("stats", false, "print the build telemetry table")
+		pprofPath   = flag.String("pprof", "", "collect a runtime/pprof profile (mem* = heap at exit, otherwise CPU)")
 	)
 	flag.Parse()
+
+	var stopProfile func() error
+	if *pprofPath != "" {
+		stop, err := obs.StartProfile(*pprofPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stopProfile = stop
+	}
+
+	var tracer *obs.Tracer
+	if *tracePath != "" || *metricsPath != "" || *statsFlag {
+		tracer = obs.New()
+	}
 
 	var app *dex.App
 	var man *workload.Manifest
@@ -85,6 +117,7 @@ func main() {
 		c.Rounds = *rounds
 		c.DedupFunctions = *dedup
 		c.Workers = *workers
+		c.Tracer = tracer
 		return c
 	}
 	var res *core.Result
@@ -107,9 +140,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("config %s: text %s, build %s at -j %d (compile %s, outline %s, link %s)\n",
-		*config, report.Bytes(res.TextBytes()), report.Dur(res.TotalTime()), res.Workers,
-		report.Dur(res.CompileTime), report.Dur(res.OutlineTime), report.Dur(res.LinkTime))
+	fmt.Printf("config %s: text %s, build %s at -j %d (compile %s, outline %s, link %s; stage sum %s)\n",
+		*config, report.Bytes(res.TextBytes()), report.Dur(res.WallTime), res.Workers,
+		report.Dur(res.CompileTime), report.Dur(res.OutlineTime), report.Dur(res.LinkTime),
+		report.Dur(res.StageTime()))
 	if s := res.Outline; s != nil {
 		fmt.Printf("outlining: %d candidates, %d functions, %d occurrences, net %d words saved\n",
 			s.CandidateMethods, s.OutlinedFunctions, s.OutlinedOccurrences, s.NetWordsSaved())
@@ -144,5 +178,110 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s (%s on disk)\n", *outPath, report.Bytes(len(data)))
+	}
+
+	if *statsFlag {
+		printTelemetry(tracer.Snapshot())
+	}
+	if *tracePath != "" {
+		if err := writeFileWith(*tracePath, tracer.WriteTrace); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote trace %s\n", *tracePath)
+	}
+	if *metricsPath != "" {
+		if err := writeFileWith(*metricsPath, tracer.WriteMetrics); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote metrics %s\n", *metricsPath)
+	}
+	if stopProfile != nil {
+		if err := stopProfile(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote profile %s\n", *pprofPath)
+	}
+}
+
+// writeFileWith streams an exporter into a freshly created file.
+func writeFileWith(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// usDur renders a microsecond count for the telemetry table. Below a
+// second the report.Dur m/s style collapses everything to "0.0s", so
+// small values switch to milliseconds.
+func usDur(us int64) string {
+	d := time.Duration(us) * time.Microsecond
+	if d < time.Second && d > -time.Second {
+		return fmt.Sprintf("%.2fms", float64(us)/1e3)
+	}
+	return report.Dur(d)
+}
+
+// printTelemetry renders the one-screen build telemetry table: stage wall
+// clocks, per-category task distributions with their queue waits, worker
+// occupancy, and the recorded counters.
+func printTelemetry(snap *obs.Snapshot) {
+	t := &report.Table{
+		Title:  "\nbuild telemetry",
+		Header: []string{"span", "count", "total", "p50", "p95", "max"},
+	}
+	stages := make([]string, 0, len(snap.Stages))
+	for name := range snap.Stages {
+		stages = append(stages, name)
+	}
+	sort.Strings(stages)
+	for _, name := range stages {
+		t.AddRow("stage "+name, "1", usDur(snap.Stages[name]), "", "", "")
+	}
+	cats := make([]string, 0, len(snap.Tasks))
+	for cat := range snap.Tasks {
+		cats = append(cats, cat)
+	}
+	sort.Strings(cats)
+	for _, cat := range cats {
+		ts := snap.Tasks[cat]
+		t.AddRow(cat, fmt.Sprint(ts.Count), usDur(ts.TotalUS), usDur(ts.P50US), usDur(ts.P95US), usDur(ts.MaxUS))
+		if qs, ok := snap.QueueWait[cat]; ok {
+			t.AddRow("  queue wait", "", usDur(qs.TotalUS), usDur(qs.P50US), usDur(qs.P95US), usDur(qs.MaxUS))
+		}
+	}
+	fmt.Println(t)
+
+	if len(snap.Workers) > 0 {
+		w := &report.Table{
+			Title:  "worker occupancy",
+			Header: []string{"lane", "tasks", "busy", "of wall"},
+		}
+		for _, lo := range snap.Workers {
+			w.AddRow(fmt.Sprintf("worker %d", lo.Lane), fmt.Sprint(lo.Tasks),
+				usDur(lo.BusyUS), report.Pct(lo.Busy))
+		}
+		fmt.Println(w)
+	}
+
+	if len(snap.Counters) > 0 {
+		c := &report.Table{
+			Title:  "counters",
+			Header: []string{"counter", "value"},
+		}
+		names := make([]string, 0, len(snap.Counters))
+		for name := range snap.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			c.AddRow(name, report.Count(snap.Counters[name]))
+		}
+		fmt.Println(c)
 	}
 }

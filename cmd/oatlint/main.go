@@ -10,12 +10,16 @@
 //
 // Usage:
 //
-//	oatlint [-v] [-rule name] [-j N] app.oat
+//	oatlint [-v] [-rule name] [-j N] [-trace t.json] [-metrics m.json]
+//	        [-pprof cpu.out|mem.out] app.oat
 //
 // Per-method checks run on -j worker goroutines (0 = all CPUs); findings
-// and their order are identical for every -j. Exit status is 0 when the
-// image is clean, 1 when there are findings, and 2 on usage or I/O
-// errors.
+// and their order are identical for every -j. -trace writes a Chrome
+// trace-event JSON of the analysis (per-method spans on worker lanes;
+// Perfetto-loadable), -metrics the aggregated metrics snapshot, and
+// -pprof a runtime/pprof profile ("mem*" = heap, otherwise CPU). Exit
+// status is 0 when the image is clean, 1 when there are findings, and 2
+// on usage or I/O errors.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/oat"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -39,13 +44,17 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("oatlint", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	fs.Usage = func() {
-		fmt.Fprintln(errOut, "usage: oatlint [-v] [-rule name] [-j N] app.oat")
+		fmt.Fprintln(errOut, "usage: oatlint [-v] [-rule name] [-j N] [-trace t.json] [-metrics m.json] [-pprof out] app.oat")
 		fs.PrintDefaults()
 	}
 	var (
 		verbose = fs.Bool("v", false, "report advisory findings and per-method statistics")
 		rule    = fs.String("rule", "", "only report findings under this rule")
 		workers = fs.Int("j", 0, "analysis worker goroutines; 0 = all CPUs (findings are identical for every value)")
+
+		tracePath   = fs.String("trace", "", "write a Chrome trace-event JSON of the analysis to this file")
+		metricsPath = fs.String("metrics", "", "write the flat metrics snapshot JSON to this file")
+		pprofPath   = fs.String("pprof", "", "collect a runtime/pprof profile (mem* = heap at exit, otherwise CPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -53,6 +62,19 @@ func run(args []string, out, errOut io.Writer) int {
 	if fs.NArg() != 1 {
 		fs.Usage()
 		return 2
+	}
+	var stopProfile func() error
+	if *pprofPath != "" {
+		stop, err := obs.StartProfile(*pprofPath)
+		if err != nil {
+			fmt.Fprintln(errOut, "oatlint:", err)
+			return 2
+		}
+		stopProfile = stop
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" || *metricsPath != "" {
+		tracer = obs.New()
 	}
 	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -65,7 +87,12 @@ func run(args []string, out, errOut io.Writer) int {
 		return 2
 	}
 
-	rep := analysis.AnalyzeParallel(img, *workers)
+	sp := tracer.Start("stage", "lint").Arg("methods", int64(len(img.Methods)))
+	rep := analysis.AnalyzeTraced(img, *workers, tracer)
+	sp.End()
+	if code := writeTelemetry(tracer, *tracePath, *metricsPath, stopProfile, errOut); code != 0 {
+		return code
+	}
 	blocking := 0
 	for _, f := range rep.Findings {
 		if f.Severity >= analysis.SevWarn {
@@ -101,5 +128,42 @@ func run(args []string, out, errOut io.Writer) int {
 		return 1
 	}
 	fmt.Fprintln(out, "oatlint: image is clean")
+	return 0
+}
+
+// writeTelemetry flushes the trace, metrics, and pprof outputs; any write
+// failure is an I/O error (exit 2).
+func writeTelemetry(tracer *obs.Tracer, tracePath, metricsPath string, stopProfile func() error, errOut io.Writer) int {
+	export := func(path string, write func(w io.Writer) error) int {
+		if path == "" {
+			return 0
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(errOut, "oatlint:", err)
+			return 2
+		}
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(errOut, "oatlint:", err)
+			return 2
+		}
+		return 0
+	}
+	if code := export(tracePath, tracer.WriteTrace); code != 0 {
+		return code
+	}
+	if code := export(metricsPath, tracer.WriteMetrics); code != 0 {
+		return code
+	}
+	if stopProfile != nil {
+		if err := stopProfile(); err != nil {
+			fmt.Fprintln(errOut, "oatlint:", err)
+			return 2
+		}
+	}
 	return 0
 }

@@ -6,14 +6,23 @@
 // Usage:
 //
 //	simpleperf -app Kuaishou [-scale 0.1] [-runs 20] [-top 15] [-coverage 0.8]
+//	           [-json profile.json]
+//
+// -json dumps the full profile — every sampled function, not just the
+// -top table — plus the hot set at the configured coverage, as a JSON
+// document for downstream tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"sort"
 
 	"repro/internal/core"
+	"repro/internal/dex"
 	"repro/internal/profiler"
 	"repro/internal/report"
 	"repro/internal/workload"
@@ -29,6 +38,7 @@ func main() {
 		top      = flag.Int("top", 15, "functions to list")
 		coverage = flag.Float64("coverage", 0.8, "hot-set cycle coverage fraction")
 		period   = flag.Int64("period", 0, "sampling period in instructions (0 = default)")
+		jsonPath = flag.String("json", "", "dump the full profile and hot set as JSON to this file")
 	)
 	flag.Parse()
 
@@ -81,4 +91,55 @@ func main() {
 	fmt.Println(t)
 	fmt.Printf("generator planted %d hot kernels; profiler hot set holds %d methods\n",
 		len(man.Hot), len(hot))
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, app, p, hot, *coverage); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote profile %s\n", *jsonPath)
+	}
+}
+
+// profileJSON is the -json document: the complete sample attribution (the
+// printed table truncates at -top; this does not) and the hot set at the
+// configured coverage.
+type profileJSON struct {
+	App          string         `json:"app"`
+	TotalSamples int64          `json:"total_samples"`
+	OtherSamples int64          `json:"other_samples"`
+	Coverage     float64        `json:"coverage"`
+	HotSet       []int          `json:"hot_set"`
+	Functions    []functionJSON `json:"functions"`
+}
+
+type functionJSON struct {
+	Method  int    `json:"method"`
+	Name    string `json:"name"`
+	Samples int64  `json:"samples"`
+}
+
+func writeJSON(path string, app *dex.App, p *profiler.Profile, hot map[dex.MethodID]bool, coverage float64) error {
+	doc := profileJSON{
+		App:          app.Name,
+		TotalSamples: p.TotalSamples,
+		OtherSamples: p.OtherSamples,
+		Coverage:     coverage,
+		HotSet:       []int{},
+	}
+	for id := range hot {
+		doc.HotSet = append(doc.HotSet, int(id))
+	}
+	sort.Ints(doc.HotSet)
+	for _, f := range p.Functions {
+		doc.Functions = append(doc.Functions, functionJSON{
+			Method:  int(f.Method),
+			Name:    app.Methods[f.Method].FullName(),
+			Samples: f.Samples,
+		})
+	}
+	out, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

@@ -35,7 +35,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s baseline: %d bytes of text, built in %v\n\n",
-		prof.Name, baseline.TextBytes(), baseline.TotalTime().Round(1e6))
+		prof.Name, baseline.TextBytes(), baseline.WallTime.Round(1e6))
 	fmt.Printf("%6s %12s %12s %14s %12s\n", "trees", "text bytes", "reduction", "outline time", "functions")
 
 	for _, k := range []int{1, 2, 4, 6, 8, 16, 32} {

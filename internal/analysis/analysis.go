@@ -23,6 +23,7 @@ import (
 	"repro/internal/a64"
 	"repro/internal/dex"
 	"repro/internal/oat"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -69,6 +70,14 @@ func Analyze(img *oat.Image) *Report { return AnalyzeParallel(img, 0) }
 // findings are merged back in method-region order — the order a serial
 // walk produces — so the report is byte-identical for every width.
 func AnalyzeParallel(img *oat.Image, workers int) *Report {
+	return AnalyzeTraced(img, workers, nil)
+}
+
+// AnalyzeTraced is AnalyzeParallel with telemetry: one span per analyzed
+// method (category "lint", on the worker lane that ran it) plus finding
+// counters on the tracer. A nil tracer records nothing; the report is
+// byte-identical either way.
+func AnalyzeTraced(img *oat.Image, workers int, tracer *obs.Tracer) *Report {
 	var fs findings
 	l := buildLayout(img, &fs)
 
@@ -99,7 +108,10 @@ func AnalyzeParallel(img *oat.Image, workers int) *Report {
 		fs  findings
 		sum MethodSummary
 	}
-	results, _ := par.Map(workers, len(mregions), func(i int) (*methodResult, error) {
+	observer := tracer.PoolObserver("lint", func(i int) string {
+		return methodName(img.Methods[mregions[i].method].ID)
+	})
+	results, _ := par.MapObs(workers, len(mregions), observer, func(i int) (*methodResult, error) {
 		res := &methodResult{}
 		mc := newMethodCtx(l, mregions[i], &res.fs)
 		mc.checkMetadata()
@@ -113,6 +125,10 @@ func AnalyzeParallel(img *oat.Image, workers int) *Report {
 		rep.Methods = append(rep.Methods, res.sum)
 	}
 	rep.Findings = fs.list
+	if tracer != nil {
+		tracer.Count("lint.findings", int64(len(fs.list)))
+		tracer.Count("lint.methods", int64(len(mregions)))
+	}
 	return rep
 }
 
@@ -124,8 +140,14 @@ func Lint(img *oat.Image) []Finding { return LintParallel(img, 0) }
 // LintParallel is Lint with an explicit worker count (<= 0 selects
 // GOMAXPROCS). Finding order does not depend on the width.
 func LintParallel(img *oat.Image, workers int) []Finding {
+	return LintTraced(img, workers, nil)
+}
+
+// LintTraced is LintParallel with per-method telemetry recorded on the
+// tracer; see AnalyzeTraced. Findings are identical either way.
+func LintTraced(img *oat.Image, workers int, tracer *obs.Tracer) []Finding {
 	var out []Finding
-	for _, f := range AnalyzeParallel(img, workers).Findings {
+	for _, f := range AnalyzeTraced(img, workers, tracer).Findings {
 		if f.Severity >= SevWarn {
 			out = append(out, f)
 		}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/a64"
 	"repro/internal/dex"
 	"repro/internal/hgraph"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -39,6 +40,11 @@ type Options struct {
 	// value: methods land at their MethodID slot and the lowest failing
 	// method's error wins.
 	Workers int
+	// Tracer, when non-nil, records one span per compiled method on the
+	// worker lane that ran it (category "compile", with its queue wait).
+	// Tracing observes only: the compiled output is byte-identical with
+	// tracing on or off.
+	Tracer *obs.Tracer
 }
 
 // Meta is the compile-time information recorded for the link-time binary
@@ -91,7 +97,10 @@ func (cm *CompiledMethod) CodeBytes() int { return len(cm.Code) * a64.WordSize }
 // by dex.MethodID. Methods compile independently on Options.Workers
 // goroutines; the result does not depend on the worker count.
 func Compile(app *dex.App, opts Options) ([]*CompiledMethod, error) {
-	return par.Map(opts.Workers, len(app.Methods), func(id int) (*CompiledMethod, error) {
+	observer := opts.Tracer.PoolObserver("compile", func(i int) string {
+		return app.Methods[i].FullName()
+	})
+	return par.MapObs(opts.Workers, len(app.Methods), observer, func(id int) (*CompiledMethod, error) {
 		m := app.Methods[id]
 		cm, err := compileMethod(m, opts)
 		if err != nil {

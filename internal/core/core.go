@@ -14,6 +14,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/dex"
 	"repro/internal/oat"
+	"repro/internal/obs"
 	"repro/internal/outline"
 	"repro/internal/par"
 	"repro/internal/profiler"
@@ -62,6 +63,15 @@ type Config struct {
 	// every value; only wall-clock time changes. The cmd/calibro and
 	// cmd/oatlint -j flags set this.
 	Workers int
+	// Tracer, when non-nil, records the build's telemetry: a root
+	// "build" span, one "stage" span per pipeline stage (compile,
+	// outline, link, verify), per-method and per-group task spans on
+	// worker lanes, and the outline.Stats counters. Tracing observes
+	// only — the determinism contract holds with it on: the linked
+	// image is byte-identical whether Tracer is live or nil, at every
+	// Workers value. The cmd/calibro -trace/-metrics/-stats flags set
+	// this.
+	Tracer *obs.Tracer
 }
 
 // Baseline is the original AOSP configuration.
@@ -106,10 +116,19 @@ type Result struct {
 	OutlineTime time.Duration
 	LinkTime    time.Duration
 	VerifyTime  time.Duration // zero unless Config.VerifyImage
+
+	// WallTime is the true end-to-end build duration, measured from one
+	// clock read at Build entry to the successful return. It is >= the
+	// stage sum: work between stages (option assembly, hot-set
+	// extraction, result bookkeeping) happens on the wall clock but in
+	// no stage.
+	WallTime time.Duration
 }
 
-// TotalTime is the end-to-end build duration.
-func (r *Result) TotalTime() time.Duration {
+// StageTime is the sum of the recorded stage durations. Table 6 reports
+// WallTime; the difference WallTime - StageTime is the inter-stage
+// overhead the old sum silently dropped.
+func (r *Result) StageTime() time.Duration {
 	return r.CompileTime + r.OutlineTime + r.LinkTime + r.VerifyTime
 }
 
@@ -119,11 +138,18 @@ func (r *Result) TextBytes() int { return r.Image.TextBytes() }
 // Build compiles and links the app under the given configuration.
 func Build(app *dex.App, cfg Config) (*Result, error) {
 	res := &Result{Workers: par.Workers(cfg.Workers)}
+	wall := time.Now()
+	build := cfg.Tracer.Start("build", "build "+app.Name).
+		Arg("methods", int64(len(app.Methods))).
+		Arg("workers", int64(res.Workers))
+	defer build.End()
 
 	t0 := time.Now()
+	sp := cfg.Tracer.Start("stage", "compile")
 	methods, err := codegen.Compile(app, codegen.Options{
-		CTO: cfg.CTO, Optimize: cfg.OptimizeIR, Workers: cfg.Workers,
+		CTO: cfg.CTO, Optimize: cfg.OptimizeIR, Workers: cfg.Workers, Tracer: cfg.Tracer,
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -140,6 +166,7 @@ func Build(app *dex.App, cfg Config) (*Result, error) {
 			DedupFunctions: cfg.DedupFunctions,
 			Detector:       cfg.Detector,
 			Workers:        cfg.Workers,
+			Tracer:         cfg.Tracer,
 		}
 		if cfg.HotFilter {
 			if cfg.Profile == nil {
@@ -152,8 +179,10 @@ func Build(app *dex.App, cfg Config) (*Result, error) {
 			opts.Hot = cfg.Profile.HotSet(frac)
 		}
 		t1 := time.Now()
+		sp = cfg.Tracer.Start("stage", "outline").Arg("trees", int64(opts.Parallel))
 		var stats *outline.Stats
 		blobs, stats, err = outline.RunVerified(methods, opts)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -162,7 +191,9 @@ func Build(app *dex.App, cfg Config) (*Result, error) {
 	}
 
 	t2 := time.Now()
+	sp = cfg.Tracer.Start("stage", "link")
 	img, err := oat.Link(methods, blobs)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -171,12 +202,16 @@ func Build(app *dex.App, cfg Config) (*Result, error) {
 
 	if cfg.VerifyImage {
 		t3 := time.Now()
-		if findings := analysis.LintParallel(img, cfg.Workers); len(findings) > 0 {
+		sp = cfg.Tracer.Start("stage", "verify")
+		findings := analysis.LintTraced(img, cfg.Workers, cfg.Tracer)
+		sp.End()
+		if len(findings) > 0 {
 			return nil, fmt.Errorf("core: image verification failed: %d findings, first: %s",
 				len(findings), findings[0])
 		}
 		res.VerifyTime = time.Since(t3)
 	}
+	res.WallTime = time.Since(wall)
 	return res, nil
 }
 
@@ -191,7 +226,9 @@ func ProfileGuidedBuild(app *dex.App, cfg Config, script []workload.Run) (*Resul
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: initial build: %w", err)
 	}
+	sp := cfg.Tracer.Start("stage", "profile").Arg("runs", int64(len(script)))
 	prof, err := profiler.Collect(r1.Image, script, 0)
+	sp.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: profiling: %w", err)
 	}

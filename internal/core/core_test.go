@@ -165,8 +165,11 @@ func TestBuildTimesRecorded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.CompileTime <= 0 || res.OutlineTime <= 0 || res.TotalTime() < res.CompileTime {
+	if res.CompileTime <= 0 || res.OutlineTime <= 0 || res.StageTime() < res.CompileTime {
 		t.Errorf("times: compile=%v outline=%v link=%v", res.CompileTime, res.OutlineTime, res.LinkTime)
+	}
+	if res.WallTime < res.StageTime() {
+		t.Errorf("WallTime %v below the stage sum %v; it must cover the whole build", res.WallTime, res.StageTime())
 	}
 }
 
@@ -184,8 +187,11 @@ func TestVerifyImage(t *testing.T) {
 	if res.VerifyTime <= 0 {
 		t.Error("VerifyImage build recorded no verification time")
 	}
-	if res.TotalTime() < res.VerifyTime {
-		t.Error("TotalTime excludes VerifyTime")
+	if res.StageTime() < res.VerifyTime {
+		t.Error("StageTime excludes VerifyTime")
+	}
+	if res.WallTime < res.VerifyTime {
+		t.Error("WallTime excludes VerifyTime")
 	}
 
 	off, err := Build(app, CTOLTBO())

@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilTracerIsNoop pins the no-op contract: every method of a nil
+// tracer (and of the nil span / nil observer it vends) is callable and
+// records nothing, and the exporters still produce valid output.
+func TestNilTracerIsNoop(t *testing.T) {
+	tr := Noop()
+	sp := tr.Start("stage", "compile")
+	sp.Arg("k", 1)
+	sp.End()
+	tr.StartLane("x", "y", 3).End()
+	tr.Count("c", 5)
+	tr.Instant("cat", "ev", map[string]int64{"a": 1})
+	tr.Task("cat", "t", 0, time.Millisecond, time.Millisecond)
+	if obs := tr.PoolObserver("cat", nil); obs != nil {
+		t.Error("PoolObserver on nil tracer should be nil")
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace on nil tracer: %v", err)
+	}
+	var tf struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("nil trace is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) != 0 {
+		t.Errorf("nil trace has %d events", len(tf.TraceEvents))
+	}
+	snap := tr.Snapshot()
+	if snap.WallUS != 0 || len(snap.Stages) != 0 || len(snap.Tasks) != 0 {
+		t.Errorf("nil snapshot not empty: %+v", snap)
+	}
+}
+
+// TestSpanAndCounterRecording drives the live tracer end to end.
+func TestSpanAndCounterRecording(t *testing.T) {
+	tr := New()
+	sp := tr.Start("stage", "compile").Arg("methods", 42)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.Count("widgets", 3)
+	tr.Count("widgets", 4)
+	tr.Task("compile", "m1", 2, 5*time.Microsecond, time.Millisecond)
+	tr.Instant("outline", "group 0", map[string]int64{"functions": 7})
+
+	spans, counters, maxLane := tr.snapshotState()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != "compile" || spans[0].Cat != "stage" || spans[0].Lane != 0 {
+		t.Errorf("stage span: %+v", spans[0])
+	}
+	if spans[0].Dur < time.Millisecond {
+		t.Errorf("stage span dur %v < 1ms", spans[0].Dur)
+	}
+	if spans[0].Args["methods"] != 42 {
+		t.Errorf("stage span args: %v", spans[0].Args)
+	}
+	if spans[1].Lane != 3 { // worker 2 -> lane 3
+		t.Errorf("task lane = %d, want 3", spans[1].Lane)
+	}
+	if spans[1].Args["queue_us"] != 5 {
+		t.Errorf("task queue_us = %d, want 5", spans[1].Args["queue_us"])
+	}
+	if !spans[2].Inst {
+		t.Error("instant event not marked")
+	}
+	if counters["widgets"] != 7 {
+		t.Errorf("counter = %d, want 7", counters["widgets"])
+	}
+	if maxLane != 3 {
+		t.Errorf("maxLane = %d, want 3", maxLane)
+	}
+}
+
+// fixedTracer builds a tracer with hand-authored records so exporter
+// output is fully deterministic.
+func fixedTracer() *Tracer {
+	tr := New()
+	tr.spans = []SpanRecord{
+		// Deliberately out of start order: the exporter must sort.
+		{Name: "m0", Cat: "compile", Lane: 1, Start: 10 * time.Microsecond, Dur: 30 * time.Microsecond,
+			Args: map[string]int64{"queue_us": 2}},
+		{Name: "build", Cat: "build", Lane: 0, Start: 0, Dur: 100 * time.Microsecond},
+		{Name: "compile", Cat: "stage", Lane: 0, Start: 5 * time.Microsecond, Dur: 55 * time.Microsecond},
+		{Name: "m1", Cat: "compile", Lane: 2, Start: 12 * time.Microsecond, Dur: 40 * time.Microsecond,
+			Args: map[string]int64{"queue_us": 4}},
+		{Name: "group 0", Cat: "outline", Start: 70 * time.Microsecond, Inst: true,
+			Args: map[string]int64{"functions": 3}},
+		{Name: "link", Cat: "stage", Lane: 0, Start: 80 * time.Microsecond, Dur: 15 * time.Microsecond},
+	}
+	tr.maxLane = 2
+	tr.counters = map[string]int64{"outline.functions": 3}
+	return tr
+}
+
+// TestWriteTraceGolden validates the exact Chrome trace-event shape: the
+// metadata lane names, X events with pid/tid/ts/dur, the instant event,
+// and sorted timestamps.
+func TestWriteTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixedTracer().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			PID  *int           `json:"pid"`
+			TID  *int           `json:"tid"`
+			TS   *float64       `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace not valid JSON: %v\n%s", err, buf.String())
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+	// 3 metadata + 6 spans.
+	if len(tf.TraceEvents) != 9 {
+		t.Fatalf("%d events, want 9", len(tf.TraceEvents))
+	}
+	meta, spans := 0, 0
+	lastTS := -1.0
+	for _, ev := range tf.TraceEvents {
+		if ev.PID == nil || ev.TID == nil {
+			t.Fatalf("event %q missing pid/tid", ev.Name)
+		}
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name != "thread_name" {
+				t.Errorf("metadata event %q", ev.Name)
+			}
+		case "X":
+			spans++
+			if ev.TS == nil || ev.Dur == nil {
+				t.Fatalf("X event %q missing ts/dur", ev.Name)
+			}
+			if *ev.TS < lastTS {
+				t.Errorf("event %q ts %v < previous %v (not sorted)", ev.Name, *ev.TS, lastTS)
+			}
+			lastTS = *ev.TS
+		case "i":
+			if ev.TS == nil {
+				t.Fatalf("instant %q missing ts", ev.Name)
+			}
+			if *ev.TS < lastTS {
+				t.Errorf("instant %q ts out of order", ev.Name)
+			}
+			lastTS = *ev.TS
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 3 || spans != 5 {
+		t.Errorf("meta=%d spans=%d, want 3 and 5", meta, spans)
+	}
+	// The build span sorts first (ts 0) and the first X event after the
+	// metadata block is it.
+	first := tf.TraceEvents[3]
+	if first.Name != "build" || *first.TS != 0 || *first.Dur != 100 {
+		t.Errorf("first span = %q ts=%v dur=%v, want build/0/100", first.Name, *first.TS, *first.Dur)
+	}
+}
+
+// TestSnapshot validates the metrics reduction: stage totals, per-category
+// distributions, queue waits, and per-lane occupancy.
+func TestSnapshot(t *testing.T) {
+	snap := fixedTracer().Snapshot()
+	if snap.WallUS != 100 {
+		t.Errorf("wall = %d, want 100", snap.WallUS)
+	}
+	if snap.Stages["compile"] != 55 || snap.Stages["link"] != 15 {
+		t.Errorf("stages: %v", snap.Stages)
+	}
+	ts, ok := snap.Tasks["compile"]
+	if !ok {
+		t.Fatalf("no compile task stats: %v", snap.Tasks)
+	}
+	if ts.Count != 2 || ts.TotalUS != 70 || ts.P50US != 30 || ts.P95US != 40 || ts.MaxUS != 40 {
+		t.Errorf("compile stats: %+v", ts)
+	}
+	qs := snap.QueueWait["compile"]
+	if qs.Count != 2 || qs.TotalUS != 6 || qs.MaxUS != 4 {
+		t.Errorf("queue stats: %+v", qs)
+	}
+	if len(snap.Workers) != 2 {
+		t.Fatalf("workers: %+v", snap.Workers)
+	}
+	if snap.Workers[0].Lane != 1 || snap.Workers[0].BusyUS != 30 || snap.Workers[0].Busy != 0.3 {
+		t.Errorf("lane 1 occupancy: %+v", snap.Workers[0])
+	}
+	if snap.Workers[1].Lane != 2 || snap.Workers[1].Tasks != 1 || snap.Workers[1].Busy != 0.4 {
+		t.Errorf("lane 2 occupancy: %+v", snap.Workers[1])
+	}
+	if snap.Counters["outline.functions"] != 3 {
+		t.Errorf("counters: %v", snap.Counters)
+	}
+}
+
+// TestWriteMetricsRoundTrip checks the metrics JSON parses back into the
+// same snapshot.
+func TestWriteMetricsRoundTrip(t *testing.T) {
+	tr := fixedTracer()
+	var buf bytes.Buffer
+	if err := tr.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("metrics not valid JSON: %v", err)
+	}
+	if got.WallUS != 100 || got.Stages["compile"] != 55 || got.Tasks["compile"].Count != 2 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+// TestRank pins the nearest-rank percentile at small sample counts.
+func TestRank(t *testing.T) {
+	cases := []struct{ n, p, want int }{
+		{1, 50, 0}, {1, 95, 0},
+		{2, 50, 0}, {2, 95, 1},
+		{10, 50, 4}, {10, 95, 9}, {10, 100, 9},
+		{100, 95, 94}, {100, 50, 49},
+	}
+	for _, c := range cases {
+		if got := rank(c.n, c.p); got != c.want {
+			t.Errorf("rank(%d,%d) = %d, want %d", c.n, c.p, got, c.want)
+		}
+	}
+}
+
+// TestPoolObserverAdapter checks the par-facing callback records on the
+// right lane with the right name.
+func TestPoolObserverAdapter(t *testing.T) {
+	tr := New()
+	obs := tr.PoolObserver("lint", func(i int) string { return "m" + string(rune('0'+i)) })
+	obs(1, 2, 3*time.Microsecond, 10*time.Microsecond)
+	spans, _, _ := tr.snapshotState()
+	if len(spans) != 1 {
+		t.Fatalf("%d spans", len(spans))
+	}
+	s := spans[0]
+	if s.Name != "m2" || s.Cat != "lint" || s.Lane != 2 || s.Args["queue_us"] != 3 {
+		t.Errorf("span: %+v", s)
+	}
+}
+
+// TestStartProfile exercises both pprof modes.
+func TestStartProfile(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	stop, err := StartProfile(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		_ = strings.Repeat("x", 10)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(cpu); err != nil || fi.Size() == 0 {
+		t.Errorf("cpu profile: %v, size %v", err, fi)
+	}
+
+	mem := filepath.Join(dir, "mem.out")
+	stop, err = StartProfile(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(mem); err != nil || fi.Size() == 0 {
+		t.Errorf("mem profile: %v", err)
+	}
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+)
+
+// StartProfile starts the runtime/pprof collection the -pprof CLI flag
+// asks for and returns the function that finishes it. The profile kind is
+// selected by the output file's base name: a name starting with "mem"
+// (e.g. mem.out) takes a heap snapshot at stop time; anything else (e.g.
+// cpu.out) runs a CPU profile from now until stop. stop must be called
+// exactly once; it flushes and closes the file.
+func StartProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasPrefix(filepath.Base(path), "mem") {
+		return func() error {
+			runtime.GC() // up-to-date heap statistics
+			werr := pprof.WriteHeapProfile(f)
+			cerr := f.Close()
+			if werr != nil {
+				return werr
+			}
+			return cerr
+		}, nil
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}

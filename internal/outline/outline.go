@@ -19,6 +19,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/dex"
 	"repro/internal/oat"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -57,6 +58,12 @@ type Options struct {
 	// Parallel, which partitions the *input* into K trees and changes
 	// what is outlined; Workers changes only scheduling, never output.
 	Workers int
+	// Tracer, when non-nil, records per-group spans for the tree
+	// fan-out, per-method rewrite and verify spans, one instant event
+	// per group carrying its tree-build/detect/scan counters, and the
+	// final Stats counters. Tracing observes only; output is identical
+	// with it on or off.
+	Tracer *obs.Tracer
 }
 
 // DetectorKind selects a repeat-detection backend.
@@ -98,6 +105,11 @@ type Stats struct {
 	WordsRemoved        int // call-site words removed (net of inserted bl)
 	WordsAdded          int // outlined function words (bodies + returns)
 
+	// Phase wall clocks. With K parallel trees, SepScan through Detect
+	// are the slowest group's time (groups overlap); Rewrite is the wall
+	// time of the whole rewrite fan-out. Across rounds they accumulate.
+	SepScan   time.Duration // per-method separator scans (inside buildSequence)
+	Symbolize time.Duration // sequence symbol interning (serial per group)
 	TreeBuild time.Duration
 	Detect    time.Duration
 	Rewrite   time.Duration
@@ -105,6 +117,22 @@ type Stats struct {
 
 // NetWordsSaved is the net text-segment saving in instruction words.
 func (s *Stats) NetWordsSaved() int { return s.WordsRemoved - s.WordsAdded }
+
+// Counters flattens the counts (not the durations) into named telemetry
+// counters — the bundle the metrics snapshot and the -stats table report.
+func (s *Stats) Counters() map[string]int64 {
+	return map[string]int64{
+		"candidate_methods":    int64(s.CandidateMethods),
+		"excluded_indirect":    int64(s.ExcludedIndirect),
+		"excluded_native":      int64(s.ExcludedNative),
+		"hot_filtered":         int64(s.HotFiltered),
+		"sequence_symbols":     int64(s.SequenceSymbols),
+		"outlined_functions":   int64(s.OutlinedFunctions),
+		"outlined_occurrences": int64(s.OutlinedOccurrences),
+		"words_removed":        int64(s.WordsRemoved),
+		"words_added":          int64(s.WordsAdded),
+	}
+}
 
 // Run outlines the compiled methods in place and returns the outlined
 // functions as linker blobs. Methods' Code, Meta, StackMap, and Ext are
@@ -126,6 +154,9 @@ func Run(methods []*codegen.CompiledMethod, opts Options) ([]oat.Blob, *Stats, e
 	}
 	if opts.DedupFunctions {
 		blobs = dedupBlobs(methods, blobs, total)
+	}
+	for name, v := range total.Counters() {
+		opts.Tracer.Count("outline."+name, v)
 	}
 	return blobs, total, nil
 }
@@ -188,6 +219,8 @@ func accumulate(total, pass *Stats) {
 	total.OutlinedOccurrences += pass.OutlinedOccurrences
 	total.WordsRemoved += pass.WordsRemoved
 	total.WordsAdded += pass.WordsAdded
+	total.SepScan += pass.SepScan
+	total.Symbolize += pass.Symbolize
 	total.TreeBuild += pass.TreeBuild
 	total.Detect += pass.Detect
 	total.Rewrite += pass.Rewrite
@@ -231,7 +264,10 @@ func runPass(methods []*codegen.CompiledMethod, opts Options, symBase int) ([]oa
 		funcs []outlinedFunc
 		stats Stats
 	}
-	results, err := par.Map(opts.Workers, k, func(gi int) (groupResult, error) {
+	observer := opts.Tracer.PoolObserver("outline.group", func(gi int) string {
+		return fmt.Sprintf("tree %d (%d methods)", gi, len(groups[gi]))
+	})
+	results, err := par.MapObs(opts.Workers, k, observer, func(gi int) (groupResult, error) {
 		funcs, st, err := outlineGroup(methods, groups[gi], opts)
 		return groupResult{funcs: funcs, stats: st}, err
 	})
@@ -242,13 +278,37 @@ func runPass(methods []*codegen.CompiledMethod, opts Options, symBase int) ([]oa
 	// Merge deterministically in group order.
 	var blobs []oat.Blob
 	var rewrites []rewritePlan
-	for _, res := range results {
+	for gi, res := range results {
 		stats.SequenceSymbols += res.stats.SequenceSymbols
+		// Groups run in parallel: phase totals take the slowest group,
+		// not the sum over the pool.
+		if res.stats.SepScan > stats.SepScan {
+			stats.SepScan = res.stats.SepScan
+		}
+		if res.stats.Symbolize > stats.Symbolize {
+			stats.Symbolize = res.stats.Symbolize
+		}
 		if res.stats.TreeBuild > stats.TreeBuild {
-			stats.TreeBuild = res.stats.TreeBuild // parallel: max, not sum
+			stats.TreeBuild = res.stats.TreeBuild
 		}
 		if res.stats.Detect > stats.Detect {
 			stats.Detect = res.stats.Detect
+		}
+		if opts.Tracer != nil {
+			occ := 0
+			for _, f := range res.funcs {
+				occ += len(f.occurrences)
+			}
+			opts.Tracer.Instant("outline.group", fmt.Sprintf("tree %d stats", gi), map[string]int64{
+				"methods":          int64(len(groups[gi])),
+				"sequence_symbols": int64(res.stats.SequenceSymbols),
+				"functions":        int64(len(res.funcs)),
+				"occurrences":      int64(occ),
+				"sep_scan_us":      res.stats.SepScan.Microseconds(),
+				"symbolize_us":     res.stats.Symbolize.Microseconds(),
+				"tree_build_us":    res.stats.TreeBuild.Microseconds(),
+				"detect_us":        res.stats.Detect.Microseconds(),
+			})
 		}
 		for _, f := range res.funcs {
 			sym := codegen.PackSym(codegen.SymKindOutlined, int64(symBase+len(blobs)))
@@ -282,7 +342,10 @@ func runPass(methods []*codegen.CompiledMethod, opts Options, symBase int) ([]oa
 		order = append(order, mi)
 	}
 	sort.Ints(order)
-	if err := par.Each(opts.Workers, len(order), func(i int) error {
+	rwObserver := opts.Tracer.PoolObserver("outline.rewrite", func(i int) string {
+		return methods[order[i]].M.FullName()
+	})
+	if err := par.EachObs(opts.Workers, len(order), rwObserver, func(i int) error {
 		mi := order[i]
 		if err := rewriteMethod(methods[mi], byMethod[mi]); err != nil {
 			return fmt.Errorf("outline: %s: %w", methods[mi].M.FullName(), err)

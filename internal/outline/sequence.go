@@ -134,12 +134,22 @@ func (s *symbolizer) wordsOf(label []uint32) []uint32 {
 // that follows is inherently sequential — symbol identity depends on
 // first-seen order — and stays a serial walk in group order, so the
 // sequence is identical for every worker count.
-func buildSequence(methods []*codegen.CompiledMethod, group []int, opts Options) ([]uint32, []position) {
+//
+// The two phases are timed into st (SepScan, Symbolize) rather than
+// traced as spans: this pool is nested inside a group task that already
+// owns a worker lane, and spans from a nested pool would interleave with
+// the outer tasks on the same lanes. The per-group instant event carries
+// these durations instead.
+func buildSequence(methods []*codegen.CompiledMethod, group []int, opts Options, st *Stats) ([]uint32, []position) {
+	t0 := time.Now()
 	seps, _ := par.Map(opts.Workers, len(group), func(i int) ([]bool, error) {
 		cm := methods[group[i]]
 		hot := opts.Hot != nil && opts.Hot[cm.M.ID]
 		return separatorWords(cm, hot), nil
 	})
+	st.SepScan = time.Since(t0)
+	t1 := time.Now()
+	defer func() { st.Symbolize = time.Since(t1) }()
 	sym := newSymbolizer()
 	var seq []uint32
 	var pos []position
@@ -208,7 +218,7 @@ func detectRepeats(seq []uint32, opts Options, st *Stats) []repeatCand {
 // returns the functions to create (with their chosen occurrences).
 func outlineGroup(methods []*codegen.CompiledMethod, group []int, opts Options) ([]outlinedFunc, Stats, error) {
 	var st Stats
-	seq, pos := buildSequence(methods, group, opts)
+	seq, pos := buildSequence(methods, group, opts, &st)
 	st.SequenceSymbols = len(seq)
 	if len(seq) == 0 {
 		return nil, st, nil

@@ -6,6 +6,7 @@ import (
 	"repro/internal/a64"
 	"repro/internal/codegen"
 	"repro/internal/oat"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -58,6 +59,13 @@ func VerifyRewrite(methods []*codegen.CompiledMethod, before *Snapshot, blobs []
 // VerifyRewriteParallel is VerifyRewrite with an explicit worker count
 // (<= 0 selects GOMAXPROCS).
 func VerifyRewriteParallel(methods []*codegen.CompiledMethod, before *Snapshot, blobs []oat.Blob, workers int) error {
+	return VerifyRewriteTraced(methods, before, blobs, workers, nil)
+}
+
+// VerifyRewriteTraced is VerifyRewriteParallel with per-method replay
+// spans (category "outline.verify") recorded on the tracer; nil traces
+// nothing. Findings are identical either way.
+func VerifyRewriteTraced(methods []*codegen.CompiledMethod, before *Snapshot, blobs []oat.Blob, workers int, tracer *obs.Tracer) error {
 	bodyBySym := map[int][]uint32{}
 	for _, b := range blobs {
 		if len(b.Code) < 1 {
@@ -65,7 +73,10 @@ func VerifyRewriteParallel(methods []*codegen.CompiledMethod, before *Snapshot, 
 		}
 		bodyBySym[b.Sym] = b.Code[:len(b.Code)-1] // strip the br x30
 	}
-	return par.Each(workers, len(methods), func(mi int) error {
+	observer := tracer.PoolObserver("outline.verify", func(mi int) string {
+		return methods[mi].M.FullName()
+	})
+	return par.EachObs(workers, len(methods), observer, func(mi int) error {
 		return verifyMethod(methods[mi], mi, before, bodyBySym)
 	})
 }
@@ -176,7 +187,7 @@ func RunVerified(methods []*codegen.CompiledMethod, opts Options) ([]oat.Blob, *
 	if err != nil {
 		return nil, stats, err
 	}
-	if err := VerifyRewriteParallel(methods, snap, blobs, opts.Workers); err != nil {
+	if err := VerifyRewriteTraced(methods, snap, blobs, opts.Workers, opts.Tracer); err != nil {
 		return nil, stats, err
 	}
 	return blobs, stats, nil

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Workers resolves a worker-count knob: values <= 0 select
@@ -31,6 +32,16 @@ func Workers(n int) int {
 	return n
 }
 
+// TaskObserver is the pool's telemetry hook: called once per completed
+// task with the worker that ran it (0..W-1), the task index, how long the
+// task waited for a worker slot (measured from batch submission), and how
+// long it ran. A nil observer disables all timing on the hot path. The
+// observer is called concurrently from pool goroutines and must be safe
+// for concurrent use; it must only observe — a pool user's determinism
+// contract assumes the observer feeds nothing back into the work.
+// obs.Tracer.PoolObserver vends a compatible callback.
+type TaskObserver func(worker, index int, queueWait, run time.Duration)
+
 // Map runs fn(i) for every i in [0, n) on at most workers goroutines
 // (workers <= 0 selects GOMAXPROCS) and returns the results indexed by i.
 //
@@ -40,14 +51,36 @@ func Workers(n int) int {
 // then selects the same error — either way the caller observes identical
 // results for every worker count.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapObs(workers, n, nil, fn)
+}
+
+// MapObs is Map with a per-task observer. The observer changes nothing
+// about scheduling or results; with obs == nil the timing calls are
+// skipped entirely, so Map pays no telemetry cost.
+func MapObs[T any](workers, n int, obs TaskObserver, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	w := Workers(workers)
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
+		var t0 time.Time
+		if obs != nil {
+			t0 = time.Now()
+		}
 		for i := 0; i < n; i++ {
+			if obs == nil {
+				v, err := fn(i)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+				continue
+			}
+			// Serial queue wait: time spent behind earlier tasks.
+			pick := time.Now()
 			v, err := fn(i)
+			obs(0, i, pick.Sub(t0), time.Since(pick))
 			if err != nil {
 				return nil, err
 			}
@@ -56,21 +89,31 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		return out, nil
 	}
 
+	var t0 time.Time
+	if obs != nil {
+		t0 = time.Now()
+	}
 	errs := make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
+				if obs == nil {
+					out[i], errs[i] = fn(i)
+					continue
+				}
+				pick := time.Now()
 				out[i], errs[i] = fn(i)
+				obs(worker, i, pick.Sub(t0), time.Since(pick))
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -84,7 +127,12 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 // Each is Map for side-effecting stages: fn(i) must touch only state
 // owned by index i. The same lowest-index-error rule applies.
 func Each(workers, n int, fn func(i int) error) error {
-	_, err := Map(workers, n, func(i int) (struct{}, error) {
+	return EachObs(workers, n, nil, fn)
+}
+
+// EachObs is Each with a per-task observer; see MapObs.
+func EachObs(workers, n int, obs TaskObserver, fn func(i int) error) error {
+	_, err := MapObs(workers, n, obs, func(i int) (struct{}, error) {
 		return struct{}{}, fn(i)
 	})
 	return err

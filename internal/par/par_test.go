@@ -3,8 +3,10 @@ package par
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkers(t *testing.T) {
@@ -89,5 +91,87 @@ func TestEachError(t *testing.T) {
 	}
 	if err := Each(4, 10, func(int) error { return nil }); err != nil {
 		t.Errorf("clean Each: %v", err)
+	}
+}
+
+// TestMapObsObservesEveryTask checks that the observer fires exactly once
+// per index with a valid worker id, at every pool width including the
+// serial fast path, and that results are unchanged by observation.
+func TestMapObsObservesEveryTask(t *testing.T) {
+	const n = 200
+	for _, w := range []int{1, 2, 8} {
+		var mu sync.Mutex
+		seen := make(map[int]int) // index -> observations
+		workerMax := 0
+		obs := func(worker, index int, queueWait, run time.Duration) {
+			mu.Lock()
+			defer mu.Unlock()
+			seen[index]++
+			if worker > workerMax {
+				workerMax = worker
+			}
+			if queueWait < 0 || run < 0 {
+				t.Errorf("w=%d: negative timing for index %d: queue %v run %v", w, index, queueWait, run)
+			}
+		}
+		got, err := MapObs(w, n, obs, func(i int) (int, error) { return i * 3, nil })
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		for i, v := range got {
+			if v != i*3 {
+				t.Fatalf("w=%d: out[%d] = %d", w, i, v)
+			}
+		}
+		if len(seen) != n {
+			t.Errorf("w=%d: observed %d distinct indices, want %d", w, len(seen), n)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Errorf("w=%d: index %d observed %d times", w, i, c)
+			}
+		}
+		bound := Workers(w)
+		if bound > n {
+			bound = n
+		}
+		if workerMax >= bound {
+			t.Errorf("w=%d: worker id %d out of range [0,%d)", w, workerMax, bound)
+		}
+	}
+}
+
+// TestMapObsErrorStillObserved checks the lowest-index error survives with
+// an observer attached, and the serial path observes the failing task.
+func TestMapObsErrorStillObserved(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		var calls atomic.Int32
+		obs := func(worker, index int, queueWait, run time.Duration) { calls.Add(1) }
+		_, err := MapObs(w, 50, obs, func(i int) (int, error) {
+			if i == 7 || i == 31 {
+				return 0, fmt.Errorf("fail %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "fail 7" {
+			t.Errorf("w=%d: err = %v, want fail 7", w, err)
+		}
+		if calls.Load() == 0 {
+			t.Errorf("w=%d: observer never called", w)
+		}
+	}
+}
+
+// TestEachObs checks the Each wrapper forwards the observer.
+func TestEachObs(t *testing.T) {
+	var calls atomic.Int32
+	err := EachObs(3, 20, func(worker, index int, queueWait, run time.Duration) {
+		calls.Add(1)
+	}, func(i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 20 {
+		t.Errorf("observer called %d times, want 20", calls.Load())
 	}
 }

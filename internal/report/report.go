@@ -90,18 +90,33 @@ func Growth(base, v time.Duration) string {
 	return Pct(float64(v-base) / float64(base))
 }
 
-// Dur renders a duration in the paper's m/s style.
+// Dur renders a duration in the paper's m/s style. Negative durations
+// (clock skew in subtracted measurements) render with a single leading
+// sign — never "-1m-30.0s" — and a value that rounds to zero drops the
+// sign entirely.
 func Dur(d time.Duration) string {
+	neg := d < 0
+	if neg {
+		d = -d
+	}
 	d = d.Round(time.Second / 10)
+	var s string
 	if d >= time.Minute {
 		m := d / time.Minute
-		s := (d - m*time.Minute).Seconds()
-		return fmt.Sprintf("%dm%04.1fs", m, s)
+		sec := (d - m*time.Minute).Seconds()
+		s = fmt.Sprintf("%dm%04.1fs", m, sec)
+	} else {
+		s = fmt.Sprintf("%.1fs", d.Seconds())
 	}
-	return fmt.Sprintf("%.1fs", d.Seconds())
+	if neg && d != 0 {
+		return "-" + s
+	}
+	return s
 }
 
-// Count renders large counts with a k/M suffix (Figure 4 style).
+// Count renders large counts with a k/M suffix (Figure 4 style). The k
+// band rounds to the nearest thousand, so 999_999 renders as "1000k" —
+// the M band starts at exactly 1_000_000.
 func Count(n int64) string {
 	switch {
 	case n >= 1_000_000:

@@ -65,6 +65,41 @@ func TestGrowthAndDur(t *testing.T) {
 	}
 }
 
+func TestDurBoundariesAndSign(t *testing.T) {
+	cases := map[time.Duration]string{
+		// Rounding crosses the minute boundary: 59.95s rounds up to
+		// sixty seconds and must switch to the m/s form, not "60.0s".
+		59*time.Second + 950*time.Millisecond: "1m00.0s",
+		59*time.Second + 940*time.Millisecond: "59.9s",
+		60 * time.Second:                      "1m00.0s",
+		// Negatives carry exactly one leading sign in both forms.
+		-90 * time.Second:       "-1m30.0s",
+		-5 * time.Second:        "-5.0s",
+		-49 * time.Millisecond:  "0.0s", // rounds to zero: no "-0.0s"
+		-100 * time.Millisecond: "-0.1s",
+		0:                       "0.0s",
+	}
+	for in, want := range cases {
+		if got := Dur(in); got != want {
+			t.Errorf("Dur(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCountEdges(t *testing.T) {
+	cases := map[int64]string{
+		999:     "999",
+		1000:    "1k",
+		999_999: "1000k", // documented: the k band rounds, M starts at 1e6
+		-3:      "-3",
+	}
+	for in, want := range cases {
+		if got := Count(in); got != want {
+			t.Errorf("Count(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
 func TestCount(t *testing.T) {
 	cases := map[int64]string{
 		17:       "17",

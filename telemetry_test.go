@@ -1,0 +1,159 @@
+package calibro
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// tracedBuild runs the full CTO+LTBO+PlOpti pipeline (verifier on, so the
+// lint lanes trace too) with the given tracer and returns the marshaled
+// image bytes.
+func tracedBuild(t *testing.T, app *App, workers int, tracer *Tracer) []byte {
+	t.Helper()
+	cfg := CTOLTBOPl(8)
+	cfg.VerifyImage = true
+	cfg.Workers = workers
+	cfg.Tracer = tracer
+	res, err := Build(app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalImage(res.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestBuildDeterministicWithTracing pins the telemetry half of the
+// determinism contract: a live tracer observes the build but never steers
+// it, so the image is byte-identical whether Config.Tracer is nil or
+// recording, at a parallel pool width.
+func TestBuildDeterministicWithTracing(t *testing.T) {
+	app := wechatApp(t)
+	plain := tracedBuild(t, app, 3, nil)
+	traced := tracedBuild(t, app, 3, NewTracer())
+	if !bytes.Equal(plain, traced) {
+		t.Errorf("image differs with tracing on (%d vs %d bytes)", len(traced), len(plain))
+	}
+}
+
+// TestTraceExportShape builds with a live tracer at -j 3 and validates the
+// exported Chrome trace: parseable JSON, events sorted by timestamp,
+// every duration event carrying pid/tid/ts/dur, and no task lane beyond
+// the pool width.
+func TestTraceExportShape(t *testing.T) {
+	const workers = 3
+	app := wechatApp(t)
+	tracer := NewTracer()
+	tracedBuild(t, app, workers, tracer)
+
+	var buf bytes.Buffer
+	if err := tracer.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Cat  string   `json:"cat"`
+			Ph   string   `json:"ph"`
+			Pid  *int     `json:"pid"`
+			Tid  *int     `json:"tid"`
+			Ts   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	var spans, tasks int
+	lastTS := -1.0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			continue // metadata events carry no timestamp
+		}
+		if ev.Pid == nil || ev.Tid == nil || ev.Ts == nil {
+			t.Fatalf("event %q (%s) missing pid/tid/ts", ev.Name, ev.Ph)
+		}
+		if *ev.Ts < lastTS {
+			t.Fatalf("event %q out of timestamp order (%v after %v)", ev.Name, *ev.Ts, lastTS)
+		}
+		lastTS = *ev.Ts
+		if ev.Ph == "X" {
+			spans++
+			if ev.Dur == nil {
+				t.Fatalf("complete event %q has no dur", ev.Name)
+			}
+			if *ev.Tid > workers {
+				t.Errorf("event %q on lane %d, beyond pool width %d", ev.Name, *ev.Tid, workers)
+			}
+			if *ev.Tid > 0 {
+				tasks++
+			}
+		}
+	}
+	if spans == 0 {
+		t.Fatal("trace holds no complete events")
+	}
+	if tasks == 0 {
+		t.Fatal("no task ran on a worker lane")
+	}
+}
+
+// TestMetricsSnapshotContent checks the aggregated metrics of a traced
+// build: every pipeline stage present, the compile task count equal to
+// the method count, queue-wait populated for pooled categories, and the
+// outline counters forwarded from outline.Stats.
+func TestMetricsSnapshotContent(t *testing.T) {
+	app := wechatApp(t)
+	tracer := NewTracer()
+	tracedBuild(t, app, 3, tracer)
+	snap := tracer.Snapshot()
+
+	for _, stage := range []string{"compile", "outline", "link", "verify"} {
+		if snap.Stages[stage] <= 0 {
+			t.Errorf("stage %q missing from snapshot (stages: %v)", stage, snap.Stages)
+		}
+	}
+	if snap.WallUS <= 0 {
+		t.Error("snapshot has no wall time")
+	}
+	ct := snap.Tasks["compile"]
+	if ct.Count != app.NumMethods() {
+		t.Errorf("compile tasks = %d, want one per method (%d)", ct.Count, app.NumMethods())
+	}
+	if ct.P50US > ct.P95US || ct.P95US > ct.MaxUS {
+		t.Errorf("compile percentiles not monotone: p50=%d p95=%d max=%d", ct.P50US, ct.P95US, ct.MaxUS)
+	}
+	if _, ok := snap.QueueWait["compile"]; !ok {
+		t.Error("compile queue-wait distribution missing")
+	}
+	if len(snap.Workers) == 0 {
+		t.Error("no worker occupancy recorded")
+	}
+	for _, name := range []string{
+		"outline.candidate_methods", "outline.outlined_functions",
+		"outline.outlined_occurrences", "outline.words_removed",
+		"lint.methods",
+	} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("counter %q missing (have %v)", name, snap.Counters)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tracer.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round obs.Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("metrics JSON does not round-trip: %v", err)
+	}
+	if round.Tasks["compile"].Count != ct.Count {
+		t.Errorf("round-tripped compile count = %d, want %d", round.Tasks["compile"].Count, ct.Count)
+	}
+}

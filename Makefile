@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build vet test test-short race fuzz bench bench-obs bench-smoke
+.PHONY: ci build vet test test-short race fuzz bench bench-obs bench-cache bench-smoke
 
 # ci is the gate every change must pass: compile everything, vet
 # everything, run the full test suite, run the short suite under the
@@ -30,6 +30,7 @@ race:
 fuzz:
 	$(GO) test ./internal/oat -run xxx -fuzz FuzzUnmarshal -fuzztime 20s
 	$(GO) test ./internal/oat -run xxx -fuzz FuzzUnmarshalLint -fuzztime 20s
+	$(GO) test ./internal/cache -run xxx -fuzz FuzzCacheEntry -fuzztime 20s
 
 # bench regenerates the paper's tables and figures.
 bench:
@@ -42,7 +43,14 @@ bench-obs:
 	$(GO) test -run xxx -bench 'BenchmarkCompileWorkers|BenchmarkBuildTraced' -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_obs.json
 
+# bench-cache measures the cold-vs-warm compilation cache benchmark on
+# the largest app and archives the results (warm/cold ns/op plus the warm
+# hit rate) in BENCH_cache.json via cmd/benchjson.
+bench-cache:
+	$(GO) test -run xxx -bench 'BenchmarkBuildColdVsWarm' -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_cache.json
+
 # bench-smoke is the ci guard for the same benchmarks: one iteration each
 # at the -short scale, just proving they still run.
 bench-smoke:
-	$(GO) test -short -run xxx -bench 'BenchmarkCompileWorkers|BenchmarkBuildTraced' -benchtime 1x . >/dev/null
+	$(GO) test -short -run xxx -bench 'BenchmarkCompileWorkers|BenchmarkBuildTraced|BenchmarkBuildColdVsWarm' -benchtime 1x . >/dev/null

@@ -567,6 +567,51 @@ func BenchmarkBuildTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildColdVsWarm measures what the compilation cache buys on a
+// full CTO+LTBO+PlOpti build of the largest app (Kuaishou): "cold" builds
+// into a fresh cache every iteration (compile + populate), "warm" builds
+// from a pre-populated one (every method decoded, zero code generation).
+// The warm/cold ns/op ratio is the headline; the warm case also reports
+// its hit rate, which must be 100%.
+func BenchmarkBuildColdVsWarm(b *testing.B) {
+	apps := suite(b)
+	var kuaishou *appBundle
+	for _, ab := range apps {
+		if ab.prof.Name == "Kuaishou" {
+			kuaishou = ab
+		}
+	}
+	cfg := CTOLTBOPl(8)
+	cfg.Workers = 8
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run := cfg
+			run.Cache, _ = NewCache("")
+			if _, err := Build(kuaishou.app, run); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		run := cfg
+		run.Cache, _ = NewCache("")
+		if _, err := Build(kuaishou.app, run); err != nil { // populate
+			b.Fatal(err)
+		}
+		before := run.Cache.Stats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Build(kuaishou.app, run); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		s := run.Cache.Stats()
+		hits, misses := s.Hits-before.Hits, s.Misses-before.Misses
+		b.ReportMetric(100*float64(hits)/float64(hits+misses), "hit-rate-%")
+	})
+}
+
 // BenchmarkOutlineGlobal measures LTBO with one global suffix tree.
 func BenchmarkOutlineGlobal(b *testing.B) {
 	apps := suite(b)

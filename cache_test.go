@@ -1,0 +1,256 @@
+package calibro
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// cacheLadder is the config half of the differential matrix — the same
+// four-rung evaluation ladder the lint ladder pins.
+func cacheLadder() []struct {
+	name string
+	cfg  func() Config
+} {
+	return []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"Baseline", Baseline},
+		{"CTOOnly", CTOOnly},
+		{"CTOLTBO", CTOLTBO},
+		{"CTOLTBOPl8", func() Config { return CTOLTBOPl(8) }},
+	}
+}
+
+// cachedBuild builds app under cfg with the given cache and worker count
+// and returns the result plus the marshaled image bytes.
+func cachedBuild(t *testing.T, app *App, cfg Config, cc *Cache, workers int) (*BuildResult, []byte) {
+	t.Helper()
+	cfg.Workers = workers
+	cfg.Cache = cc
+	res, err := Build(app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalImage(res.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, data
+}
+
+// TestColdWarmDifferential is the pin for the cache's hard contract:
+// caching changes scheduling and work, never output. For every app
+// profile under every ladder config it builds cold (empty cache), twice
+// warm from the populated cache at -j 1 and -j 8, cold again at -j 8
+// into a second fresh cache, and entirely without a cache — all five
+// images must be byte-identical. The warm image is then executed on the
+// emulator against the hgraph interpreter to confirm the decoded
+// artifacts behave, not just compare.
+func TestColdWarmDifferential(t *testing.T) {
+	apps := AppProfiles(0.03)
+	ladder := cacheLadder()
+	if testing.Short() {
+		apps = apps[:2]
+		ladder = ladder[:2]
+	}
+	for _, prof := range apps {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			t.Parallel()
+			app, man, err := GenerateApp(prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			script := Script(man, 2, 1)
+			for _, c := range ladder {
+				_, plain := cachedBuild(t, app, c.cfg(), nil, 1)
+
+				// Content addressing deduplicates byte-identical methods
+				// (the workload's redundancy is the paper's premise), so a
+				// cold build misses once per DISTINCT key and hits on the
+				// duplicates; a warm build hits on every method.
+				n := int64(app.NumMethods())
+				cacheA, _ := NewCache("")
+				_, cold1 := cachedBuild(t, app, c.cfg(), cacheA, 1)
+				sc := cacheA.Stats()
+				if sc.Misses != int64(sc.Entries) || sc.Hits+sc.Misses != n {
+					t.Errorf("%s: cold build stats %+v, want %d distinct misses of %d methods",
+						c.name, sc, sc.Entries, n)
+				}
+				warmRes, warm1 := cachedBuild(t, app, c.cfg(), cacheA, 1)
+				if sw := cacheA.Stats(); sw.Hits-sc.Hits != n || sw.Misses != sc.Misses {
+					t.Errorf("%s: warm build stats %+v after cold %+v, want %d fresh hits", c.name, sw, sc, n)
+				}
+				_, warm8 := cachedBuild(t, app, c.cfg(), cacheA, 8)
+
+				cacheB, _ := NewCache("")
+				_, cold8 := cachedBuild(t, app, c.cfg(), cacheB, 8)
+
+				for _, v := range []struct {
+					name string
+					data []byte
+				}{
+					{"cold -j1", cold1}, {"warm -j1", warm1},
+					{"warm -j8", warm8}, {"cold -j8", cold8},
+				} {
+					if !bytes.Equal(v.data, plain) {
+						t.Errorf("%s: %s image differs from uncached build (%d vs %d bytes)",
+							c.name, v.name, len(v.data), len(plain))
+					}
+				}
+
+				// The warm image must not just match bytes — it must run,
+				// and agree with the interpreter on every observable.
+				for _, run := range script {
+					want, err := Interpret(app, run.Entry, run.Args[:])
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := Execute(warmRes.Image, run.Entry, run.Args[:])
+					if err != nil {
+						t.Fatalf("%s: execute m%d: %v", c.name, run.Entry, err)
+					}
+					if got.Ret != want.Ret || got.Exc != want.Exc || !reflect.DeepEqual(got.Log, want.Log) {
+						t.Fatalf("%s: warm image diverges from interpreter on m%d", c.name, run.Entry)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWarmBuildHasNoCodegenSpans pins the telemetry side of a fully warm
+// build: every method is served from the cache, so the compile task
+// category must be entirely absent from the snapshot and the cache
+// counters must show a 100% hit rate.
+func TestWarmBuildHasNoCodegenSpans(t *testing.T) {
+	app := wechatApp(t)
+	cc, _ := NewCache("")
+	cachedBuild(t, app, CTOLTBOPl(8), cc, 4) // populate
+
+	tracer := NewTracer()
+	cfg := CTOLTBOPl(8)
+	cfg.Tracer = tracer
+	cachedBuild(t, app, cfg, cc, 4)
+	snap := tracer.Snapshot()
+
+	if ts, ok := snap.Tasks["compile"]; ok {
+		t.Errorf("warm build recorded %d codegen spans; want none", ts.Count)
+	}
+	n := int64(app.NumMethods())
+	if snap.Counters["cache.hits"] != n {
+		t.Errorf("cache.hits = %d, want %d", snap.Counters["cache.hits"], n)
+	}
+	if snap.Counters["cache.misses"] != 0 {
+		t.Errorf("cache.misses = %d, want 0", snap.Counters["cache.misses"])
+	}
+	if snap.Counters["cache.bytes_served"] == 0 {
+		t.Error("cache.bytes_served = 0 on a fully warm build")
+	}
+}
+
+// TestCorruptCacheDirDegrades damages every persisted entry of an on-disk
+// cache and rebuilds over it: the build must silently recompile (never
+// error), produce a byte-identical lint-clean image, and count the
+// corruption in the stats.
+func TestCorruptCacheDirDegrades(t *testing.T) {
+	app := wechatApp(t)
+	dir := t.TempDir()
+
+	cc, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pristine := cachedBuild(t, app, CTOLTBOPl(8), cc, 4)
+
+	// One file per distinct key; duplicate methods share an entry.
+	distinct := cc.Len()
+	files, err := filepath.Glob(filepath.Join(dir, "*.cce"))
+	if err != nil || len(files) != distinct {
+		t.Fatalf("expected %d entry files, got %d (%v)", distinct, len(files), err)
+	}
+	for _, f := range files {
+		blob, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob[len(blob)/2] ^= 0xFF
+		if err := os.WriteFile(f, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	warm, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rebuilt := cachedBuild(t, app, CTOLTBOPl(8), warm, 4)
+	if !bytes.Equal(rebuilt, pristine) {
+		t.Errorf("rebuild over corrupt cache differs (%d vs %d bytes)", len(rebuilt), len(pristine))
+	}
+	if findings := LintImage(res.Image); len(findings) != 0 {
+		t.Errorf("rebuilt image has %d lint findings", len(findings))
+	}
+	// Every distinct key read the damaged file at least once; duplicate
+	// methods may race the healing Put and read it again or hit the
+	// freshly healed in-memory entry, so the bounds are inexact only for
+	// the duplicates.
+	s := warm.Stats()
+	if s.Corrupt < int64(distinct) {
+		t.Errorf("Corrupt = %d, want >= %d", s.Corrupt, distinct)
+	}
+	if s.Misses < int64(distinct) || s.Hits+s.Misses != int64(app.NumMethods()) {
+		t.Errorf("corrupt rebuild stats %+v", s)
+	}
+
+	// The recompile healed the directory: a third instance compiles warm.
+	healed, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, again := cachedBuild(t, app, CTOLTBOPl(8), healed, 4)
+	if !bytes.Equal(again, pristine) {
+		t.Error("healed cache serves a different image")
+	}
+	if s := healed.Stats(); s.Hits != int64(app.NumMethods()) || s.Corrupt != 0 {
+		t.Errorf("healed cache stats %+v, want all hits", s)
+	}
+}
+
+// TestDiskCacheWarmAcrossProcesses simulates the cross-process warm
+// start the -cache-dir flag exists for: a second cache instance over the
+// same directory serves every method from disk and reproduces the image.
+func TestDiskCacheWarmAcrossProcesses(t *testing.T) {
+	app := wechatApp(t)
+	dir := t.TempDir()
+
+	first, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cold := cachedBuild(t, app, CTOLTBOPl(8), first, 4)
+
+	second, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, warm := cachedBuild(t, app, CTOLTBOPl(8), second, 4)
+	if !bytes.Equal(warm, cold) {
+		t.Errorf("cross-process warm image differs (%d vs %d bytes)", len(warm), len(cold))
+	}
+	// Every method hits; at least one disk read per distinct key (a
+	// duplicate racing the promotion may read the file again, so DiskHits
+	// can exceed the distinct count but never the method count).
+	s := second.Stats()
+	n, distinct := int64(app.NumMethods()), int64(first.Len())
+	if s.Hits != n || s.Misses != 0 {
+		t.Errorf("stats %+v, want %d hits", s, n)
+	}
+	if s.DiskHits < distinct || s.DiskHits > n {
+		t.Errorf("DiskHits = %d, want between %d and %d", s.DiskHits, distinct, n)
+	}
+}

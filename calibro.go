@@ -24,6 +24,7 @@ package calibro
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dex"
 	"repro/internal/emu"
@@ -87,6 +88,15 @@ type (
 	// totals, per-category task distributions, queue waits, worker
 	// occupancy, and counters.
 	TelemetrySnapshot = obs.Snapshot
+	// Cache is the content-addressed compilation cache. Assigned to
+	// Config.Cache it lets warm rebuilds skip per-method code generation
+	// for every method whose bytecode, referenced-method signatures, and
+	// codegen knobs are unchanged; the linked image stays byte-identical
+	// to a cold build's.
+	Cache = cache.Cache
+	// CacheStats is a point-in-time view of a Cache's hit/miss/byte
+	// counters.
+	CacheStats = cache.Stats
 )
 
 // Exceptions raised by the modeled runtime.
@@ -153,6 +163,20 @@ var (
 // FullOptimization is CTO+LTBO+PlOpti; pair with ProfileGuidedBuild to add
 // HfOpti.
 func FullOptimization(trees int) Config { return core.CTOLTBOPl(trees) }
+
+// NewCache returns a compilation cache for Config.Cache. With dir == ""
+// the cache lives in memory and dies with the process — enough to make
+// the second build of a ProfileGuidedBuild, or any rebuild in the same
+// process, compile warm. A non-empty dir persists every entry to that
+// directory (created if needed) for cross-process warm starts; corrupt or
+// version-skewed files are detected by checksum and read as misses, so a
+// damaged cache can slow a build down but never break it.
+func NewCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return cache.New(), nil
+	}
+	return cache.NewDir(dir)
+}
 
 // NewTracer returns a live build tracer. Assign it to Config.Tracer before
 // Build; afterwards Tracer.WriteTrace exports a Perfetto-loadable Chrome

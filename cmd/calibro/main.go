@@ -8,6 +8,7 @@
 //	calibro -app Wechat [-scale 0.25] [-config baseline|cto|ltbo|plopti|hfopti]
 //	        [-trees 8] [-j N] [-runs 20] [-measure] [-o out.oat]
 //	        [-trace t.json] [-metrics m.json] [-stats] [-pprof cpu.out|mem.out]
+//	        [-cache] [-cache-dir DIR]
 //
 // Telemetry: -trace writes a Chrome trace-event JSON of the whole build
 // (open in Perfetto or chrome://tracing; worker lanes appear as threads),
@@ -16,6 +17,13 @@
 // one-screen telemetry table, and -pprof collects a runtime/pprof profile
 // of the process (a file name starting with "mem" selects a heap
 // snapshot, anything else a CPU profile).
+//
+// Caching: -cache routes the compile stage through an in-memory
+// content-addressed compilation cache (the hfopti rebuild then compiles
+// warm); -cache-dir persists the cache to a directory so the next calibro
+// invocation with unchanged inputs skips per-method code generation
+// entirely. The linked image is byte-identical with the cache cold, warm,
+// or absent.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dex"
 	"repro/internal/emu"
@@ -55,8 +64,21 @@ func main() {
 		metricsPath = flag.String("metrics", "", "write the flat metrics snapshot JSON to this file")
 		statsFlag   = flag.Bool("stats", false, "print the build telemetry table")
 		pprofPath   = flag.String("pprof", "", "collect a runtime/pprof profile (mem* = heap at exit, otherwise CPU)")
+
+		cacheFlag = flag.Bool("cache", false, "compile through an in-memory compilation cache (hfopti's rebuild compiles warm)")
+		cacheDir  = flag.String("cache-dir", "", "persist the compilation cache in this directory for cross-process warm rebuilds (implies -cache)")
 	)
 	flag.Parse()
+
+	var cc *cache.Cache
+	if *cacheDir != "" {
+		var err error
+		if cc, err = cache.NewDir(*cacheDir); err != nil {
+			log.Fatal(err)
+		}
+	} else if *cacheFlag {
+		cc = cache.New()
+	}
 
 	var stopProfile func() error
 	if *pprofPath != "" {
@@ -118,6 +140,7 @@ func main() {
 		c.DedupFunctions = *dedup
 		c.Workers = *workers
 		c.Tracer = tracer
+		c.Cache = cc
 		return c
 	}
 	var res *core.Result
@@ -147,6 +170,15 @@ func main() {
 	if s := res.Outline; s != nil {
 		fmt.Printf("outlining: %d candidates, %d functions, %d occurrences, net %d words saved\n",
 			s.CandidateMethods, s.OutlinedFunctions, s.OutlinedOccurrences, s.NetWordsSaved())
+	}
+	if cc != nil {
+		s := cc.Stats()
+		fmt.Printf("cache: %d hits (%d from disk), %d misses, %d entries, %s stored",
+			s.Hits, s.DiskHits, s.Misses, s.Entries, report.Bytes(int(s.BytesStored)))
+		if s.Corrupt > 0 {
+			fmt.Printf("; %d corrupt entries recompiled", s.Corrupt)
+		}
+		fmt.Println()
 	}
 
 	if *measure {

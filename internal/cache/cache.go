@@ -1,0 +1,321 @@
+// Package cache is the content-addressed compilation cache that makes
+// warm rebuilds cheap. Per-method code generation is a pure function of
+// the method's bytecode, the signatures of the methods it references, and
+// the codegen option knobs — exactly the redundancy ShareJIT exploits by
+// sharing compiled code across compilations keyed by content. The cache
+// maps a stable content hash of those inputs (the Key, built with Hasher)
+// to the serialized compiled artifact, so a rebuild of unchanged input
+// skips IR construction and code generation entirely.
+//
+// Layering: this package stores opaque payload bytes under content
+// addresses; it knows nothing about what they encode. The payload codec
+// for compiled methods — and the key schema that decides what invalidates
+// them — lives in internal/codegen, next to the code generator whose
+// output it snapshots. What this package owns is everything a *store*
+// must get right:
+//
+//   - a versioned, checksummed on-wire frame (Seal/Open), so corrupt,
+//     truncated, or version-skewed entries are detected and degrade to a
+//     miss — never an error, never a panic;
+//   - a concurrency-safe in-memory map (RWMutex reads on the hot path,
+//     atomic counters for stats, no lock held during encode/decode or
+//     disk I/O);
+//   - an optional on-disk directory for cross-process warm starts, with
+//     atomic writes (temp file + rename) and read-through promotion into
+//     memory.
+//
+// Determinism contract, inherited from the parallel-build work: the cache
+// changes scheduling and work, never output. Entries are immutable once
+// stored; readers decode private copies, so a cached artifact can never
+// alias state a later pipeline stage mutates.
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Key is a content address: the SHA-256 of canonical key material fed
+// through a Hasher. Equal keys mean "same compilation inputs"; the key
+// schema (what goes into the hash, and in what order) is owned by the
+// caller and pinned by its own golden tests.
+type Key [sha256.Size]byte
+
+// String renders the key as lower-case hex, the on-disk file stem.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Hasher accumulates canonical key material. Every field is written with
+// an unambiguous fixed-width or length-prefixed encoding, so two
+// different field sequences can never collide by concatenation. Fields
+// are staged in a fixed buffer and flushed to SHA-256 in large writes:
+// key hashing runs once per method per build, warm or cold, so the
+// per-Write overhead of the hash state is the warm path's compile cost.
+// Buffering changes only the write granularity, never the hashed byte
+// stream, so keys are identical to an unbuffered hasher's.
+type Hasher struct {
+	h   hash.Hash
+	n   int
+	buf [512]byte
+}
+
+// NewHasher starts a key over the given schema tag. The tag versions the
+// whole key layout: bumping it invalidates every existing entry at once,
+// which is the safe response to any change in what the key covers.
+func NewHasher(schema string) *Hasher {
+	h := &Hasher{h: sha256.New()}
+	h.Str(schema)
+	return h
+}
+
+func (h *Hasher) flush() {
+	if h.n > 0 {
+		h.h.Write(h.buf[:h.n])
+		h.n = 0
+	}
+}
+
+// Int writes a fixed-width signed integer.
+func (h *Hasher) Int(v int64) {
+	if h.n+8 > len(h.buf) {
+		h.flush()
+	}
+	binary.LittleEndian.PutUint64(h.buf[h.n:], uint64(v))
+	h.n += 8
+}
+
+// Uint writes a fixed-width unsigned integer.
+func (h *Hasher) Uint(v uint64) {
+	h.Int(int64(v))
+}
+
+// Bool writes a boolean as one full-width word (no packing, no ambiguity).
+func (h *Hasher) Bool(b bool) {
+	var v int64
+	if b {
+		v = 1
+	}
+	h.Int(v)
+}
+
+// Str writes a length-prefixed string.
+func (h *Hasher) Str(s string) {
+	h.Int(int64(len(s)))
+	for len(s) > 0 {
+		if h.n == len(h.buf) {
+			h.flush()
+		}
+		n := copy(h.buf[h.n:], s)
+		h.n += n
+		s = s[n:]
+	}
+}
+
+// Sum finalizes the key. The Hasher must not be reused afterwards.
+func (h *Hasher) Sum() Key {
+	h.flush()
+	var k Key
+	h.h.Sum(k[:0])
+	return k
+}
+
+// Frame layout (little-endian): magic, format version, payload length,
+// payload, CRC-32 (IEEE) of everything before the checksum. The version
+// is part of the checksummed region, so a version byte flipped in place
+// fails the checksum and a genuinely old entry fails the version check —
+// both are misses.
+const (
+	frameMagic   = 0x31454343 // "CCE1"
+	frameVersion = 1
+	frameHeader  = 12 // magic + version + payload length
+	frameFooter  = 4  // crc32
+)
+
+// Seal wraps a payload in the versioned, checksummed frame.
+func Seal(payload []byte) []byte {
+	blob := make([]byte, frameHeader+len(payload)+frameFooter)
+	le := binary.LittleEndian
+	le.PutUint32(blob[0:], frameMagic)
+	le.PutUint32(blob[4:], frameVersion)
+	le.PutUint32(blob[8:], uint32(len(payload)))
+	copy(blob[frameHeader:], payload)
+	sum := crc32.ChecksumIEEE(blob[:frameHeader+len(payload)])
+	le.PutUint32(blob[frameHeader+len(payload):], sum)
+	return blob
+}
+
+// Open validates a frame and returns its payload. Any defect — short
+// blob, wrong magic, unknown version, length mismatch, checksum failure —
+// returns ok == false: the store treats the entry as absent. The returned
+// slice aliases blob and must be treated as read-only.
+func Open(blob []byte) (payload []byte, ok bool) {
+	if len(blob) < frameHeader+frameFooter {
+		return nil, false
+	}
+	le := binary.LittleEndian
+	if le.Uint32(blob[0:]) != frameMagic || le.Uint32(blob[4:]) != frameVersion {
+		return nil, false
+	}
+	plen := int(le.Uint32(blob[8:]))
+	if plen != len(blob)-frameHeader-frameFooter {
+		return nil, false
+	}
+	body := blob[:frameHeader+plen]
+	if crc32.ChecksumIEEE(body) != le.Uint32(blob[frameHeader+plen:]) {
+		return nil, false
+	}
+	return blob[frameHeader : frameHeader+plen], true
+}
+
+// Stats is a point-in-time view of the cache's counters.
+type Stats struct {
+	Entries     int   // entries resident in memory
+	Hits        int64 // Get calls served (memory or disk)
+	Misses      int64 // Get calls that found nothing usable
+	DiskHits    int64 // subset of Hits served by reading the directory
+	Corrupt     int64 // entries rejected by the frame check (treated as misses)
+	BytesStored int64 // cumulative sealed bytes accepted by Put
+	BytesServed int64 // cumulative payload bytes returned by Get
+}
+
+// Cache is a concurrency-safe content-addressed store: an in-memory map
+// of sealed entries, optionally backed by a directory for cross-process
+// warm starts. The zero value is not usable; call New or NewDir.
+type Cache struct {
+	dir string
+
+	mu  sync.RWMutex
+	mem map[Key][]byte // sealed frames; immutable once stored
+
+	hits, misses, diskHits, corrupt atomic.Int64
+	bytesStored, bytesServed        atomic.Int64
+}
+
+// New returns a memory-only cache.
+func New() *Cache { return &Cache{mem: map[Key][]byte{}} }
+
+// NewDir returns a cache backed by the given directory, creating it if
+// needed. Entries written by other processes are picked up read-through;
+// entries this process stores are persisted write-through.
+func NewDir(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	c := New()
+	c.dir = dir
+	return c, nil
+}
+
+// Dir returns the backing directory, or "" for a memory-only cache.
+func (c *Cache) Dir() string { return c.dir }
+
+// path is the on-disk location of a key's entry.
+func (c *Cache) path(k Key) string { return filepath.Join(c.dir, k.String()+".cce") }
+
+// Get returns the payload stored under k, or ok == false on a miss. A
+// frame that fails validation — truncated file, flipped bits, version
+// skew — counts as corrupt and reads as a miss; the caller recompiles and
+// the subsequent Put heals the entry. The returned payload is shared and
+// read-only.
+func (c *Cache) Get(k Key) (payload []byte, ok bool) {
+	c.mu.RLock()
+	blob, inMem := c.mem[k]
+	c.mu.RUnlock()
+	if inMem {
+		// Memory entries were validated on the way in, but re-checking
+		// keeps one corruption policy for both tiers and costs one CRC.
+		if p, ok := Open(blob); ok {
+			c.hits.Add(1)
+			c.bytesServed.Add(int64(len(p)))
+			return p, true
+		}
+		c.corrupt.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	if c.dir != "" {
+		if blob, err := os.ReadFile(c.path(k)); err == nil {
+			if p, ok := Open(blob); ok {
+				c.mu.Lock()
+				c.mem[k] = blob
+				c.mu.Unlock()
+				c.hits.Add(1)
+				c.diskHits.Add(1)
+				c.bytesServed.Add(int64(len(p)))
+				return p, true
+			}
+			c.corrupt.Add(1)
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores payload under k, sealing it into the checksummed frame and
+// persisting it to the backing directory when one is configured. A re-Put
+// of identical bytes (content addressing makes that the common case) is
+// skipped; a differing entry — a corrupt or version-skewed blob the
+// caller just recompiled past — is overwritten, which is what heals it.
+// Disk write failures are deliberately swallowed: the cache is an
+// accelerator, never a correctness dependency.
+func (c *Cache) Put(k Key, payload []byte) {
+	blob := Seal(payload)
+	c.mu.Lock()
+	if old, exists := c.mem[k]; exists && bytes.Equal(old, blob) {
+		c.mu.Unlock()
+		return
+	}
+	c.mem[k] = blob
+	c.mu.Unlock()
+	c.bytesStored.Add(int64(len(blob)))
+	if c.dir != "" {
+		c.writeFile(k, blob)
+	}
+}
+
+// writeFile persists one sealed entry atomically: a unique temp file in
+// the same directory, then rename. Concurrent writers of the same key
+// race harmlessly — both rename identical bytes.
+func (c *Cache) writeFile(k Key, blob []byte) {
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.path(k)); err != nil {
+		os.Remove(name)
+	}
+}
+
+// Len returns the number of entries resident in memory.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.mem)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Entries:     c.Len(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		DiskHits:    c.diskHits.Load(),
+		Corrupt:     c.corrupt.Load(),
+		BytesStored: c.bytesStored.Load(),
+		BytesServed: c.bytesServed.Load(),
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/a64"
+	"repro/internal/cache"
 	"repro/internal/dex"
 	"repro/internal/hgraph"
 	"repro/internal/obs"
@@ -45,6 +46,13 @@ type Options struct {
 	// Tracing observes only: the compiled output is byte-identical with
 	// tracing on or off.
 	Tracer *obs.Tracer
+	// Cache, when non-nil, is the content-addressed compilation cache: a
+	// method whose CacheKey is already stored decodes the cached artifact
+	// instead of being compiled, and every miss populates the store. The
+	// cache changes scheduling and work, never output — a warm build is
+	// byte-identical to a cold one at every Workers value, and a corrupt
+	// or version-skewed entry reads as a miss, never an error.
+	Cache *cache.Cache
 }
 
 // Meta is the compile-time information recorded for the link-time binary
@@ -95,8 +103,12 @@ func (cm *CompiledMethod) CodeBytes() int { return len(cm.Code) * a64.WordSize }
 
 // Compile translates every method of the app. The returned slice is indexed
 // by dex.MethodID. Methods compile independently on Options.Workers
-// goroutines; the result does not depend on the worker count.
+// goroutines; the result does not depend on the worker count, and with
+// Options.Cache set it does not depend on the cache's state either.
 func Compile(app *dex.App, opts Options) ([]*CompiledMethod, error) {
+	if opts.Cache != nil {
+		return compileCached(app, opts)
+	}
 	observer := opts.Tracer.PoolObserver("compile", func(i int) string {
 		return app.Methods[i].FullName()
 	})

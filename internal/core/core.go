@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/cache"
 	"repro/internal/codegen"
 	"repro/internal/dex"
 	"repro/internal/oat"
@@ -72,6 +73,15 @@ type Config struct {
 	// Workers value. The cmd/calibro -trace/-metrics/-stats flags set
 	// this.
 	Tracer *obs.Tracer
+	// Cache, when non-nil, is the content-addressed compilation cache the
+	// compile stage consults before generating any code: methods whose
+	// bytecode, referenced-method signatures, and codegen knobs are
+	// already stored decode the cached artifact instead of compiling. The
+	// same determinism contract as Workers and Tracer applies — a warm
+	// build serializes to a byte-identical image at every pool width, and
+	// corrupt or stale entries degrade to recompilation, never an error.
+	// The cmd/calibro -cache/-cache-dir flags set this.
+	Cache *cache.Cache
 }
 
 // Baseline is the original AOSP configuration.
@@ -147,7 +157,8 @@ func Build(app *dex.App, cfg Config) (*Result, error) {
 	t0 := time.Now()
 	sp := cfg.Tracer.Start("stage", "compile")
 	methods, err := codegen.Compile(app, codegen.Options{
-		CTO: cfg.CTO, Optimize: cfg.OptimizeIR, Workers: cfg.Workers, Tracer: cfg.Tracer,
+		CTO: cfg.CTO, Optimize: cfg.OptimizeIR, Workers: cfg.Workers,
+		Tracer: cfg.Tracer, Cache: cfg.Cache,
 	})
 	sp.End()
 	if err != nil {

@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: ci build vet test test-short race fuzz bench bench-obs bench-cache bench-smoke
+.PHONY: ci build vet test test-short race fuzz bench bench-obs bench-cache bench-smoke serve-smoke
 
 # ci is the gate every change must pass: compile everything, vet
 # everything, run the full test suite, run the short suite under the
 # race detector (the build pipeline fans out per-method work since -j),
-# and smoke the observability benchmarks.
-ci: build vet test race bench-smoke
+# smoke the observability benchmarks, and smoke the serving daemon.
+ci: build vet test race bench-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -54,3 +54,9 @@ bench-cache:
 # at the -short scale, just proving they still run.
 bench-smoke:
 	$(GO) test -short -run xxx -bench 'BenchmarkCompileWorkers|BenchmarkBuildTraced|BenchmarkBuildColdVsWarm' -benchtime 1x . >/dev/null
+
+# serve-smoke boots calibrod on a random port, drives one job end to end
+# via calibroctl, checks /healthz and /metrics, and requires a clean
+# SIGTERM drain.
+serve-smoke:
+	GO=$(GO) sh scripts/serve_smoke.sh

@@ -23,6 +23,8 @@
 package calibro
 
 import (
+	"context"
+
 	"repro/internal/analysis"
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -140,6 +142,16 @@ func Script(man *AppManifest, rounds int, seed int64) []ScriptRun {
 // fan out on Config.Workers goroutines — <= 0 selects GOMAXPROCS — and
 // the linked image is byte-identical for every width.
 func Build(app *App, cfg Config) (*BuildResult, error) { return core.Build(app, cfg) }
+
+// BuildCtx is Build with cooperative cancellation: every parallel stage
+// checks ctx before starting each per-method task, so a cancelled or
+// deadline-expired context stops the build promptly and returns ctx.Err().
+// A build that completes is byte-identical to Build's — the context
+// changes scheduling, never output. This is what calibrod threads each
+// job's deadline through.
+func BuildCtx(ctx context.Context, app *App, cfg Config) (*BuildResult, error) {
+	return core.BuildCtx(ctx, app, cfg)
+}
 
 // ProfileGuidedBuild runs the Figure 6 loop: build, profile the script,
 // rebuild with hot-function filtering.

@@ -27,6 +27,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -44,37 +45,59 @@ import (
 	"repro/internal/workload"
 )
 
+// errUsage marks a flag-parse failure the flag package already reported;
+// main exits 2 without printing it again.
+var errUsage = errors.New("usage error")
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("calibro: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// run is the testable entry point: the whole build-and-report flow with
+// its output on out and every failure returned rather than fatal'd.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("calibro", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
 	var (
-		appName = flag.String("app", "Wechat", "app profile name (Toutiao, Taobao, Fanqie, Meituan, Kuaishou, Wechat)")
-		inPath  = flag.String("i", "", "build this dex container file instead of generating an app")
-		scale   = flag.Float64("scale", 0.25, "app scale factor (1.0 = full reproduction scale)")
-		config  = flag.String("config", "plopti", "baseline | cto | ltbo | plopti | hfopti")
-		trees   = flag.Int("trees", 8, "parallel suffix trees for plopti/hfopti")
-		workers = flag.Int("j", 0, "build worker goroutines; 0 = all CPUs (output is identical for every value)")
-		rounds  = flag.Int("rounds", 1, "outlining rounds")
-		dedup   = flag.Bool("dedup", false, "merge identical outlined functions across trees")
-		runs    = flag.Int("runs", 20, "scripted runs for profiling/measurement")
-		measure = flag.Bool("measure", false, "run the script on the emulator and report cycles/memory")
-		outPath = flag.String("o", "", "write the linked OAT image to this file")
+		appName = fs.String("app", "Wechat", "app profile name (Toutiao, Taobao, Fanqie, Meituan, Kuaishou, Wechat)")
+		inPath  = fs.String("i", "", "build this dex container file instead of generating an app")
+		scale   = fs.Float64("scale", 0.25, "app scale factor (1.0 = full reproduction scale)")
+		config  = fs.String("config", "plopti", "baseline | cto | ltbo | plopti | hfopti")
+		trees   = fs.Int("trees", 8, "parallel suffix trees for plopti/hfopti")
+		workers = fs.Int("j", 0, "build worker goroutines; 0 = all CPUs (output is identical for every value)")
+		rounds  = fs.Int("rounds", 1, "outlining rounds")
+		dedup   = fs.Bool("dedup", false, "merge identical outlined functions across trees")
+		runs    = fs.Int("runs", 20, "scripted runs for profiling/measurement")
+		measure = fs.Bool("measure", false, "run the script on the emulator and report cycles/memory")
+		outPath = fs.String("o", "", "write the linked OAT image to this file")
 
-		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON of the build to this file (Perfetto-loadable)")
-		metricsPath = flag.String("metrics", "", "write the flat metrics snapshot JSON to this file")
-		statsFlag   = flag.Bool("stats", false, "print the build telemetry table")
-		pprofPath   = flag.String("pprof", "", "collect a runtime/pprof profile (mem* = heap at exit, otherwise CPU)")
+		tracePath   = fs.String("trace", "", "write a Chrome trace-event JSON of the build to this file (Perfetto-loadable)")
+		metricsPath = fs.String("metrics", "", "write the flat metrics snapshot JSON to this file")
+		statsFlag   = fs.Bool("stats", false, "print the build telemetry table")
+		pprofPath   = fs.String("pprof", "", "collect a runtime/pprof profile (mem* = heap at exit, otherwise CPU)")
 
-		cacheFlag = flag.Bool("cache", false, "compile through an in-memory compilation cache (hfopti's rebuild compiles warm)")
-		cacheDir  = flag.String("cache-dir", "", "persist the compilation cache in this directory for cross-process warm rebuilds (implies -cache)")
+		cacheFlag = fs.Bool("cache", false, "compile through an in-memory compilation cache (hfopti's rebuild compiles warm)")
+		cacheDir  = fs.String("cache-dir", "", "persist the compilation cache in this directory for cross-process warm rebuilds (implies -cache)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
 
 	var cc *cache.Cache
 	if *cacheDir != "" {
 		var err error
 		if cc, err = cache.NewDir(*cacheDir); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	} else if *cacheFlag {
 		cc = cache.New()
@@ -84,7 +107,7 @@ func main() {
 	if *pprofPath != "" {
 		stop, err := obs.StartProfile(*pprofPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		stopProfile = stop
 	}
@@ -99,7 +122,7 @@ func main() {
 	if *inPath != "" {
 		data, err := os.ReadFile(*inPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if len(data) >= 4 && string(data[:4]) == "dex\n" {
 			app, err = dex.UnmarshalApp(data)
@@ -107,7 +130,7 @@ func main() {
 			app, err = dex.ParseText(string(data))
 		}
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		// Convention: the leading methods are the activities; smaller
 		// hand-written apps may have fewer than three.
@@ -122,16 +145,16 @@ func main() {
 	} else {
 		prof, ok := workload.AppByName(*appName, *scale)
 		if !ok {
-			log.Fatalf("unknown app %q", *appName)
+			return fmt.Errorf("unknown app %q", *appName)
 		}
 		var err error
 		app, man, err = workload.Generate(prof)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	stats := app.CollectStats()
-	fmt.Printf("app %s: %d methods (%d native), %d dex instructions\n",
+	fmt.Fprintf(out, "app %s: %d methods (%d native), %d dex instructions\n",
 		app.Name, stats.Methods, stats.Native, stats.Insns)
 
 	script := workload.Script(man, *runs, 1)
@@ -157,28 +180,28 @@ func main() {
 	case "hfopti":
 		res, _, err = core.ProfileGuidedBuild(app, tune(core.CTOLTBOPl(*trees)), script)
 	default:
-		log.Fatalf("unknown config %q", *config)
+		return fmt.Errorf("unknown config %q", *config)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("config %s: text %s, build %s at -j %d (compile %s, outline %s, link %s; stage sum %s)\n",
+	fmt.Fprintf(out, "config %s: text %s, build %s at -j %d (compile %s, outline %s, link %s; stage sum %s)\n",
 		*config, report.Bytes(res.TextBytes()), report.Dur(res.WallTime), res.Workers,
 		report.Dur(res.CompileTime), report.Dur(res.OutlineTime), report.Dur(res.LinkTime),
 		report.Dur(res.StageTime()))
 	if s := res.Outline; s != nil {
-		fmt.Printf("outlining: %d candidates, %d functions, %d occurrences, net %d words saved\n",
+		fmt.Fprintf(out, "outlining: %d candidates, %d functions, %d occurrences, net %d words saved\n",
 			s.CandidateMethods, s.OutlinedFunctions, s.OutlinedOccurrences, s.NetWordsSaved())
 	}
 	if cc != nil {
 		s := cc.Stats()
-		fmt.Printf("cache: %d hits (%d from disk), %d misses, %d entries, %s stored",
+		fmt.Fprintf(out, "cache: %d hits (%d from disk), %d misses, %d entries, %s stored",
 			s.Hits, s.DiskHits, s.Misses, s.Entries, report.Bytes(int(s.BytesStored)))
 		if s.Corrupt > 0 {
-			fmt.Printf("; %d corrupt entries recompiled", s.Corrupt)
+			fmt.Fprintf(out, "; %d corrupt entries recompiled", s.Corrupt)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 
 	if *measure {
@@ -186,17 +209,17 @@ func main() {
 		var cycles, insts int64
 		pages := 0
 		for _, r := range script {
-			out, err := m.Run(r.Entry, r.Args[:])
+			ro, err := m.Run(r.Entry, r.Args[:])
 			if err != nil {
-				log.Fatalf("run m%d: %v", r.Entry, err)
+				return fmt.Errorf("run m%d: %v", r.Entry, err)
 			}
-			cycles += out.Cycles
-			insts += out.Insts
-			if out.CodePages+out.DataPages > pages {
-				pages = out.CodePages + out.DataPages
+			cycles += ro.Cycles
+			insts += ro.Insts
+			if ro.CodePages+ro.DataPages > pages {
+				pages = ro.CodePages + ro.DataPages
 			}
 		}
-		fmt.Printf("measured: %s cycles, %s instructions over %d runs; peak resident %s\n",
+		fmt.Fprintf(out, "measured: %s cycles, %s instructions over %d runs; peak resident %s\n",
 			report.Count(cycles), report.Count(insts), len(script),
 			report.Bytes(pages*4096))
 	}
@@ -204,35 +227,36 @@ func main() {
 	if *outPath != "" {
 		data, err := res.Image.Marshal()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %s (%s on disk)\n", *outPath, report.Bytes(len(data)))
+		fmt.Fprintf(out, "wrote %s (%s on disk)\n", *outPath, report.Bytes(len(data)))
 	}
 
 	if *statsFlag {
-		printTelemetry(tracer.Snapshot())
+		printTelemetry(out, tracer.Snapshot())
 	}
 	if *tracePath != "" {
 		if err := writeFileWith(*tracePath, tracer.WriteTrace); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("wrote trace %s\n", *tracePath)
+		fmt.Fprintf(out, "wrote trace %s\n", *tracePath)
 	}
 	if *metricsPath != "" {
 		if err := writeFileWith(*metricsPath, tracer.WriteMetrics); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("wrote metrics %s\n", *metricsPath)
+		fmt.Fprintf(out, "wrote metrics %s\n", *metricsPath)
 	}
 	if stopProfile != nil {
 		if err := stopProfile(); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("wrote profile %s\n", *pprofPath)
+		fmt.Fprintf(out, "wrote profile %s\n", *pprofPath)
 	}
+	return nil
 }
 
 // writeFileWith streams an exporter into a freshly created file.
@@ -262,7 +286,7 @@ func usDur(us int64) string {
 // printTelemetry renders the one-screen build telemetry table: stage wall
 // clocks, per-category task distributions with their queue waits, worker
 // occupancy, and the recorded counters.
-func printTelemetry(snap *obs.Snapshot) {
+func printTelemetry(out io.Writer, snap *obs.Snapshot) {
 	t := &report.Table{
 		Title:  "\nbuild telemetry",
 		Header: []string{"span", "count", "total", "p50", "p95", "max"},
@@ -287,7 +311,7 @@ func printTelemetry(snap *obs.Snapshot) {
 			t.AddRow("  queue wait", "", usDur(qs.TotalUS), usDur(qs.P50US), usDur(qs.P95US), usDur(qs.MaxUS))
 		}
 	}
-	fmt.Println(t)
+	fmt.Fprintln(out, t)
 
 	if len(snap.Workers) > 0 {
 		w := &report.Table{
@@ -298,7 +322,7 @@ func printTelemetry(snap *obs.Snapshot) {
 			w.AddRow(fmt.Sprintf("worker %d", lo.Lane), fmt.Sprint(lo.Tasks),
 				usDur(lo.BusyUS), report.Pct(lo.Busy))
 		}
-		fmt.Println(w)
+		fmt.Fprintln(out, w)
 	}
 
 	if len(snap.Counters) > 0 {
@@ -314,6 +338,6 @@ func printTelemetry(snap *obs.Snapshot) {
 		for _, name := range names {
 			c.AddRow(name, report.Count(snap.Counters[name]))
 		}
-		fmt.Println(c)
+		fmt.Fprintln(out, c)
 	}
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dex"
+	"repro/internal/workload"
+)
+
+func TestRunUnknownApp(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-app", "NotAnApp"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), `unknown app "NotAnApp"`) {
+		t.Fatalf("err = %v, want unknown app", err)
+	}
+}
+
+func TestRunUnknownConfig(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-app", "Taobao", "-scale", "0.05", "-config", "turbo"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), `unknown config "turbo"`) {
+		t.Fatalf("err = %v, want unknown config", err)
+	}
+}
+
+func TestRunBadInputFile(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-i", filepath.Join(t.TempDir(), "nope.dex")}, &buf)
+	if err == nil {
+		t.Fatal("missing input file did not error")
+	}
+}
+
+// TestRunHappyPath builds a marshaled container through the full CLI flow
+// and checks the report lines land on the provided writer.
+func TestRunHappyPath(t *testing.T) {
+	prof, ok := workload.AppByName("Taobao", 0.05)
+	if !ok {
+		t.Fatal("Taobao profile missing")
+	}
+	app, _, err := workload.Generate(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := dex.Marshal(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(t.TempDir(), "app.dex")
+	if err := os.WriteFile(in, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(t.TempDir(), "app.oat")
+	var buf strings.Builder
+	if err := run([]string{"-i", in, "-config", "cto", "-o", out}, &buf); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	got := buf.String()
+	for _, want := range []string{"app Taobao:", "config cto:", "wrote " + out} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Errorf("image file not written: %v", err)
+	}
+}

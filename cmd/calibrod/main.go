@@ -1,0 +1,125 @@
+// Command calibrod is the compile-as-a-service daemon: the Calibro
+// pipeline behind an HTTP job API. Jobs name a benchmark app profile (or
+// carry a serialized dex payload), pick an evaluation-ladder
+// configuration, and run on a fixed pool of build workers behind a
+// bounded queue — a full queue rejects submits with 429 rather than
+// buffering without bound. All jobs share one content-addressed
+// compilation cache and one telemetry tracer, both exported at /metrics.
+//
+// Usage:
+//
+//	calibrod [-addr host:port] [-queue N] [-jobs N] [-j N]
+//	         [-max-job-time d] [-scale f] [-cache] [-cache-dir DIR]
+//	         [-cache-max-entries N] [-cache-max-bytes N]
+//	         [-drain-timeout d]
+//
+// On SIGINT/SIGTERM the daemon stops admission, drains queued and
+// running jobs (up to -drain-timeout, then force-cancels), and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrod:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("calibrod", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:7723", "listen address (port 0 picks a free port)")
+		queueDepth   = fs.Int("queue", 16, "job queue depth; submits beyond it get HTTP 429")
+		jobs         = fs.Int("jobs", 2, "concurrent builds")
+		buildWorkers = fs.Int("j", 0, "per-build worker goroutines; 0 = all CPUs")
+		maxJobTime   = fs.Duration("max-job-time", 2*time.Minute, "per-job deadline cap, measured from submission")
+		scale        = fs.Float64("scale", 0.25, "default app scale for jobs that do not set one")
+		useCache     = fs.Bool("cache", true, "share a compilation cache across jobs")
+		cacheDir     = fs.String("cache-dir", "", "persist the cache in this directory (implies -cache)")
+		cacheMaxEnt  = fs.Int("cache-max-entries", 0, "evict oldest cache entries beyond this count; 0 = unbounded")
+		cacheMaxB    = fs.Int64("cache-max-bytes", 0, "evict oldest cache entries beyond this many bytes; 0 = unbounded")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long to let jobs finish on shutdown before force-cancelling")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	cfg := serve.Config{
+		QueueDepth:   *queueDepth,
+		Workers:      *jobs,
+		BuildWorkers: *buildWorkers,
+		MaxJobTime:   *maxJobTime,
+		Scale:        *scale,
+		Tracer:       obs.New(),
+	}
+	if *useCache || *cacheDir != "" {
+		var c *cache.Cache
+		if *cacheDir != "" {
+			var err error
+			if c, err = cache.NewDir(*cacheDir); err != nil {
+				return err
+			}
+		} else {
+			c = cache.New()
+		}
+		if *cacheMaxEnt > 0 || *cacheMaxB > 0 {
+			c.SetLimits(*cacheMaxEnt, *cacheMaxB)
+		}
+		cfg.Cache = c
+	}
+
+	srv := serve.New(cfg)
+	// Listen before announcing, so -addr :0 resolves to the real port and
+	// scripts can scrape it from the first output line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "calibrod: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-httpErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+
+	fmt.Fprintln(out, "calibrod: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintf(out, "calibrod: drain incomplete, jobs cancelled: %v\n", err)
+	}
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Fprintln(out, "calibrod: bye")
+	return nil
+}

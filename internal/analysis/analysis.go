@@ -18,6 +18,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/a64"
@@ -78,6 +79,17 @@ func AnalyzeParallel(img *oat.Image, workers int) *Report {
 // counters on the tracer. A nil tracer records nothing; the report is
 // byte-identical either way.
 func AnalyzeTraced(img *oat.Image, workers int, tracer *obs.Tracer) *Report {
+	// context.Background() never cancels, so the error is impossible.
+	rep, _ := AnalyzeCtx(context.Background(), img, workers, tracer)
+	return rep
+}
+
+// AnalyzeCtx is AnalyzeTraced with cooperative cancellation: the
+// per-method pool checks ctx before every method, so a cancelled or
+// deadline-expired context stops the analysis promptly and returns
+// (nil, ctx.Err()). With an un-cancellable context the report is exactly
+// AnalyzeTraced's.
+func AnalyzeCtx(ctx context.Context, img *oat.Image, workers int, tracer *obs.Tracer) (*Report, error) {
 	var fs findings
 	l := buildLayout(img, &fs)
 
@@ -111,7 +123,7 @@ func AnalyzeTraced(img *oat.Image, workers int, tracer *obs.Tracer) *Report {
 	observer := tracer.PoolObserver("lint", func(i int) string {
 		return methodName(img.Methods[mregions[i].method].ID)
 	})
-	results, _ := par.MapObs(workers, len(mregions), observer, func(i int) (*methodResult, error) {
+	results, err := par.MapObsCtx(ctx, workers, len(mregions), observer, func(i int) (*methodResult, error) {
 		res := &methodResult{}
 		mc := newMethodCtx(l, mregions[i], &res.fs)
 		mc.checkMetadata()
@@ -120,6 +132,9 @@ func AnalyzeTraced(img *oat.Image, workers int, tracer *obs.Tracer) *Report {
 		res.sum = mc.summary()
 		return res, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, res := range results {
 		fs.list = append(fs.list, res.fs.list...)
 		rep.Methods = append(rep.Methods, res.sum)
@@ -129,7 +144,7 @@ func AnalyzeTraced(img *oat.Image, workers int, tracer *obs.Tracer) *Report {
 		tracer.Count("lint.findings", int64(len(fs.list)))
 		tracer.Count("lint.methods", int64(len(mregions)))
 	}
-	return rep
+	return rep, nil
 }
 
 // Lint verifies a linked image and returns the findings that matter: all
@@ -146,13 +161,23 @@ func LintParallel(img *oat.Image, workers int) []Finding {
 // LintTraced is LintParallel with per-method telemetry recorded on the
 // tracer; see AnalyzeTraced. Findings are identical either way.
 func LintTraced(img *oat.Image, workers int, tracer *obs.Tracer) []Finding {
+	out, _ := LintCtx(context.Background(), img, workers, tracer)
+	return out
+}
+
+// LintCtx is LintTraced with cooperative cancellation; see AnalyzeCtx.
+func LintCtx(ctx context.Context, img *oat.Image, workers int, tracer *obs.Tracer) ([]Finding, error) {
+	rep, err := AnalyzeCtx(ctx, img, workers, tracer)
+	if err != nil {
+		return nil, err
+	}
 	var out []Finding
-	for _, f := range AnalyzeTraced(img, workers, tracer).Findings {
+	for _, f := range rep.Findings {
 		if f.Severity >= SevWarn {
 			out = append(out, f)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // checkMetadata cross-checks the serialized LTBO metadata against the

@@ -176,13 +176,25 @@ func Open(blob []byte) (payload []byte, ok bool) {
 
 // Stats is a point-in-time view of the cache's counters.
 type Stats struct {
-	Entries     int   // entries resident in memory
-	Hits        int64 // Get calls served (memory or disk)
-	Misses      int64 // Get calls that found nothing usable
-	DiskHits    int64 // subset of Hits served by reading the directory
-	Corrupt     int64 // entries rejected by the frame check (treated as misses)
-	BytesStored int64 // cumulative sealed bytes accepted by Put
-	BytesServed int64 // cumulative payload bytes returned by Get
+	Entries     int   `json:"entries"`      // entries resident in memory
+	MemBytes    int64 `json:"mem_bytes"`    // sealed bytes resident in memory
+	Hits        int64 `json:"hits"`         // Get calls served (memory or disk)
+	Misses      int64 `json:"misses"`       // Get calls that found nothing usable
+	DiskHits    int64 `json:"disk_hits"`    // subset of Hits served by reading the directory
+	Corrupt     int64 `json:"corrupt"`      // entries rejected by the frame check (treated as misses)
+	Evicted     int64 `json:"evicted"`      // memory entries dropped by the SetLimits safety valve
+	BytesStored int64 `json:"bytes_stored"` // cumulative sealed bytes accepted by Put
+	BytesServed int64 `json:"bytes_served"` // cumulative payload bytes returned by Get
+}
+
+// HitRate is Hits over all Gets, 0 when nothing was looked up — the
+// serving-layer health number /metrics reports.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }
 
 // Cache is a concurrency-safe content-addressed store: an in-memory map
@@ -191,11 +203,16 @@ type Stats struct {
 type Cache struct {
 	dir string
 
-	mu  sync.RWMutex
-	mem map[Key][]byte // sealed frames; immutable once stored
+	mu       sync.RWMutex
+	mem      map[Key][]byte // sealed frames; immutable once stored
+	order    []Key          // memory-tier insertion order, oldest first
+	memBytes int64          // sealed bytes resident in mem
+	// Memory-tier limits (0 = unbounded); see SetLimits.
+	maxEntries int
+	maxBytes   int64
 
-	hits, misses, diskHits, corrupt atomic.Int64
-	bytesStored, bytesServed        atomic.Int64
+	hits, misses, diskHits, corrupt, evicted atomic.Int64
+	bytesStored, bytesServed                 atomic.Int64
 }
 
 // New returns a memory-only cache.
@@ -215,6 +232,59 @@ func NewDir(dir string) (*Cache, error) {
 
 // Dir returns the backing directory, or "" for a memory-only cache.
 func (c *Cache) Dir() string { return c.dir }
+
+// SetLimits bounds the memory tier: at most maxEntries entries and
+// maxBytes sealed bytes (0 disables either bound). When an insert —
+// a Put or a disk read-through promotion — pushes the tier over a limit,
+// the oldest-inserted entries are dropped until it fits again. This is
+// the safety valve a long-lived process (calibrod) needs: without it
+// every distinct compilation ever served stays resident forever.
+//
+// Eviction touches only the memory tier. A directory-backed cache keeps
+// the evicted entry on disk, so a later Get re-promotes it (a DiskHit);
+// a memory-only cache genuinely forgets it and the caller recompiles.
+// An entry larger than maxBytes by itself is dropped immediately — the
+// cache is an accelerator, and an un-cacheable entry is a miss, not an
+// error. Limits may be changed at any time; shrinking them evicts
+// immediately.
+func (c *Cache) SetLimits(maxEntries int, maxBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxEntries = maxEntries
+	c.maxBytes = maxBytes
+	c.evictLocked()
+}
+
+// insertLocked stores a sealed frame in the memory tier, maintaining the
+// insertion-order list and the byte tally, then applies the limits. The
+// caller holds c.mu.
+func (c *Cache) insertLocked(k Key, blob []byte) {
+	if old, ok := c.mem[k]; ok {
+		c.memBytes += int64(len(blob)) - int64(len(old))
+		c.mem[k] = blob
+	} else {
+		c.mem[k] = blob
+		c.order = append(c.order, k)
+		c.memBytes += int64(len(blob))
+	}
+	c.evictLocked()
+}
+
+// evictLocked drops oldest-inserted entries until the memory tier fits
+// the configured limits. The caller holds c.mu.
+func (c *Cache) evictLocked() {
+	over := func() bool {
+		return (c.maxEntries > 0 && len(c.mem) > c.maxEntries) ||
+			(c.maxBytes > 0 && c.memBytes > c.maxBytes)
+	}
+	for len(c.order) > 0 && over() {
+		k := c.order[0]
+		c.order = c.order[1:]
+		c.memBytes -= int64(len(c.mem[k]))
+		delete(c.mem, k)
+		c.evicted.Add(1)
+	}
+}
 
 // path is the on-disk location of a key's entry.
 func (c *Cache) path(k Key) string { return filepath.Join(c.dir, k.String()+".cce") }
@@ -244,7 +314,7 @@ func (c *Cache) Get(k Key) (payload []byte, ok bool) {
 		if blob, err := os.ReadFile(c.path(k)); err == nil {
 			if p, ok := Open(blob); ok {
 				c.mu.Lock()
-				c.mem[k] = blob
+				c.insertLocked(k, blob)
 				c.mu.Unlock()
 				c.hits.Add(1)
 				c.diskHits.Add(1)
@@ -272,7 +342,7 @@ func (c *Cache) Put(k Key, payload []byte) {
 		c.mu.Unlock()
 		return
 	}
-	c.mem[k] = blob
+	c.insertLocked(k, blob)
 	c.mu.Unlock()
 	c.bytesStored.Add(int64(len(blob)))
 	if c.dir != "" {
@@ -309,8 +379,13 @@ func (c *Cache) Len() int {
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
+	c.mu.RLock()
+	memBytes := c.memBytes
+	c.mu.RUnlock()
 	return Stats{
 		Entries:     c.Len(),
+		MemBytes:    memBytes,
+		Evicted:     c.evicted.Load(),
 		Hits:        c.hits.Load(),
 		Misses:      c.misses.Load(),
 		DiskHits:    c.diskHits.Load(),

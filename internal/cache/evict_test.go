@@ -1,0 +1,132 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func evictKey(i int) Key {
+	h := NewHasher("evict-test")
+	h.Int(int64(i))
+	return h.Sum()
+}
+
+func TestEvictMaxEntriesOldestFirst(t *testing.T) {
+	c := New()
+	c.SetLimits(3, 0)
+	for i := 0; i < 5; i++ {
+		c.Put(evictKey(i), []byte(fmt.Sprintf("payload-%d", i)))
+	}
+	if got := c.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	// The two oldest entries are gone, the three newest survive.
+	for i := 0; i < 2; i++ {
+		if _, ok := c.Get(evictKey(i)); ok {
+			t.Errorf("entry %d survived eviction", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		p, ok := c.Get(evictKey(i))
+		if !ok {
+			t.Errorf("entry %d evicted, want resident", i)
+			continue
+		}
+		if want := fmt.Sprintf("payload-%d", i); string(p) != want {
+			t.Errorf("entry %d payload %q, want %q", i, p, want)
+		}
+	}
+	if st := c.Stats(); st.Evicted != 2 {
+		t.Errorf("Evicted = %d, want 2", st.Evicted)
+	}
+}
+
+func TestEvictMaxBytes(t *testing.T) {
+	c := New()
+	payload := make([]byte, 100)
+	sealed := int64(len(Seal(payload)))
+	c.SetLimits(0, 3*sealed)
+	for i := 0; i < 10; i++ {
+		c.Put(evictKey(i), payload)
+	}
+	st := c.Stats()
+	if st.Entries != 3 {
+		t.Fatalf("Entries = %d, want 3 at a %d-byte budget", st.Entries, 3*sealed)
+	}
+	if st.MemBytes != 3*sealed {
+		t.Fatalf("MemBytes = %d, want %d", st.MemBytes, 3*sealed)
+	}
+	if st.Evicted != 7 {
+		t.Fatalf("Evicted = %d, want 7", st.Evicted)
+	}
+}
+
+// TestEvictOversizedEntry pins the degenerate case: one entry bigger than
+// the whole byte budget is dropped immediately rather than wedging the
+// tier, and the tier keeps working afterwards.
+func TestEvictOversizedEntry(t *testing.T) {
+	c := New()
+	c.SetLimits(0, 64)
+	c.Put(evictKey(0), make([]byte, 1024))
+	if got := c.Len(); got != 0 {
+		t.Fatalf("oversized entry resident (Len = %d)", got)
+	}
+	c.Put(evictKey(1), []byte("small"))
+	if _, ok := c.Get(evictKey(1)); !ok {
+		t.Fatal("small entry missing after the oversized one was dropped")
+	}
+}
+
+// TestShrinkLimitsEvictsImmediately covers runtime re-configuration:
+// tightening the bound drops the oldest entries right away.
+func TestShrinkLimitsEvictsImmediately(t *testing.T) {
+	c := New()
+	for i := 0; i < 8; i++ {
+		c.Put(evictKey(i), []byte("x"))
+	}
+	c.SetLimits(2, 0)
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d after shrink, want 2", got)
+	}
+	if _, ok := c.Get(evictKey(7)); !ok {
+		t.Fatal("newest entry evicted; eviction is not oldest-first")
+	}
+}
+
+// TestEvictDiskBackedRePromotes proves eviction is a memory-tier-only
+// policy: a directory-backed cache serves the evicted key from disk and
+// re-promotes it.
+func TestEvictDiskBackedRePromotes(t *testing.T) {
+	c, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetLimits(1, 0)
+	c.Put(evictKey(0), []byte("zero"))
+	c.Put(evictKey(1), []byte("one")) // evicts key 0 from memory
+	p, ok := c.Get(evictKey(0))
+	if !ok || string(p) != "zero" {
+		t.Fatalf("Get after eviction = %q, %v; want disk re-promotion", p, ok)
+	}
+	st := c.Stats()
+	if st.DiskHits != 1 {
+		t.Errorf("DiskHits = %d, want 1 (re-promotion reads the directory)", st.DiskHits)
+	}
+	// The re-promotion re-entered the memory tier, evicting key 1.
+	if got := c.Len(); got != 1 {
+		t.Errorf("Len = %d, want 1 (limit still enforced on promotion)", got)
+	}
+}
+
+// TestEvictOverwriteKeepsAccounting: overwriting a resident key with a
+// different payload must adjust the byte tally, not double-count.
+func TestEvictOverwriteKeepsAccounting(t *testing.T) {
+	c := New()
+	k := evictKey(0)
+	c.Put(k, make([]byte, 10))
+	c.Put(k, make([]byte, 500))
+	want := int64(len(Seal(make([]byte, 500))))
+	if st := c.Stats(); st.MemBytes != want || st.Entries != 1 {
+		t.Fatalf("after overwrite: MemBytes=%d Entries=%d, want %d and 1", st.MemBytes, st.Entries, want)
+	}
+}

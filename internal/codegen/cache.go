@@ -17,6 +17,7 @@ package codegen
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync/atomic"
@@ -252,7 +253,7 @@ func (r *entryReader) u64() uint64 {
 // path takes no lock beyond the store's own RLock — and are forwarded to
 // the tracer's counters after the batch so they land in the telemetry
 // table.
-func compileCached(app *dex.App, opts Options) ([]*CompiledMethod, error) {
+func compileCached(ctx context.Context, app *dex.App, opts Options) ([]*CompiledMethod, error) {
 	c := opts.Cache
 	// hit[i] is written by the worker that ran task i and read by the
 	// observer for task i on the same goroutine, immediately after fn
@@ -273,7 +274,7 @@ func compileCached(app *dex.App, opts Options) ([]*CompiledMethod, error) {
 			inner(worker, index, queueWait, run)
 		}
 	}
-	out, err := par.MapObs(opts.Workers, len(app.Methods), observer, func(id int) (*CompiledMethod, error) {
+	out, err := par.MapObsCtx(ctx, opts.Workers, len(app.Methods), observer, func(id int) (*CompiledMethod, error) {
 		m := app.Methods[id]
 		key := CacheKey(m, app.Methods, opts)
 		if payload, ok := c.Get(key); ok {

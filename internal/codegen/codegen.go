@@ -18,6 +18,7 @@
 package codegen
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/a64"
@@ -106,13 +107,21 @@ func (cm *CompiledMethod) CodeBytes() int { return len(cm.Code) * a64.WordSize }
 // goroutines; the result does not depend on the worker count, and with
 // Options.Cache set it does not depend on the cache's state either.
 func Compile(app *dex.App, opts Options) ([]*CompiledMethod, error) {
+	return CompileCtx(context.Background(), app, opts)
+}
+
+// CompileCtx is Compile with cooperative cancellation: the per-method
+// fan-out checks ctx before starting every method, so a cancelled or
+// deadline-expired context stops the stage at method granularity and
+// returns ctx.Err(). context.Background() restores Compile exactly.
+func CompileCtx(ctx context.Context, app *dex.App, opts Options) ([]*CompiledMethod, error) {
 	if opts.Cache != nil {
-		return compileCached(app, opts)
+		return compileCached(ctx, app, opts)
 	}
 	observer := opts.Tracer.PoolObserver("compile", func(i int) string {
 		return app.Methods[i].FullName()
 	})
-	return par.MapObs(opts.Workers, len(app.Methods), observer, func(id int) (*CompiledMethod, error) {
+	return par.MapObsCtx(ctx, opts.Workers, len(app.Methods), observer, func(id int) (*CompiledMethod, error) {
 		m := app.Methods[id]
 		cm, err := compileMethod(m, opts)
 		if err != nil {

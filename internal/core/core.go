@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -147,6 +148,21 @@ func (r *Result) TextBytes() int { return r.Image.TextBytes() }
 
 // Build compiles and links the app under the given configuration.
 func Build(app *dex.App, cfg Config) (*Result, error) {
+	return BuildCtx(context.Background(), app, cfg)
+}
+
+// BuildCtx is Build with cooperative cancellation: ctx is threaded through
+// every parallel stage (compile, outline, rewrite verification, image
+// lint), each of which checks it before starting every per-method or
+// per-group task. A cancelled or deadline-expired context therefore stops
+// the build at task granularity — in-flight tasks finish, nothing new
+// starts — and BuildCtx returns ctx.Err(). The determinism contract is
+// unchanged: a build that completes is byte-identical whether it ran under
+// context.Background() (which restores Build exactly) or any live context.
+func BuildCtx(ctx context.Context, app *dex.App, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res := &Result{Workers: par.Workers(cfg.Workers)}
 	wall := time.Now()
 	build := cfg.Tracer.Start("build", "build "+app.Name).
@@ -156,7 +172,7 @@ func Build(app *dex.App, cfg Config) (*Result, error) {
 
 	t0 := time.Now()
 	sp := cfg.Tracer.Start("stage", "compile")
-	methods, err := codegen.Compile(app, codegen.Options{
+	methods, err := codegen.CompileCtx(ctx, app, codegen.Options{
 		CTO: cfg.CTO, Optimize: cfg.OptimizeIR, Workers: cfg.Workers,
 		Tracer: cfg.Tracer, Cache: cfg.Cache,
 	})
@@ -192,7 +208,7 @@ func Build(app *dex.App, cfg Config) (*Result, error) {
 		t1 := time.Now()
 		sp = cfg.Tracer.Start("stage", "outline").Arg("trees", int64(opts.Parallel))
 		var stats *outline.Stats
-		blobs, stats, err = outline.RunVerified(methods, opts)
+		blobs, stats, err = outline.RunVerifiedCtx(ctx, methods, opts)
 		sp.End()
 		if err != nil {
 			return nil, err
@@ -201,6 +217,9 @@ func Build(app *dex.App, cfg Config) (*Result, error) {
 		res.Outline = stats
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t2 := time.Now()
 	sp = cfg.Tracer.Start("stage", "link")
 	img, err := oat.Link(methods, blobs)
@@ -214,8 +233,11 @@ func Build(app *dex.App, cfg Config) (*Result, error) {
 	if cfg.VerifyImage {
 		t3 := time.Now()
 		sp = cfg.Tracer.Start("stage", "verify")
-		findings := analysis.LintTraced(img, cfg.Workers, cfg.Tracer)
+		findings, err := analysis.LintCtx(ctx, img, cfg.Workers, cfg.Tracer)
 		sp.End()
+		if err != nil {
+			return nil, err
+		}
 		if len(findings) > 0 {
 			return nil, fmt.Errorf("core: image verification failed: %d findings, first: %s",
 				len(findings), findings[0])
@@ -230,12 +252,22 @@ func Build(app *dex.App, cfg Config) (*Result, error) {
 // given configuration minus hot filtering, profile the script on the
 // resulting image, then rebuild with the hot set excluded from outlining.
 func ProfileGuidedBuild(app *dex.App, cfg Config, script []workload.Run) (*Result, *profiler.Profile, error) {
+	return ProfileGuidedBuildCtx(context.Background(), app, cfg, script)
+}
+
+// ProfileGuidedBuildCtx is ProfileGuidedBuild with cooperative
+// cancellation threaded through both builds; the profiling run between
+// them is bounded by a context check on entry and exit.
+func ProfileGuidedBuildCtx(ctx context.Context, app *dex.App, cfg Config, script []workload.Run) (*Result, *profiler.Profile, error) {
 	first := cfg
 	first.HotFilter = false
 	first.Profile = nil
-	r1, err := Build(app, first)
+	r1, err := BuildCtx(ctx, app, first)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: initial build: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
 	sp := cfg.Tracer.Start("stage", "profile").Arg("runs", int64(len(script)))
 	prof, err := profiler.Collect(r1.Image, script, 0)
@@ -245,7 +277,7 @@ func ProfileGuidedBuild(app *dex.App, cfg Config, script []workload.Run) (*Resul
 	}
 	cfg.HotFilter = true
 	cfg.Profile = prof
-	r2, err := Build(app, cfg)
+	r2, err := BuildCtx(ctx, app, cfg)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: guided rebuild: %w", err)
 	}

@@ -176,6 +176,14 @@ func (t *Tracer) WriteMetrics(w io.Writer) error {
 	return enc.Encode(t.Snapshot())
 }
 
+// Dist reduces a sample of microsecond durations to TaskStats — the same
+// nearest-rank reduction Snapshot applies to task categories, exported
+// for callers (the serving layer's queue-wait samples) that collect their
+// own distributions. The input is not modified.
+func Dist(us []int64) TaskStats {
+	return distStats(append([]int64(nil), us...))
+}
+
 // distStats computes nearest-rank percentiles over a duration sample.
 func distStats(ds []int64) TaskStats {
 	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })

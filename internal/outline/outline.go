@@ -11,6 +11,7 @@
 package outline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -138,11 +139,20 @@ func (s *Stats) Counters() map[string]int64 {
 // functions as linker blobs. Methods' Code, Meta, StackMap, and Ext are
 // rewritten; the caller links with oat.Link(methods, blobs).
 func Run(methods []*codegen.CompiledMethod, opts Options) ([]oat.Blob, *Stats, error) {
+	return RunCtx(context.Background(), methods, opts)
+}
+
+// RunCtx is Run with cooperative cancellation: the group fan-out and the
+// per-method rewrite pool check ctx before every task, and the round loop
+// checks it between rounds, so a cancelled or deadline-expired context
+// stops outlining promptly and returns ctx.Err(). context.Background()
+// restores Run exactly.
+func RunCtx(ctx context.Context, methods []*codegen.CompiledMethod, opts Options) ([]oat.Blob, *Stats, error) {
 	opts = opts.withDefaults()
 	total := &Stats{}
 	var blobs []oat.Blob
 	for round := 0; round < opts.Rounds; round++ {
-		created, stats, err := runPass(methods, opts, len(blobs))
+		created, stats, err := runPass(ctx, methods, opts, len(blobs))
 		if err != nil {
 			return nil, total, err
 		}
@@ -227,7 +237,7 @@ func accumulate(total, pass *Stats) {
 }
 
 // runPass performs one detect/outline/patch cycle.
-func runPass(methods []*codegen.CompiledMethod, opts Options, symBase int) ([]oat.Blob, *Stats, error) {
+func runPass(ctx context.Context, methods []*codegen.CompiledMethod, opts Options, symBase int) ([]oat.Blob, *Stats, error) {
 	stats := &Stats{}
 
 	// §3.3.1: choose candidate methods.
@@ -267,7 +277,7 @@ func runPass(methods []*codegen.CompiledMethod, opts Options, symBase int) ([]oa
 	observer := opts.Tracer.PoolObserver("outline.group", func(gi int) string {
 		return fmt.Sprintf("tree %d (%d methods)", gi, len(groups[gi]))
 	})
-	results, err := par.MapObs(opts.Workers, k, observer, func(gi int) (groupResult, error) {
+	results, err := par.MapObsCtx(ctx, opts.Workers, k, observer, func(gi int) (groupResult, error) {
 		funcs, st, err := outlineGroup(methods, groups[gi], opts)
 		return groupResult{funcs: funcs, stats: st}, err
 	})
@@ -345,7 +355,7 @@ func runPass(methods []*codegen.CompiledMethod, opts Options, symBase int) ([]oa
 	rwObserver := opts.Tracer.PoolObserver("outline.rewrite", func(i int) string {
 		return methods[order[i]].M.FullName()
 	})
-	if err := par.EachObs(opts.Workers, len(order), rwObserver, func(i int) error {
+	if err := par.EachObsCtx(ctx, opts.Workers, len(order), rwObserver, func(i int) error {
 		mi := order[i]
 		if err := rewriteMethod(methods[mi], byMethod[mi]); err != nil {
 			return fmt.Errorf("outline: %s: %w", methods[mi].M.FullName(), err)

@@ -1,6 +1,7 @@
 package outline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/a64"
@@ -66,6 +67,13 @@ func VerifyRewriteParallel(methods []*codegen.CompiledMethod, before *Snapshot, 
 // spans (category "outline.verify") recorded on the tracer; nil traces
 // nothing. Findings are identical either way.
 func VerifyRewriteTraced(methods []*codegen.CompiledMethod, before *Snapshot, blobs []oat.Blob, workers int, tracer *obs.Tracer) error {
+	return VerifyRewriteCtx(context.Background(), methods, before, blobs, workers, tracer)
+}
+
+// VerifyRewriteCtx is VerifyRewriteTraced with cooperative cancellation:
+// the per-method replay pool checks ctx before every method and returns
+// ctx.Err() when it fires.
+func VerifyRewriteCtx(ctx context.Context, methods []*codegen.CompiledMethod, before *Snapshot, blobs []oat.Blob, workers int, tracer *obs.Tracer) error {
 	bodyBySym := map[int][]uint32{}
 	for _, b := range blobs {
 		if len(b.Code) < 1 {
@@ -76,7 +84,7 @@ func VerifyRewriteTraced(methods []*codegen.CompiledMethod, before *Snapshot, bl
 	observer := tracer.PoolObserver("outline.verify", func(mi int) string {
 		return methods[mi].M.FullName()
 	})
-	return par.EachObs(workers, len(methods), observer, func(mi int) error {
+	return par.EachObsCtx(ctx, workers, len(methods), observer, func(mi int) error {
 		return verifyMethod(methods[mi], mi, before, bodyBySym)
 	})
 }
@@ -182,12 +190,18 @@ func verifyMethod(cm *codegen.CompiledMethod, mi int, before *Snapshot, bodyBySy
 // snapshot; intended for tooling and tests that want the §3.5 consistency
 // guarantees checked explicitly.
 func RunVerified(methods []*codegen.CompiledMethod, opts Options) ([]oat.Blob, *Stats, error) {
+	return RunVerifiedCtx(context.Background(), methods, opts)
+}
+
+// RunVerifiedCtx is RunVerified with cooperative cancellation threaded
+// through both the outliner and the rewrite verification; see RunCtx.
+func RunVerifiedCtx(ctx context.Context, methods []*codegen.CompiledMethod, opts Options) ([]oat.Blob, *Stats, error) {
 	snap := Snap(methods)
-	blobs, stats, err := Run(methods, opts)
+	blobs, stats, err := RunCtx(ctx, methods, opts)
 	if err != nil {
 		return nil, stats, err
 	}
-	if err := VerifyRewriteTraced(methods, snap, blobs, opts.Workers, opts.Tracer); err != nil {
+	if err := VerifyRewriteCtx(ctx, methods, snap, blobs, opts.Workers, opts.Tracer); err != nil {
 		return nil, stats, err
 	}
 	return blobs, stats, nil

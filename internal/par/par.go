@@ -15,6 +15,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -58,6 +59,30 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 // about scheduling or results; with obs == nil the timing calls are
 // skipped entirely, so Map pays no telemetry cost.
 func MapObs[T any](workers, n int, obs TaskObserver, fn func(i int) (T, error)) ([]T, error) {
+	return MapObsCtx(context.Background(), workers, n, obs, fn)
+}
+
+// MapCtx is Map with cooperative cancellation: the pool checks ctx before
+// picking up every task, so a cancelled or deadline-expired context stops
+// the batch at task granularity. Tasks already running are never
+// interrupted (fn receives no context; pass one through a closure if the
+// work itself should observe it), but no new task starts, and the call
+// returns ctx.Err(). context.Background() restores Map's behaviour
+// exactly.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapObsCtx(ctx, workers, n, nil, fn)
+}
+
+// MapObsCtx is the full-generality pool entry point: MapObs plus the
+// MapCtx cancellation check.
+//
+// Cancellation contract: when ctx is cancelled before every task has been
+// picked up, the call returns (nil, ctx.Err()) — the batch is incomplete,
+// so no partial results escape and the context error wins over any task
+// error. When every task completed before cancellation was observed, the
+// normal Map contract applies (results indexed by i, lowest failing
+// index's error).
+func MapObsCtx[T any](ctx context.Context, workers, n int, obs TaskObserver, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	w := Workers(workers)
 	if w > n {
@@ -69,6 +94,9 @@ func MapObs[T any](workers, n int, obs TaskObserver, fn func(i int) (T, error)) 
 			t0 = time.Now()
 		}
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if obs == nil {
 				v, err := fn(i)
 				if err != nil {
@@ -95,12 +123,17 @@ func MapObs[T any](workers, n int, obs TaskObserver, fn func(i int) (T, error)) 
 	}
 	errs := make([]error, n)
 	var next atomic.Int64
+	var stopped atomic.Bool // a worker saw cancellation and skipped work
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
 		go func(worker int) {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					stopped.Store(true)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -116,6 +149,9 @@ func MapObs[T any](workers, n int, obs TaskObserver, fn func(i int) (T, error)) 
 		}(g)
 	}
 	wg.Wait()
+	if stopped.Load() {
+		return nil, ctx.Err()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -133,6 +169,19 @@ func Each(workers, n int, fn func(i int) error) error {
 // EachObs is Each with a per-task observer; see MapObs.
 func EachObs(workers, n int, obs TaskObserver, fn func(i int) error) error {
 	_, err := MapObs(workers, n, obs, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// EachCtx is Each with the MapCtx cancellation contract.
+func EachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return EachObsCtx(ctx, workers, n, nil, fn)
+}
+
+// EachObsCtx is EachObs with the MapCtx cancellation contract.
+func EachObsCtx(ctx context.Context, workers, n int, obs TaskObserver, fn func(i int) error) error {
+	_, err := MapObsCtx(ctx, workers, n, obs, func(i int) (struct{}, error) {
 		return struct{}{}, fn(i)
 	})
 	return err

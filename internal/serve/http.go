@@ -1,0 +1,215 @@
+// HTTP surface: submit/poll/fetch endpoints plus the health and metrics
+// probes. The API is deliberately plain JSON over five routes —
+//
+//	POST   /jobs             submit a JobRequest  -> 202 JobStatus
+//	GET    /jobs/{id}        poll (``?wait=5s`` long-polls until terminal)
+//	DELETE /jobs/{id}        cancel
+//	GET    /jobs/{id}/image  fetch the linked OAT image bytes
+//	GET    /jobs/{id}/stats  fetch the Table-6-style JobStats
+//	GET    /jobs/{id}/lint   fetch the lint findings (when requested)
+//	GET    /healthz          liveness + drain state
+//	GET    /metrics          Metrics JSON
+//
+// Backpressure is visible at the edge: a full queue answers 429 with a
+// Retry-After hint, a draining server answers 503.
+
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// maxRequestBytes bounds a submit body; a dex payload beyond this is a
+// 400, not an OOM.
+const maxRequestBytes = 64 << 20
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/image", s.handleImage)
+	mux.HandleFunc("GET /jobs/{id}/stats", s.handleStats)
+	mux.HandleFunc("GET /jobs/{id}/lint", s.handleLint)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+// apiError is the error body every non-2xx JSON response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, apiError{Error: msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	j, err := s.submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// The Retry-After hint is the queue's drain horizon, crudely: one
+		// second is the right order of magnitude for per-job build times
+		// at reproduction scale.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// jobFromPath resolves the {id} path segment, answering the 404 itself.
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+	}
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	if wq := r.URL.Query().Get("wait"); wq != "" {
+		d, err := time.ParseDuration(wq)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad wait duration: "+err.Error())
+			return
+		}
+		// Long poll: return early on terminal state, at the cap, or when
+		// the client goes away — whichever comes first.
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-j.doneCh:
+		case <-t.C:
+		case <-r.Context().Done():
+		}
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	s.cancelJob(j)
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// requireDone gates the fetch endpoints: 409 until the job is done, with
+// the job's own error in the body when it terminally failed.
+func requireDone(w http.ResponseWriter, j *job) bool {
+	j.mu.Lock()
+	state, errMsg := j.state, j.errMsg
+	j.mu.Unlock()
+	if state == StateDone {
+		return true
+	}
+	msg := "job is " + state
+	if errMsg != "" {
+		msg += ": " + errMsg
+	}
+	writeError(w, http.StatusConflict, msg)
+	return false
+}
+
+func (s *Server) handleImage(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok || !requireDone(w, j) {
+		return
+	}
+	j.mu.Lock()
+	image := j.image
+	j.mu.Unlock()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(image) //nolint:errcheck // client disconnects are not server errors
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok || !requireDone(w, j) {
+		return
+	}
+	j.mu.Lock()
+	stats := j.stats
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok || !requireDone(w, j) {
+		return
+	}
+	j.mu.Lock()
+	lint := j.lint
+	requested := j.req.Lint
+	j.mu.Unlock()
+	if !requested {
+		writeError(w, http.StatusConflict, "job was submitted without lint: true")
+		return
+	}
+	out := make([]FindingJSON, 0, len(lint))
+	for _, f := range lint {
+		out = append(out, FindingJSON{
+			Severity: f.Severity.String(),
+			Method:   int(f.Method),
+			Off:      f.Off,
+			Rule:     f.Rule,
+			Msg:      f.Msg,
+			Text:     f.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// Health is the /healthz body.
+type Health struct {
+	Status string `json:"status"` // "ok" or "draining"
+	Jobs   int    `json:"jobs"`   // jobs known to the registry
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := Health{Status: "ok"}
+	if s.Draining() {
+		h.Status = "draining"
+	}
+	s.mu.Lock()
+	h.Jobs = len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

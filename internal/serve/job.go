@@ -1,0 +1,296 @@
+// Job model: the request/status/stats wire types and the build execution
+// one worker performs per job. The request mirrors cmd/calibro's knobs —
+// an app profile name or a serialized dex payload, the evaluation-ladder
+// configuration, and the tuning flags — so anything buildable one-shot is
+// buildable as a service.
+
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dex"
+	"repro/internal/workload"
+)
+
+// Job states. A job is terminal in done, failed, or canceled.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"   // build error or deadline expiry
+	StateCanceled = "canceled" // client cancellation
+)
+
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// JobRequest is the submit payload. Exactly one of App (a benchmark
+// profile name, generated server-side) or Dex (a serialized dex container
+// or smali-like text, base64 in JSON) selects the input.
+type JobRequest struct {
+	App   string  `json:"app,omitempty"`   // profile name (Toutiao .. Wechat)
+	Scale float64 `json:"scale,omitempty"` // profile scale; server default when 0
+	Dex   []byte  `json:"dex,omitempty"`   // dex container bytes or assembly text
+
+	Config string `json:"config,omitempty"` // baseline|cto|ltbo|plopti|hfopti (default plopti)
+	Trees  int    `json:"trees,omitempty"`  // parallel suffix trees (default 8)
+	Rounds int    `json:"rounds,omitempty"` // outlining rounds
+	Dedup  bool   `json:"dedup,omitempty"`  // merge identical outlined functions
+
+	Workers int  `json:"workers,omitempty"` // per-build pool width; server default when 0
+	Runs    int  `json:"runs,omitempty"`    // hfopti profiling script runs (default 20)
+	Verify  bool `json:"verify,omitempty"`  // fail the build on lint findings
+	Lint    bool `json:"lint,omitempty"`    // lint the image and attach findings
+
+	// TimeoutMS is the job deadline in milliseconds, measured from
+	// submission; 0 inherits the server maximum, larger values are
+	// clamped to it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+func (r JobRequest) withDefaults(scale float64) JobRequest {
+	if r.Config == "" {
+		r.Config = "plopti"
+	}
+	if r.Scale == 0 {
+		r.Scale = scale
+	}
+	if r.Trees == 0 {
+		r.Trees = 8
+	}
+	if r.Runs == 0 {
+		r.Runs = 20
+	}
+	return r
+}
+
+// validate rejects a request before it takes a queue slot.
+func (r JobRequest) validate() error {
+	switch r.Config {
+	case "baseline", "cto", "ltbo", "plopti", "hfopti":
+	default:
+		return fmt.Errorf("unknown config %q", r.Config)
+	}
+	switch {
+	case r.App != "" && len(r.Dex) > 0:
+		return errors.New("app and dex are mutually exclusive")
+	case r.App == "" && len(r.Dex) == 0:
+		return errors.New("one of app or dex is required")
+	case r.App != "":
+		if _, ok := workload.AppByName(r.App, r.Scale); !ok {
+			return fmt.Errorf("unknown app %q", r.App)
+		}
+	}
+	return nil
+}
+
+// JobStats is the Table-6-style per-job report: sizes, stage wall clocks,
+// outlining effect, and what serving added on top (queue wait).
+type JobStats struct {
+	App        string `json:"app"`
+	Config     string `json:"config"`
+	Methods    int    `json:"methods"`
+	TextBytes  int    `json:"text_bytes"`
+	ImageBytes int    `json:"image_bytes"`
+	Workers    int    `json:"workers"`
+
+	QueueWaitUS int64 `json:"queue_wait_us"`
+	CompileUS   int64 `json:"compile_us"`
+	OutlineUS   int64 `json:"outline_us"`
+	LinkUS      int64 `json:"link_us"`
+	VerifyUS    int64 `json:"verify_us"`
+	WallUS      int64 `json:"wall_us"`
+
+	OutlinedFunctions   int `json:"outlined_functions,omitempty"`
+	OutlinedOccurrences int `json:"outlined_occurrences,omitempty"`
+	NetWordsSaved       int `json:"net_words_saved,omitempty"`
+
+	// LintFindings counts warnings and errors when the request asked for
+	// lint; -1 means lint was not requested.
+	LintFindings int `json:"lint_findings"`
+}
+
+// JobStatus is the poll response.
+type JobStatus struct {
+	ID          string    `json:"id"`
+	State       string    `json:"state"`
+	Error       string    `json:"error,omitempty"`
+	QueueWaitUS int64     `json:"queue_wait_us,omitempty"`
+	Stats       *JobStats `json:"stats,omitempty"` // terminal done only
+}
+
+// FindingJSON is one lint finding on the wire, with the severity rendered
+// as its stable name and the full human-readable line alongside the
+// structured fields.
+type FindingJSON struct {
+	Severity string `json:"severity"`
+	Method   int    `json:"method"`
+	Off      int    `json:"off"`
+	Rule     string `json:"rule"`
+	Msg      string `json:"msg"`
+	Text     string `json:"text"`
+}
+
+// job is the server-side record of one submission.
+type job struct {
+	id  string
+	req JobRequest
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     string
+	errMsg    string
+	submitted time.Time
+	finished  time.Time
+	queueWait time.Duration
+	image     []byte
+	stats     *JobStats
+	lint      []analysis.Finding
+	doneCh    chan struct{} // closed on terminal transition
+}
+
+// status snapshots the job for the poll endpoint.
+func (j *job) status() *JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := &JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Error:       j.errMsg,
+		QueueWaitUS: j.queueWait.Microseconds(),
+	}
+	if j.state == StateDone {
+		st.Stats = j.stats
+	}
+	return st
+}
+
+// buildOutput is what a successful build hands the job record.
+type buildOutput struct {
+	image []byte
+	stats *JobStats
+	lint  []analysis.Finding
+}
+
+// loadApp materializes the job's input: a generated benchmark profile, or
+// the client's dex payload (binary container or assembly text, sniffed by
+// magic, with cmd/calibro's leading-methods-are-drivers convention).
+func loadApp(req JobRequest) (*dex.App, *workload.Manifest, error) {
+	if req.App != "" {
+		prof, ok := workload.AppByName(req.App, req.Scale)
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown app %q", req.App)
+		}
+		return workload.Generate(prof)
+	}
+	var app *dex.App
+	var err error
+	if len(req.Dex) >= 4 && string(req.Dex[:4]) == "dex\n" {
+		app, err = dex.UnmarshalApp(req.Dex)
+	} else {
+		app, err = dex.ParseText(string(req.Dex))
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	n := 3
+	if app.NumMethods() < n {
+		n = app.NumMethods()
+	}
+	man := &workload.Manifest{}
+	for i := 0; i < n; i++ {
+		man.Drivers = append(man.Drivers, dex.MethodID(i))
+	}
+	return app, man, nil
+}
+
+// ladder maps the request's configuration name onto the evaluation
+// ladder. hfopti is handled by the caller (it needs the profiling loop).
+func ladder(req JobRequest) core.Config {
+	switch req.Config {
+	case "baseline":
+		return core.Baseline()
+	case "cto":
+		return core.CTOOnly()
+	case "ltbo":
+		return core.CTOLTBO()
+	default: // plopti, hfopti
+		return core.CTOLTBOPl(req.Trees)
+	}
+}
+
+// build runs one job under its context. Every job shares the server's
+// cache and tracer; everything else is per-job.
+func (s *Server) build(ctx context.Context, req JobRequest, queueWait time.Duration) (*buildOutput, error) {
+	app, man, err := loadApp(req)
+	if err != nil {
+		return nil, err
+	}
+	cfg := ladder(req)
+	cfg.Rounds = req.Rounds
+	cfg.DedupFunctions = req.Dedup
+	cfg.VerifyImage = req.Verify
+	cfg.Workers = req.Workers
+	if cfg.Workers == 0 {
+		cfg.Workers = s.cfg.BuildWorkers
+	}
+	cfg.Cache = s.cfg.Cache
+	cfg.Tracer = s.cfg.Tracer
+
+	var res *core.Result
+	if req.Config == "hfopti" {
+		script := workload.Script(man, req.Runs, 1)
+		res, _, err = core.ProfileGuidedBuildCtx(ctx, app, cfg, script)
+	} else {
+		res, err = core.BuildCtx(ctx, app, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	data, err := res.Image.Marshal()
+	if err != nil {
+		return nil, err
+	}
+
+	out := &buildOutput{image: data}
+	stats := &JobStats{
+		App:          app.Name,
+		Config:       req.Config,
+		Methods:      app.NumMethods(),
+		TextBytes:    res.TextBytes(),
+		ImageBytes:   len(data),
+		Workers:      res.Workers,
+		QueueWaitUS:  queueWait.Microseconds(),
+		CompileUS:    res.CompileTime.Microseconds(),
+		OutlineUS:    res.OutlineTime.Microseconds(),
+		LinkUS:       res.LinkTime.Microseconds(),
+		VerifyUS:     res.VerifyTime.Microseconds(),
+		WallUS:       res.WallTime.Microseconds(),
+		LintFindings: -1,
+	}
+	if o := res.Outline; o != nil {
+		stats.OutlinedFunctions = o.OutlinedFunctions
+		stats.OutlinedOccurrences = o.OutlinedOccurrences
+		stats.NetWordsSaved = o.NetWordsSaved()
+	}
+	if req.Lint {
+		findings, err := analysis.LintCtx(ctx, res.Image, cfg.Workers, s.cfg.Tracer)
+		if err != nil {
+			return nil, err
+		}
+		out.lint = findings
+		stats.LintFindings = len(findings)
+	}
+	out.stats = stats
+	return out, nil
+}

@@ -1,0 +1,70 @@
+// Metrics: the /metrics payload. One snapshot combines the server's own
+// serving counters (queue depth, job totals, queue-wait percentiles),
+// the shared cache's accounting, and the shared tracer's full telemetry
+// reduction — everything a dashboard needs to see whether the daemon is
+// keeping up and whether the cache is earning its memory.
+
+package serve
+
+import (
+	"repro/internal/cache"
+	"repro/internal/obs"
+)
+
+// Metrics is the /metrics response body.
+type Metrics struct {
+	// Queue occupancy right now, against its capacity.
+	QueueDepth int  `json:"queue_depth"`
+	QueueCap   int  `json:"queue_cap"`
+	Draining   bool `json:"draining"`
+
+	// Job totals since the process started. accepted = done + failed +
+	// canceled + (queued + running); rejected counts 429s and overlaps
+	// nothing.
+	JobsRunning  int64 `json:"jobs_running"`
+	JobsAccepted int64 `json:"jobs_accepted"`
+	JobsDone     int64 `json:"jobs_done"`
+	JobsFailed   int64 `json:"jobs_failed"`
+	JobsCanceled int64 `json:"jobs_canceled"`
+	JobsRejected int64 `json:"jobs_rejected"`
+
+	// QueueWait is the distribution of time dequeued jobs spent waiting
+	// for a worker (p50/p95/max, µs).
+	QueueWait obs.TaskStats `json:"queue_wait"`
+
+	// Cache is the shared cache's accounting and its derived hit rate;
+	// absent when the daemon runs uncached.
+	Cache        *cache.Stats `json:"cache,omitempty"`
+	CacheHitRate float64      `json:"cache_hit_rate"`
+
+	// Telemetry is the shared tracer's full snapshot (stage totals, task
+	// distributions, worker occupancy); absent when tracing is off.
+	Telemetry *obs.Snapshot `json:"telemetry,omitempty"`
+}
+
+// Metrics snapshots the server.
+func (s *Server) Metrics() *Metrics {
+	m := &Metrics{
+		QueueDepth:   len(s.queue),
+		QueueCap:     s.cfg.QueueDepth,
+		Draining:     s.Draining(),
+		JobsRunning:  s.running.Load(),
+		JobsAccepted: s.accepted.Load(),
+		JobsDone:     s.done.Load(),
+		JobsFailed:   s.failed.Load(),
+		JobsCanceled: s.canceled.Load(),
+		JobsRejected: s.rejected.Load(),
+	}
+	s.qwMu.Lock()
+	m.QueueWait = obs.Dist(s.queueWaitUS)
+	s.qwMu.Unlock()
+	if s.cfg.Cache != nil {
+		st := s.cfg.Cache.Stats()
+		m.Cache = &st
+		m.CacheHitRate = st.HitRate()
+	}
+	if s.cfg.Tracer != nil {
+		m.Telemetry = s.cfg.Tracer.Snapshot()
+	}
+	return m
+}

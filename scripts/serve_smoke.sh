@@ -1,0 +1,78 @@
+#!/bin/sh
+# serve_smoke.sh — boot calibrod on a random port, drive one job through
+# calibroctl (submit -> wait -> fetch), check /healthz and /metrics, then
+# shut the daemon down with SIGTERM and require a clean drain. This is
+# the ci guard that the daemon actually serves, not just compiles.
+set -eu
+
+GO="${GO:-go}"
+DIR="$(mktemp -d)"
+LOG="$DIR/calibrod.log"
+PID=""
+
+cleanup() {
+	status=$?
+	if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+		kill "$PID" 2>/dev/null || true
+		wait "$PID" 2>/dev/null || true
+	fi
+	if [ "$status" -ne 0 ]; then
+		echo "serve-smoke: FAILED; daemon log:" >&2
+		cat "$LOG" >&2 || true
+	fi
+	rm -rf "$DIR"
+	exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building binaries"
+$GO build -o "$DIR/calibrod" ./cmd/calibrod
+$GO build -o "$DIR/calibroctl" ./cmd/calibroctl
+
+"$DIR/calibrod" -addr 127.0.0.1:0 -scale 0.05 -queue 4 -jobs 2 >"$LOG" 2>&1 &
+PID=$!
+
+# The first log line announces the resolved address.
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+	ADDR="$(sed -n 's/^calibrod: listening on //p' "$LOG")"
+	[ -n "$ADDR" ] && break
+	kill -0 "$PID" 2>/dev/null || { echo "serve-smoke: calibrod died at startup" >&2; exit 1; }
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$ADDR" ] || { echo "serve-smoke: calibrod never announced its address" >&2; exit 1; }
+echo "serve-smoke: daemon at $ADDR"
+
+CTL="$DIR/calibroctl -addr $ADDR"
+
+$CTL health | grep -q '"status": "ok"' || { echo "serve-smoke: healthz not ok" >&2; exit 1; }
+
+ID="$($CTL submit -app Taobao -config plopti)"
+echo "serve-smoke: submitted $ID"
+$CTL wait "$ID" >"$DIR/wait.json"
+grep -q '"state": "done"' "$DIR/wait.json" || { echo "serve-smoke: job did not finish done" >&2; cat "$DIR/wait.json" >&2; exit 1; }
+
+$CTL stats "$ID" | grep -q '"image_bytes"' || { echo "serve-smoke: stats missing image_bytes" >&2; exit 1; }
+
+$CTL fetch "$ID" -o "$DIR/app.oat" >/dev/null
+[ -s "$DIR/app.oat" ] || { echo "serve-smoke: fetched image is empty" >&2; exit 1; }
+
+$CTL metrics >"$DIR/metrics.json"
+for field in queue_wait jobs_done cache_hit_rate; do
+	grep -q "\"$field\"" "$DIR/metrics.json" || { echo "serve-smoke: metrics missing $field" >&2; exit 1; }
+done
+grep -q '"jobs_done": 1' "$DIR/metrics.json" || { echo "serve-smoke: metrics did not count the job" >&2; exit 1; }
+
+echo "serve-smoke: stopping daemon"
+kill -TERM "$PID"
+if ! wait "$PID"; then
+	echo "serve-smoke: calibrod exited non-zero on SIGTERM" >&2
+	exit 1
+fi
+PID=""
+grep -q '^calibrod: draining$' "$LOG" || { echo "serve-smoke: no drain message in log" >&2; exit 1; }
+grep -q '^calibrod: bye$' "$LOG" || { echo "serve-smoke: no clean-exit message in log" >&2; exit 1; }
+
+echo "serve-smoke: OK"

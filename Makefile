@@ -1,18 +1,25 @@
 GO ?= go
 
-.PHONY: ci build vet test test-short race fuzz bench bench-obs bench-cache bench-smoke serve-smoke
+.PHONY: ci build vet lint test test-short race fuzz bench bench-obs bench-cache bench-smoke serve-smoke
 
-# ci is the gate every change must pass: compile everything, vet
-# everything, run the full test suite, run the short suite under the
-# race detector (the build pipeline fans out per-method work since -j),
-# smoke the observability benchmarks, and smoke the serving daemon.
-ci: build vet test race bench-smoke serve-smoke
+# ci is the gate every change must pass: compile everything, lint
+# everything (vet always, staticcheck when installed), run the full test
+# suite, run the short suite under the race detector (the build pipeline
+# fans out per-method work since -j), smoke the observability benchmarks,
+# and smoke the serving daemon.
+ci: build lint test race bench-smoke serve-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs go vet plus staticcheck (pinned in scripts/lint.sh) when the
+# staticcheck binary is on PATH; hermetic builders without it still get
+# the vet pass.
+lint:
+	GO=$(GO) sh scripts/lint.sh
 
 test:
 	$(GO) test ./...
@@ -26,11 +33,13 @@ test-short:
 race:
 	$(GO) test -race -short ./...
 
-# fuzz gives the serialization and lint fuzzers a short budget each.
+# fuzz gives the serialization, lint, and call-graph fuzzers a short
+# budget each.
 fuzz:
 	$(GO) test ./internal/oat -run xxx -fuzz FuzzUnmarshal -fuzztime 20s
 	$(GO) test ./internal/oat -run xxx -fuzz FuzzUnmarshalLint -fuzztime 20s
 	$(GO) test ./internal/cache -run xxx -fuzz FuzzCacheEntry -fuzztime 20s
+	$(GO) test ./internal/analysis -run xxx -fuzz FuzzCallGraph -fuzztime 20s
 
 # bench regenerates the paper's tables and figures.
 bench:

@@ -99,6 +99,24 @@ type (
 	// CacheStats is a point-in-time view of a Cache's hit/miss/byte
 	// counters.
 	CacheStats = cache.Stats
+	// CallGraph is the whole-image interprocedural call graph recovered
+	// from a linked image's machine code.
+	CallGraph = analysis.CallGraph
+	// RootSet configures where reachability starts (explicit entry
+	// points and/or no-caller inference).
+	RootSet = analysis.RootSet
+	// Reachability classifies every image region live or dead under a
+	// root set.
+	Reachability = analysis.Reachability
+	// DebloatConfig configures DebloatImage.
+	DebloatConfig = core.DebloatConfig
+	// DebloatStats reports what a debloat pass removed.
+	DebloatStats = analysis.DebloatStats
+	// LintRule is one named verifier check in the oatlint rule registry.
+	LintRule = analysis.Rule
+	// LintRuleSpec selects which rules a lint run evaluates and at what
+	// severity (the oatlint -rules grammar).
+	LintRuleSpec = analysis.RuleSpec
 )
 
 // Exceptions raised by the modeled runtime.
@@ -254,6 +272,42 @@ func AnalyzeImageParallel(img *Image, workers int) *LintReport {
 // image's decoded instructions, with any findings recovery produced.
 func RecoverCFG(img *Image, id MethodID) (*CFG, []Finding) {
 	return analysis.MethodCFG(img, id)
+}
+
+// BuildCallGraph recovers the whole-image interprocedural call graph from
+// a linked image's machine code: direct calls, outlined-call edges
+// replayed through the outlined bodies, and java-call dispatch resolved
+// from the materialized ArtMethod constants. Unresolvable sites become
+// conservative unknown edges and advisory findings, never guesses.
+func BuildCallGraph(img *Image) (*CallGraph, []Finding) {
+	return analysis.BuildCallGraph(img)
+}
+
+// DebloatImage rewrites a linked image, removing every method body,
+// outlined function, and thunk provably unreachable from the configured
+// roots. It refuses unsound inputs, removes nothing on analysis
+// imprecision, and re-verifies its output with the full lint. The pass is
+// idempotent: debloating a debloated image is byte-identical.
+func DebloatImage(img *Image, cfg DebloatConfig) (*Image, *DebloatStats, error) {
+	return core.DebloatImage(img, cfg)
+}
+
+// LintRules lists the registered oatlint rules in registration order.
+func LintRules() []LintRule { return analysis.Rules() }
+
+// ParseLintRules parses the oatlint -rules grammar into a rule spec:
+// comma-separated directives ("all", "legacy", "interproc", NAME, -NAME,
+// NAME=info|warn|error) applied onto the default legacy set.
+func ParseLintRules(spec string) (*LintRuleSpec, error) {
+	return analysis.ParseRuleSpec(spec)
+}
+
+// LintWithRules runs the pluggable rule engine over an image: the spec
+// selects and re-grades rules (nil means the legacy set, reproducing
+// AnalyzeImage exactly), and roots configures the interprocedural rules
+// (the zero RootSet means no-caller inference).
+func LintWithRules(img *Image, spec *LintRuleSpec, roots RootSet) (*LintReport, error) {
+	return analysis.RunRules(context.Background(), img, spec, roots, 0, nil)
 }
 
 // MarshalImage serializes an image to the on-disk ELF OAT format.

@@ -9,6 +9,7 @@
 //	        [-trees 8] [-j N] [-runs 20] [-measure] [-o out.oat]
 //	        [-trace t.json] [-metrics m.json] [-stats] [-pprof cpu.out|mem.out]
 //	        [-cache] [-cache-dir DIR]
+//	calibro -debloat app.oat [-roots 0,1,2] [-o smaller.oat]
 //
 // Telemetry: -trace writes a Chrome trace-event JSON of the whole build
 // (open in Perfetto or chrome://tracing; worker lanes appear as threads),
@@ -24,6 +25,13 @@
 // invocation with unchanged inputs skips per-method code generation
 // entirely. The linked image is byte-identical with the cache cold, warm,
 // or absent.
+//
+// Debloating: -debloat takes an already linked OAT image instead of
+// building one, removes every method body, outlined function, and thunk
+// provably unreachable from the -roots method set (default: every method
+// with no recovered caller), re-verifies the result with the full oatlint
+// pass, and writes the smaller image with -o. The pass refuses unsound
+// inputs and removes nothing when the analysis is imprecise.
 package main
 
 import (
@@ -34,12 +42,15 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dex"
 	"repro/internal/emu"
+	"repro/internal/oat"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/workload"
@@ -85,6 +96,9 @@ func run(args []string, out io.Writer) error {
 
 		cacheFlag = fs.Bool("cache", false, "compile through an in-memory compilation cache (hfopti's rebuild compiles warm)")
 		cacheDir  = fs.String("cache-dir", "", "persist the compilation cache in this directory for cross-process warm rebuilds (implies -cache)")
+
+		debloatPath = fs.String("debloat", "", "debloat this existing OAT image instead of building: remove code unreachable from -roots and write the result to -o")
+		rootsSpec   = fs.String("roots", "", "comma-separated method IDs rooting the debloat reachability (default: no-caller inference)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -115,6 +129,13 @@ func run(args []string, out io.Writer) error {
 	var tracer *obs.Tracer
 	if *tracePath != "" || *metricsPath != "" || *statsFlag {
 		tracer = obs.New()
+	}
+
+	if *debloatPath != "" {
+		if err := runDebloat(out, *debloatPath, *rootsSpec, *outPath, *workers, tracer); err != nil {
+			return err
+		}
+		return flushTelemetry(out, tracer, *tracePath, *metricsPath, *statsFlag, stopProfile, *pprofPath)
 	}
 
 	var app *dex.App
@@ -235,26 +256,90 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "wrote %s (%s on disk)\n", *outPath, report.Bytes(len(data)))
 	}
 
-	if *statsFlag {
+	return flushTelemetry(out, tracer, *tracePath, *metricsPath, *statsFlag, stopProfile, *pprofPath)
+}
+
+// flushTelemetry writes the telemetry outputs shared by the build and
+// debloat paths: the -stats table, the -trace and -metrics files, and
+// the -pprof profile.
+func flushTelemetry(out io.Writer, tracer *obs.Tracer, tracePath, metricsPath string, statsFlag bool, stopProfile func() error, pprofPath string) error {
+	if statsFlag {
 		printTelemetry(out, tracer.Snapshot())
 	}
-	if *tracePath != "" {
-		if err := writeFileWith(*tracePath, tracer.WriteTrace); err != nil {
+	if tracePath != "" {
+		if err := writeFileWith(tracePath, tracer.WriteTrace); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "wrote trace %s\n", *tracePath)
+		fmt.Fprintf(out, "wrote trace %s\n", tracePath)
 	}
-	if *metricsPath != "" {
-		if err := writeFileWith(*metricsPath, tracer.WriteMetrics); err != nil {
+	if metricsPath != "" {
+		if err := writeFileWith(metricsPath, tracer.WriteMetrics); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "wrote metrics %s\n", *metricsPath)
+		fmt.Fprintf(out, "wrote metrics %s\n", metricsPath)
 	}
 	if stopProfile != nil {
 		if err := stopProfile(); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "wrote profile %s\n", *pprofPath)
+		fmt.Fprintf(out, "wrote profile %s\n", pprofPath)
+	}
+	return nil
+}
+
+// runDebloat implements -debloat: parse an existing OAT image, remove
+// everything unreachable from the root set, report what was removed, and
+// (with -o) write the smaller image.
+func runDebloat(out io.Writer, inPath, rootsSpec, outPath string, workers int, tracer *obs.Tracer) error {
+	data, err := os.ReadFile(inPath)
+	if err != nil {
+		return err
+	}
+	img, err := oat.Unmarshal(data)
+	if err != nil {
+		return err
+	}
+	cfg := core.DebloatConfig{Workers: workers, Tracer: tracer}
+	if strings.TrimSpace(rootsSpec) == "" {
+		cfg.NoCallerRoots = true
+	} else {
+		for _, part := range strings.Split(rootsSpec, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			id, err := strconv.ParseUint(part, 10, 32)
+			if err != nil {
+				return fmt.Errorf("bad -roots entry %q: %v", part, err)
+			}
+			cfg.Roots = append(cfg.Roots, dex.MethodID(id))
+		}
+	}
+	sp := tracer.Start("stage", "debloat").Arg("methods", int64(len(img.Methods)))
+	res, stats, err := core.DebloatImage(img, cfg)
+	sp.End()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "debloat: text %s -> %s (%d bytes removed)\n",
+		report.Bytes(stats.TextBefore), report.Bytes(stats.TextAfter),
+		stats.TextBefore-stats.TextAfter)
+	fmt.Fprintf(out, "removed: %d/%d methods, %d/%d outlined functions, %d/%d thunks\n",
+		stats.MethodsRemoved, stats.MethodsTotal,
+		stats.BlobsRemoved, stats.BlobsTotal,
+		stats.ThunksRemoved, stats.ThunksTotal)
+	if stats.Imprecise {
+		fmt.Fprintln(out, "debloat: analysis was imprecise; everything kept")
+	}
+	if outPath != "" {
+		data, err := res.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (%s on disk)\n", outPath, report.Bytes(len(data)))
 	}
 	return nil
 }

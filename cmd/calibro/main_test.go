@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/dex"
+	"repro/internal/oat"
 	"repro/internal/workload"
 )
 
@@ -67,5 +68,61 @@ func TestRunHappyPath(t *testing.T) {
 	}
 	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
 		t.Errorf("image file not written: %v", err)
+	}
+}
+
+// TestRunDebloat drives the -debloat path end to end: build an image
+// through the normal CLI flow, then debloat it rooted at the first
+// activity and check the smaller image parses and reports removal.
+func TestRunDebloat(t *testing.T) {
+	prof, ok := workload.AppByName("Taobao", 0.05)
+	if !ok {
+		t.Fatal("Taobao profile missing")
+	}
+	app, _, err := workload.Generate(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := dex.Marshal(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "app.dex")
+	if err := os.WriteFile(in, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	full := filepath.Join(dir, "full.oat")
+	var buf strings.Builder
+	if err := run([]string{"-i", in, "-config", "ltbo", "-o", full}, &buf); err != nil {
+		t.Fatalf("build: %v\noutput:\n%s", err, buf.String())
+	}
+
+	small := filepath.Join(dir, "small.oat")
+	buf.Reset()
+	if err := run([]string{"-debloat", full, "-roots", "0", "-o", small}, &buf); err != nil {
+		t.Fatalf("debloat: %v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "debloat: text") || !strings.Contains(buf.String(), "removed:") {
+		t.Errorf("debloat report missing:\n%s", buf.String())
+	}
+	fullData, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallData, err := os.ReadFile(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(smallData) > len(fullData) {
+		t.Errorf("debloated image grew on disk: %d -> %d bytes", len(fullData), len(smallData))
+	}
+	if _, err := oat.Unmarshal(smallData); err != nil {
+		t.Errorf("debloated image does not parse: %v", err)
+	}
+
+	// A malformed -roots entry is an error, not a silent default.
+	if err := run([]string{"-debloat", full, "-roots", "zero"}, &strings.Builder{}); err == nil {
+		t.Error("bad -roots entry did not error")
 	}
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -117,5 +119,110 @@ func TestLintUsageErrors(t *testing.T) {
 	}
 	if code := run([]string{bad}, &out, &errOut); code != 2 {
 		t.Errorf("unparsable file: exit %d, want 2", code)
+	}
+}
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+// TestLintJSONGolden pins the -json wire format byte for byte on a
+// corrupted image. Regenerate with -update on an intentional change.
+func TestLintJSONGolden(t *testing.T) {
+	path := writeTestImage(t, true)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d on a corrupted image, want 1; stderr: %s", code, errOut.String())
+	}
+	var parsed []struct {
+		Rule     string `json:"rule"`
+		Severity string `json:"severity"`
+		Method   int    `json:"method"`
+		PC       int    `json:"pc"`
+		Msg      string `json:"msg"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(parsed) == 0 {
+		t.Fatal("corrupted image produced no JSON findings")
+	}
+	for _, f := range parsed {
+		if f.Rule == "" || f.Severity == "" {
+			t.Errorf("finding missing rule or severity: %+v", f)
+		}
+	}
+	golden := filepath.Join("testdata", "findings_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("-json output drifted from golden file (regenerate with -update)\ngot:\n%s\nwant:\n%s", out.String(), want)
+	}
+}
+
+// TestLintJSONClean: a clean image yields an empty-but-valid JSON array
+// and exit 0.
+func TestLintJSONClean(t *testing.T) {
+	path := writeTestImage(t, false)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d on a clean image; stderr: %s", code, errOut.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("clean -json output %q, want []", got)
+	}
+}
+
+// TestLintReportModes exercises -callgraph and -reach on a clean image.
+func TestLintReportModes(t *testing.T) {
+	path := writeTestImage(t, false)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-callgraph", "-reach", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "callgraph:") {
+		t.Errorf("-callgraph printed no call-graph header:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "reachability:") {
+		t.Errorf("-reach printed no reachability header:\n%s", out.String())
+	}
+}
+
+// TestLintRulesFlag drives the rule engine from the CLI: rooting
+// reachability at the leaf method makes the entry method unreachable, and
+// regrading the rule to error turns that into a failing exit.
+func TestLintRulesFlag(t *testing.T) {
+	path := writeTestImage(t, false)
+
+	// helper is m0, run is m1; rooted at m1 everything is live.
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-rules", "interproc", "-roots", "1", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d with all-live roots; output:\n%s%s", code, out.String(), errOut.String())
+	}
+
+	// Rooted at m0 only, m1 is unreachable; regraded to error it blocks.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-rules", "unreachable-method=error", "-roots", "0", path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "[unreachable-method]") || !strings.Contains(out.String(), "m1") {
+		t.Errorf("unreachable finding missing or misattributed:\n%s", out.String())
+	}
+
+	// A typo in the spec is a usage error, not a silently weaker lint.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-rules", "bogus-rule", path}, &out, &errOut); code != 2 {
+		t.Errorf("exit %d on a bad -rules spec, want 2", code)
 	}
 }

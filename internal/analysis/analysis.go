@@ -88,8 +88,23 @@ func AnalyzeTraced(img *oat.Image, workers int, tracer *obs.Tracer) *Report {
 // per-method pool checks ctx before every method, so a cancelled or
 // deadline-expired context stops the analysis promptly and returns
 // (nil, ctx.Err()). With an un-cancellable context the report is exactly
-// AnalyzeTraced's.
+// AnalyzeTraced's. Findings come back in canonical (method, offset, rule)
+// order regardless of the worker width.
 func AnalyzeCtx(ctx context.Context, img *oat.Image, workers int, tracer *obs.Tracer) (*Report, error) {
+	rep, _, err := analyzeImage(ctx, img, workers, tracer)
+	if err != nil {
+		return nil, err
+	}
+	sortFindings(rep.Findings)
+	return rep, nil
+}
+
+// analyzeImage runs the full per-method verification and returns the
+// report together with the layout it was computed over, unsorted. The
+// rule engine and the call-graph builder reuse the layout (and its
+// decoded blob index) so whole-image passes never re-derive or duplicate
+// the structural findings.
+func analyzeImage(ctx context.Context, img *oat.Image, workers int, tracer *obs.Tracer) (*Report, *layout, error) {
 	var fs findings
 	l := buildLayout(img, &fs)
 
@@ -133,7 +148,7 @@ func AnalyzeCtx(ctx context.Context, img *oat.Image, workers int, tracer *obs.Tr
 		return res, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, res := range results {
 		fs.list = append(fs.list, res.fs.list...)
@@ -144,7 +159,7 @@ func AnalyzeCtx(ctx context.Context, img *oat.Image, workers int, tracer *obs.Tr
 		tracer.Count("lint.findings", int64(len(fs.list)))
 		tracer.Count("lint.methods", int64(len(mregions)))
 	}
-	return rep, nil
+	return rep, l, nil
 }
 
 // Lint verifies a linked image and returns the findings that matter: all

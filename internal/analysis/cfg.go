@@ -17,9 +17,9 @@ type CFG struct {
 
 // Block is one basic block: a maximal straight-line run of instructions.
 type Block struct {
-	Start int   // byte offset of the first instruction, method-relative
-	End   int   // byte offset one past the last instruction
-	Succs []int // successor block indices
+	Start int    // byte offset of the first instruction, method-relative
+	End   int    // byte offset one past the last instruction
+	Succs []int  // successor block indices
 	Term  a64.Op // control transfer ending the block; OpInvalid on fall-through splits
 }
 
@@ -56,9 +56,9 @@ type methodCtx struct {
 	rec oat.MethodRecord
 	fs  *findings
 
-	words []uint32
-	data  []bool     // word marked embedded data by the LTBO metadata
-	insts []a64.Inst // valid where decoded[w]
+	words   []uint32
+	data    []bool     // word marked embedded data by the LTBO metadata
+	insts   []a64.Inst // valid where decoded[w]
 	decoded []bool
 
 	sound       bool          // every non-data word decodes; deep passes are meaningful

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/dex"
 )
@@ -76,6 +77,25 @@ const (
 	RuleLiteral = "literal"
 	// RuleDeadCode: instruction words unreachable from the method entry.
 	RuleDeadCode = "dead-code"
+	// RuleCallGraph: advisory notes from whole-image call-graph
+	// construction — call sites whose target the abstract-constant walk
+	// could not resolve, or java calls through malformed ArtMethod
+	// addresses.
+	RuleCallGraph = "callgraph"
+	// RuleUnreachable: a method the reachability analysis proves no root
+	// can reach; a debloat pass may stub it out.
+	RuleUnreachable = "unreachable-method"
+	// RuleDeadOutline: an outlined function no live method calls.
+	RuleDeadOutline = "dead-outline-body"
+	// RuleCallRemoved: a call whose target lies in no recorded region —
+	// a range a rewriting pass removed without repatching callers — or
+	// outside the text segment entirely.
+	RuleCallRemoved = "call-into-removed-range"
+	// RuleOutlineCycle: the call graph contains a cycle through an
+	// outlined function, which the §3.3 shape (straight-line, no calls)
+	// forbids; an image with one can re-enter a blob recursively with a
+	// clobbered return address.
+	RuleOutlineCycle = "recursive-outline-cycle"
 )
 
 // NoMethod marks findings that concern a thunk, an outlined function, or
@@ -112,5 +132,30 @@ func (fs *findings) add(sev Severity, m dex.MethodID, off int, rule, format stri
 	fs.list = append(fs.list, Finding{
 		Severity: sev, Method: m, Off: off, Rule: rule,
 		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// sortFindings puts a finding list into the canonical report order:
+// (method, offset, rule, severity, message). Image-level findings
+// (NoMethod, the all-ones ID) sort last by comparing IDs as unsigned.
+// Every public entry point sorts at the boundary, which is what makes
+// reports byte-identical across worker widths and across the legacy and
+// rule-engine paths.
+func sortFindings(list []Finding) {
+	sort.Slice(list, func(a, b int) bool {
+		x, y := &list[a], &list[b]
+		if x.Method != y.Method {
+			return uint32(x.Method) < uint32(y.Method)
+		}
+		if x.Off != y.Off {
+			return x.Off < y.Off
+		}
+		if x.Rule != y.Rule {
+			return x.Rule < y.Rule
+		}
+		if x.Severity != y.Severity {
+			return x.Severity < y.Severity
+		}
+		return x.Msg < y.Msg
 	})
 }

@@ -283,3 +283,39 @@ func ProfileGuidedBuildCtx(ctx context.Context, app *dex.App, cfg Config, script
 	}
 	return r2, prof, nil
 }
+
+// DebloatConfig configures the reachability-driven rewrite of an already
+// linked image (DebloatImage). The zero value is the conservative
+// default: no-caller root inference, automatic worker width, no
+// telemetry.
+type DebloatConfig struct {
+	// Roots are the explicit entry points reachability starts from — an
+	// app's activity drivers, a JNI registration table, or a profiler's
+	// hot set. Empty Roots with NoCallerRoots unset selects the default
+	// no-caller inference.
+	Roots []dex.MethodID
+	// NoCallerRoots additionally roots every method the call graph
+	// records no caller for (the conservative stand-in for "externally
+	// visible"). It composes with explicit Roots.
+	NoCallerRoots bool
+	// Workers bounds the analysis fan-out; <= 0 selects GOMAXPROCS. The
+	// output image is byte-identical at every width.
+	Workers int
+	// Tracer, when non-nil, records the analysis and rewrite telemetry.
+	Tracer *obs.Tracer
+}
+
+// DebloatImage rewrites a linked image, removing every method body,
+// outlined function, and thunk that is provably unreachable from the
+// configured roots. The pass refuses unsound inputs (any error-severity
+// lint finding), keeps everything on any analysis imprecision, and
+// re-verifies its output with the full lint before returning it.
+func DebloatImage(img *oat.Image, cfg DebloatConfig) (*oat.Image, *analysis.DebloatStats, error) {
+	return DebloatImageCtx(context.Background(), img, cfg)
+}
+
+// DebloatImageCtx is DebloatImage with cooperative cancellation.
+func DebloatImageCtx(ctx context.Context, img *oat.Image, cfg DebloatConfig) (*oat.Image, *analysis.DebloatStats, error) {
+	roots := analysis.RootSet{Methods: cfg.Roots, NoCallers: cfg.NoCallerRoots}
+	return analysis.DebloatCtx(ctx, img, roots, cfg.Workers, cfg.Tracer)
+}

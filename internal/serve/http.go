@@ -2,6 +2,9 @@
 // probes. The API is deliberately plain JSON over five routes —
 //
 //	POST   /jobs             submit a JobRequest  -> 202 JobStatus
+//	                         (kind "build" compiles an app; kind "debloat"
+//	                         rewrites an existing oat payload, removing
+//	                         code unreachable from the requested roots)
 //	GET    /jobs/{id}        poll (``?wait=5s`` long-polls until terminal)
 //	DELETE /jobs/{id}        cancel
 //	GET    /jobs/{id}/image  fetch the linked OAT image bytes

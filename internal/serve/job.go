@@ -16,6 +16,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/dex"
+	"repro/internal/oat"
 	"repro/internal/workload"
 )
 
@@ -32,13 +33,25 @@ func terminal(state string) bool {
 	return state == StateDone || state == StateFailed || state == StateCanceled
 }
 
-// JobRequest is the submit payload. Exactly one of App (a benchmark
-// profile name, generated server-side) or Dex (a serialized dex container
-// or smali-like text, base64 in JSON) selects the input.
+// JobRequest is the submit payload. For a build job (the default kind),
+// exactly one of App (a benchmark profile name, generated server-side) or
+// Dex (a serialized dex container or smali-like text, base64 in JSON)
+// selects the input. For a debloat job, Oat carries the linked image to
+// rewrite and Roots the reachability entry points.
 type JobRequest struct {
+	// Kind selects the job: "build" (default) compiles an app, "debloat"
+	// rewrites an existing image removing unreachable code.
+	Kind string `json:"kind,omitempty"`
+
 	App   string  `json:"app,omitempty"`   // profile name (Toutiao .. Wechat)
 	Scale float64 `json:"scale,omitempty"` // profile scale; server default when 0
 	Dex   []byte  `json:"dex,omitempty"`   // dex container bytes or assembly text
+
+	// Oat is the serialized OAT image a debloat job rewrites (base64 in
+	// JSON). Roots lists the method IDs reachability starts from; empty
+	// selects the conservative no-caller inference.
+	Oat   []byte   `json:"oat,omitempty"`
+	Roots []uint32 `json:"roots,omitempty"`
 
 	Config string `json:"config,omitempty"` // baseline|cto|ltbo|plopti|hfopti (default plopti)
 	Trees  int    `json:"trees,omitempty"`  // parallel suffix trees (default 8)
@@ -57,6 +70,9 @@ type JobRequest struct {
 }
 
 func (r JobRequest) withDefaults(scale float64) JobRequest {
+	if r.Kind == "" {
+		r.Kind = KindBuild
+	}
 	if r.Config == "" {
 		r.Config = "plopti"
 	}
@@ -72,8 +88,30 @@ func (r JobRequest) withDefaults(scale float64) JobRequest {
 	return r
 }
 
+// Job kinds.
+const (
+	KindBuild   = "build"
+	KindDebloat = "debloat"
+)
+
 // validate rejects a request before it takes a queue slot.
 func (r JobRequest) validate() error {
+	switch r.Kind {
+	case KindBuild:
+	case KindDebloat:
+		switch {
+		case len(r.Oat) == 0:
+			return errors.New("debloat requires an oat image")
+		case r.App != "" || len(r.Dex) > 0:
+			return errors.New("debloat takes oat, not app or dex")
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown job kind %q", r.Kind)
+	}
+	if len(r.Oat) > 0 || len(r.Roots) > 0 {
+		return errors.New("oat and roots apply to debloat jobs only")
+	}
 	switch r.Config {
 	case "baseline", "cto", "ltbo", "plopti", "hfopti":
 	default:
@@ -95,12 +133,21 @@ func (r JobRequest) validate() error {
 // JobStats is the Table-6-style per-job report: sizes, stage wall clocks,
 // outlining effect, and what serving added on top (queue wait).
 type JobStats struct {
-	App        string `json:"app"`
-	Config     string `json:"config"`
+	Kind       string `json:"kind,omitempty"`
+	App        string `json:"app,omitempty"`
+	Config     string `json:"config,omitempty"`
 	Methods    int    `json:"methods"`
 	TextBytes  int    `json:"text_bytes"`
 	ImageBytes int    `json:"image_bytes"`
 	Workers    int    `json:"workers"`
+
+	// Debloat jobs report what the rewrite removed; build jobs leave
+	// these zero.
+	TextBytesBefore int  `json:"text_bytes_before,omitempty"`
+	MethodsRemoved  int  `json:"methods_removed,omitempty"`
+	OutlinedRemoved int  `json:"outlined_removed,omitempty"`
+	ThunksRemoved   int  `json:"thunks_removed,omitempty"`
+	Imprecise       bool `json:"imprecise,omitempty"`
 
 	QueueWaitUS int64 `json:"queue_wait_us"`
 	CompileUS   int64 `json:"compile_us"`
@@ -232,6 +279,9 @@ func ladder(req JobRequest) core.Config {
 // build runs one job under its context. Every job shares the server's
 // cache and tracer; everything else is per-job.
 func (s *Server) build(ctx context.Context, req JobRequest, queueWait time.Duration) (*buildOutput, error) {
+	if req.Kind == KindDebloat {
+		return s.debloat(ctx, req, queueWait)
+	}
 	app, man, err := loadApp(req)
 	if err != nil {
 		return nil, err
@@ -264,6 +314,7 @@ func (s *Server) build(ctx context.Context, req JobRequest, queueWait time.Durat
 
 	out := &buildOutput{image: data}
 	stats := &JobStats{
+		Kind:         KindBuild,
 		App:          app.Name,
 		Config:       req.Config,
 		Methods:      app.NumMethods(),
@@ -285,6 +336,63 @@ func (s *Server) build(ctx context.Context, req JobRequest, queueWait time.Durat
 	}
 	if req.Lint {
 		findings, err := analysis.LintCtx(ctx, res.Image, cfg.Workers, s.cfg.Tracer)
+		if err != nil {
+			return nil, err
+		}
+		out.lint = findings
+		stats.LintFindings = len(findings)
+	}
+	out.stats = stats
+	return out, nil
+}
+
+// debloat runs a debloat-kind job: parse the client's image, remove
+// everything unreachable from the requested roots, and hand back the
+// smaller image with removal statistics. The pass itself re-verifies the
+// output with the full lint before returning it.
+func (s *Server) debloat(ctx context.Context, req JobRequest, queueWait time.Duration) (*buildOutput, error) {
+	img, err := oat.Unmarshal(req.Oat)
+	if err != nil {
+		return nil, fmt.Errorf("parsing oat image: %w", err)
+	}
+	cfg := core.DebloatConfig{Workers: req.Workers, Tracer: s.cfg.Tracer}
+	if cfg.Workers == 0 {
+		cfg.Workers = s.cfg.BuildWorkers
+	}
+	for _, id := range req.Roots {
+		cfg.Roots = append(cfg.Roots, dex.MethodID(id))
+	}
+	if len(cfg.Roots) == 0 {
+		cfg.NoCallerRoots = true
+	}
+	start := time.Now()
+	res, dstats, err := core.DebloatImageCtx(ctx, img, cfg)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	data, err := res.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	out := &buildOutput{image: data}
+	stats := &JobStats{
+		Kind:            KindDebloat,
+		Methods:         dstats.MethodsTotal,
+		TextBytes:       dstats.TextAfter,
+		TextBytesBefore: dstats.TextBefore,
+		ImageBytes:      len(data),
+		Workers:         cfg.Workers,
+		MethodsRemoved:  dstats.MethodsRemoved,
+		OutlinedRemoved: dstats.BlobsRemoved,
+		ThunksRemoved:   dstats.ThunksRemoved,
+		Imprecise:       dstats.Imprecise,
+		QueueWaitUS:     queueWait.Microseconds(),
+		WallUS:          wall.Microseconds(),
+		LintFindings:    -1,
+	}
+	if req.Lint {
+		findings, err := analysis.LintCtx(ctx, res, cfg.Workers, s.cfg.Tracer)
 		if err != nil {
 			return nil, err
 		}

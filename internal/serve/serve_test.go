@@ -22,6 +22,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dex"
+	"repro/internal/oat"
 	"repro/internal/obs"
 	"repro/internal/workload"
 )
@@ -671,6 +672,82 @@ func TestUnknownJob404(t *testing.T) {
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusNotFound {
 			t.Errorf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestDebloatJob drives the debloat job kind end to end over HTTP: build
+// an image directly, submit it for debloating rooted at the first
+// activity, and check the returned image is smaller-or-equal, parses, and
+// the stats report the removal.
+func TestDebloatJob(t *testing.T) {
+	prof, ok := workload.AppByName("Taobao", 0.05)
+	if !ok {
+		t.Fatal("Taobao profile missing")
+	}
+	app, _, err := workload.Generate(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Build(app, core.CTOLTBO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oatData, err := res.Image.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, st := postJob(t, ts, JobRequest{Kind: KindDebloat, Oat: oatData, Roots: []uint32{0}, Lint: true})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, st.Error)
+	}
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job state %s (%s), want done", final.State, final.Error)
+	}
+	stats := final.Stats
+	if stats == nil || stats.Kind != KindDebloat {
+		t.Fatalf("stats = %+v, want debloat kind", stats)
+	}
+	if stats.TextBytes > stats.TextBytesBefore {
+		t.Errorf("debloat grew text: %d -> %d", stats.TextBytesBefore, stats.TextBytes)
+	}
+	if stats.TextBytesBefore != res.Image.TextBytes() {
+		t.Errorf("stats.TextBytesBefore = %d, input had %d", stats.TextBytesBefore, res.Image.TextBytes())
+	}
+	if stats.LintFindings != 0 {
+		t.Errorf("debloated image has %d lint findings", stats.LintFindings)
+	}
+	small := fetchImage(t, ts, st.ID)
+	img, err := oat.Unmarshal(small)
+	if err != nil {
+		t.Fatalf("debloated image does not parse: %v", err)
+	}
+	if img.TextBytes() != stats.TextBytes {
+		t.Errorf("fetched image text %d, stats say %d", img.TextBytes(), stats.TextBytes)
+	}
+}
+
+// TestDebloatJobValidation pins the request-shape errors for the new
+// kind.
+func TestDebloatJobValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name string
+		req  JobRequest
+	}{
+		{"debloat without oat", JobRequest{Kind: KindDebloat}},
+		{"debloat with app", JobRequest{Kind: KindDebloat, Oat: []byte("x"), App: "Taobao"}},
+		{"build with oat", JobRequest{App: "Taobao", Oat: []byte("x")}},
+		{"build with roots", JobRequest{App: "Taobao", Roots: []uint32{1}}},
+		{"unknown kind", JobRequest{Kind: "shrink", App: "Taobao"}},
+	}
+	for _, tc := range cases {
+		resp, st := postJob(t, ts, tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", tc.name, resp.StatusCode, st.Error)
 		}
 	}
 }

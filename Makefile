@@ -46,11 +46,13 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # bench-obs measures the parallel-build and telemetry benchmarks and
-# archives the results (ns/op per case, plus extra metrics) in
-# BENCH_obs.json via cmd/benchjson.
+# appends a timestamped run (ns/op per case, extra metrics, host CPU
+# count) to BENCH_obs.json via cmd/benchjson -append, so the scaling
+# history across commits stays diffable instead of each run clobbering
+# the last.
 bench-obs:
 	$(GO) test -run xxx -bench 'BenchmarkCompileWorkers|BenchmarkBuildTraced' -benchmem . \
-		| $(GO) run ./cmd/benchjson -o BENCH_obs.json
+		| $(GO) run ./cmd/benchjson -append -o BENCH_obs.json
 
 # bench-cache measures the cold-vs-warm compilation cache benchmark on
 # the largest app and archives the results (warm/cold ns/op plus the warm
@@ -60,9 +62,13 @@ bench-cache:
 		| $(GO) run ./cmd/benchjson -o BENCH_cache.json
 
 # bench-smoke is the ci guard for the same benchmarks: one iteration each
-# at the -short scale, just proving they still run.
+# at the -short scale, proving they still run — plus the -j scaling
+# assertion (BenchmarkCompileScalingSmoke), which fails the build if a
+# j=8 compile stops beating j=1 by at least 1.5x. The assertion
+# self-skips on hosts with fewer than 4 CPUs, where the ladder is
+# legitimately flat.
 bench-smoke:
-	$(GO) test -short -run xxx -bench 'BenchmarkCompileWorkers|BenchmarkBuildTraced|BenchmarkBuildColdVsWarm' -benchtime 1x . >/dev/null
+	$(GO) test -short -run xxx -bench 'BenchmarkCompileWorkers|BenchmarkCompileScalingSmoke|BenchmarkBuildTraced|BenchmarkBuildColdVsWarm' -benchtime 1x . >/dev/null
 
 # serve-smoke boots calibrod on a random port, drives one job end to end
 # via calibroctl, checks /healthz and /metrics, and requires a clean

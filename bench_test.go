@@ -13,12 +13,14 @@ package calibro
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sort"
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/codegen"
 	"repro/internal/outline"
@@ -503,10 +505,11 @@ func BenchmarkCompile(b *testing.B) {
 	}
 }
 
-// BenchmarkCompileWorkers isolates the compile stage at -j 1 vs -j 8 on
-// the WeChat app. On a multi-core host the 8-worker run should finish the
-// same methods at least twice as fast; on a single-CPU host the two
-// sub-benchmarks coincide (the pool degrades to a bounded serial walk).
+// BenchmarkCompileWorkers isolates the compile stage across the -j ladder
+// on the WeChat app. On a multi-core host throughput should rise with j;
+// on a single-CPU host the ladder flattens (the pool degrades to a bounded
+// serial walk) and only the allocation numbers are meaningful — which is
+// why BENCH_obs.json records host_cpus next to every run.
 func BenchmarkCompileWorkers(b *testing.B) {
 	apps := suite(b)
 	var wechat *appBundle
@@ -515,8 +518,16 @@ func BenchmarkCompileWorkers(b *testing.B) {
 			wechat = ab
 		}
 	}
-	for _, j := range []int{1, 8} {
+	for _, j := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			// ReportAllocs up front so allocs/op lands in the archived
+			// numbers even without -benchmem; ResetTimer drops the suite
+			// lookup and any earlier sub-benchmark's state from this
+			// sub-benchmark's clock, so methods/s divides compile time
+			// only — the j=8 column used to silently absorb whatever ran
+			// before the timer started.
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				methods, err := codegen.Compile(wechat.app, codegen.Options{
 					CTO: true, Optimize: true, Workers: j,
@@ -528,8 +539,52 @@ func BenchmarkCompileWorkers(b *testing.B) {
 					b.Fatal("short compile")
 				}
 			}
+			b.StopTimer()
 			b.ReportMetric(float64(len(wechat.app.Methods))*float64(b.N)/b.Elapsed().Seconds(), "methods/s")
 		})
+	}
+}
+
+// BenchmarkCompileScalingSmoke is the -j scaling regression guard wired
+// into `make bench-smoke`: on a host with at least 4 CPUs, a j=8 compile
+// of the WeChat app must beat j=1 by at least 1.5x (the target is ~2x;
+// the slack absorbs CI noise). Before the de-allocation and de-contention
+// work the ladder was flat — j=8 reached just 1.08x of j=1 — because the
+// build spent over a third of its cycles in GC feeding ~339k allocations
+// per build, so extra workers mostly contended on the allocator. Fewer
+// than 4 CPUs skips: the assertion would measure the host, not the code.
+func BenchmarkCompileScalingSmoke(b *testing.B) {
+	if runtime.NumCPU() < 4 {
+		b.Skipf("scaling assertion needs >= 4 CPUs, host has %d", runtime.NumCPU())
+	}
+	apps := suite(b)
+	var wechat *appBundle
+	for _, ab := range apps {
+		if ab.prof.Name == "Wechat" {
+			wechat = ab
+		}
+	}
+	compileAt := func(j int) float64 {
+		best := math.MaxFloat64
+		for r := 0; r < 3; r++ {
+			t0 := time.Now()
+			if _, err := codegen.Compile(wechat.app, codegen.Options{
+				CTO: true, Optimize: true, Workers: j,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if d := time.Since(t0).Seconds(); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	for i := 0; i < b.N; i++ {
+		speedup := compileAt(1) / compileAt(8)
+		b.ReportMetric(speedup, "j8-speedup-x")
+		if speedup < 1.5 {
+			b.Fatalf("j=8 compile speedup is %.2fx over j=1, want >= 1.5x: the -j ladder has re-flattened", speedup)
+		}
 	}
 }
 

@@ -6,7 +6,19 @@
 //
 // Usage:
 //
-//	go test -bench=. . | benchjson -o BENCH.json
+//	go test -bench=. . | benchjson -o BENCH.json            # overwrite
+//	go test -bench=. . | benchjson -append -o BENCH.json    # accumulate
+//
+// Without -append the file holds one flat {"results": [...]} document and
+// every invocation replaces it. With -append the file holds a history:
+// {"runs": [{"time", "host_cpus", "go_max_procs", "go_version", "note",
+// "results"}, ...]} and every invocation adds one timestamped run. A flat
+// legacy file is migrated in place: its results become the first run
+// (with no timestamp or host metadata, since none were recorded). The
+// host_cpus field is what makes wall-clock numbers comparable across
+// machines — a flat -j ladder on a 1-CPU builder is expected, not a
+// regression, and without the CPU count next to the numbers that is
+// indistinguishable from the scaling bug the ladder exists to catch.
 //
 // Parsed per benchmark: the name (with the trailing -GOMAXPROCS tag
 // kept, since it is part of the measurement), iteration count, ns/op,
@@ -17,13 +29,17 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"os"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // benchLine matches one result line: name, iterations, ns/op, and the
@@ -40,17 +56,68 @@ type result struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
+// run is one archived benchmark invocation in append mode.
+type run struct {
+	Time       string   `json:"time,omitempty"` // RFC 3339 UTC; empty for migrated legacy results
+	HostCPUs   int      `json:"host_cpus,omitempty"`
+	GoMaxProcs int      `json:"go_max_procs,omitempty"`
+	GoVersion  string   `json:"go_version,omitempty"`
+	Note       string   `json:"note,omitempty"`
+	Results    []result `json:"results"`
+}
+
+// document is both on-disk shapes: exactly one of Results (flat,
+// overwrite mode) or Runs (history, append mode) is populated.
 type document struct {
-	Results []result `json:"results"`
+	Results []result `json:"results,omitempty"`
+	Runs    []run    `json:"runs,omitempty"`
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "benchmarks.json", "write the parsed results to this file")
+	appendMode := flag.Bool("append", false, "append a timestamped run to -o instead of overwriting it")
+	note := flag.String("note", "", "free-form label stored with the run (append mode only)")
 	flag.Parse()
 
-	doc := document{Results: []result{}}
+	results := parseStdin()
+	if len(results) == 0 {
+		log.Fatal("no benchmark results on stdin")
+	}
+
+	var doc document
+	if *appendMode {
+		doc = loadHistory(*out)
+		doc.Runs = append(doc.Runs, run{
+			Time:       time.Now().UTC().Format(time.RFC3339),
+			HostCPUs:   runtime.NumCPU(),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+			Note:       *note,
+			Results:    results,
+		})
+	} else {
+		doc = document{Results: results}
+	}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if *appendMode {
+		fmt.Fprintf(os.Stderr, "benchjson: appended run %d (%d results) to %s\n",
+			len(doc.Runs), len(results), *out)
+	} else {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+	}
+}
+
+// parseStdin echoes every line and collects the benchmark result lines.
+func parseStdin() []result {
+	var results []result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -73,20 +140,36 @@ func main() {
 			}
 			r.Metrics[em[2]] = v
 		}
-		doc.Results = append(doc.Results, r)
+		results = append(results, r)
 	}
 	if err := sc.Err(); err != nil {
 		log.Fatal(err)
 	}
-	if len(doc.Results) == 0 {
-		log.Fatal("no benchmark results on stdin")
+	return results
+}
+
+// loadHistory reads an existing archive for append mode. A missing file
+// starts an empty history; a legacy flat document is migrated into the
+// first run so old baselines stay diffable against new entries. Anything
+// unparseable is fatal rather than silently clobbered.
+func loadHistory(path string) document {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return document{}
 	}
-	data, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		log.Fatal(err)
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		log.Fatalf("existing %s is not a benchjson document: %v", path, err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+	if len(doc.Results) > 0 {
+		doc.Runs = append([]run{{
+			Note:    "migrated from pre-append flat archive; host metadata unrecorded",
+			Results: doc.Results,
+		}}, doc.Runs...)
+		doc.Results = nil
+	}
+	return doc
 }

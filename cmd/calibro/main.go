@@ -6,7 +6,7 @@
 // Usage:
 //
 //	calibro -app Wechat [-scale 0.25] [-config baseline|cto|ltbo|plopti|hfopti]
-//	        [-trees 8] [-j N] [-runs 20] [-measure] [-o out.oat]
+//	        [-trees 8] [-shards 1] [-j N] [-runs 20] [-measure] [-o out.oat]
 //	        [-trace t.json] [-metrics m.json] [-stats] [-pprof cpu.out|mem.out]
 //	        [-cache] [-cache-dir DIR]
 //	calibro -debloat app.oat [-roots 0,1,2] [-o smaller.oat]
@@ -82,6 +82,7 @@ func run(args []string, out io.Writer) error {
 		scale   = fs.Float64("scale", 0.25, "app scale factor (1.0 = full reproduction scale)")
 		config  = fs.String("config", "plopti", "baseline | cto | ltbo | plopti | hfopti")
 		trees   = fs.Int("trees", 8, "parallel suffix trees for plopti/hfopti")
+		shards  = fs.Int("shards", 1, "detection shards per tree; 1 = exact global structure, N>=2 parallelizes detection (Table 6 tradeoff)")
 		workers = fs.Int("j", 0, "build worker goroutines; 0 = all CPUs (output is identical for every value)")
 		rounds  = fs.Int("rounds", 1, "outlining rounds")
 		dedup   = fs.Bool("dedup", false, "merge identical outlined functions across trees")
@@ -181,6 +182,7 @@ func run(args []string, out io.Writer) error {
 	script := workload.Script(man, *runs, 1)
 	tune := func(c core.Config) core.Config {
 		c.Rounds = *rounds
+		c.DetectShards = *shards
 		c.DedupFunctions = *dedup
 		c.Workers = *workers
 		c.Tracer = tracer

@@ -42,8 +42,8 @@ func usage(errOut io.Writer) {
 	fmt.Fprintln(errOut, `usage: calibroctl [-addr host:port] <command> [flags]
 
 commands:
-  submit   -app NAME | -dex FILE  [-config C] [-scale F] [-trees N] [-rounds N]
-           [-dedup] [-j N] [-runs N] [-verify] [-lint] [-timeout d]
+  submit   -app NAME | -dex FILE  [-config C] [-scale F] [-trees N] [-shards N]
+           [-rounds N] [-dedup] [-j N] [-runs N] [-verify] [-lint] [-timeout d]
   wait     JOB [-poll d]
   status   JOB
   stats    JOB
@@ -142,6 +142,7 @@ func (c *client) submit(args []string) error {
 		config  = fs.String("config", "plopti", "ladder config: baseline|cto|ltbo|plopti|hfopti")
 		scale   = fs.Float64("scale", 0, "app scale; 0 = server default")
 		trees   = fs.Int("trees", 0, "parallel suffix trees; 0 = server default")
+		shards  = fs.Int("shards", 0, "detection shards per tree; 0/1 = exact global structure")
 		rounds  = fs.Int("rounds", 0, "outlining rounds; 0 = default")
 		dedup   = fs.Bool("dedup", false, "merge identical outlined functions")
 		workers = fs.Int("j", 0, "per-build worker goroutines; 0 = server default")
@@ -169,6 +170,9 @@ func (c *client) submit(args []string) error {
 	}
 	if *trees > 0 {
 		req["trees"] = *trees
+	}
+	if *shards > 1 {
+		req["shards"] = *shards
 	}
 	if *rounds > 0 {
 		req["rounds"] = *rounds

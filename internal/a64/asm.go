@@ -68,6 +68,14 @@ type Asm struct {
 // PC returns the byte offset the next emitted item will occupy.
 func (a *Asm) PC() int { return len(a.items) * WordSize }
 
+// Reset empties the assembler while keeping its item and label backing
+// arrays, so a pooled Asm reused across methods stops allocating once it
+// has grown to the largest method seen.
+func (a *Asm) Reset() {
+	a.items = a.items[:0]
+	a.labels = a.labels[:0]
+}
+
 // NewLabel allocates an unbound label.
 func (a *Asm) NewLabel() Label {
 	a.labels = append(a.labels, -1)
@@ -138,9 +146,40 @@ func (a *Asm) RawLabelDiff(target, base Label) int {
 // Finalize resolves labels, encodes every instruction, and returns the
 // completed program.
 func (a *Asm) Finalize() (*Program, error) {
+	// Count the relocation records first so every output slice is allocated
+	// exactly once at its final size (the records escape into the compiled
+	// method's metadata, so they cannot be pooled).
+	var nPCRel, nExt, nData int
+	prevRaw := false
+	for _, it := range a.items {
+		if it.raw {
+			if !prevRaw {
+				nData++
+			}
+			prevRaw = true
+			continue
+		}
+		prevRaw = false
+		if it.label != -1 {
+			nPCRel++
+		} else if it.symbol != -1 {
+			nExt++
+		} else if it.inst.Op.IsPCRel() {
+			nPCRel++
+		}
+	}
 	p := &Program{
 		Words:  make([]uint32, len(a.items)),
 		Labels: make([]int, len(a.labels)),
+	}
+	if nPCRel > 0 {
+		p.PCRel = make([]Reloc, 0, nPCRel)
+	}
+	if nExt > 0 {
+		p.Ext = make([]ExtRef, 0, nExt)
+	}
+	if nData > 0 {
+		p.Data = make([]Range, 0, nData)
 	}
 	for l, idx := range a.labels {
 		if idx == -1 {

@@ -17,9 +17,11 @@
 //   - a versioned, checksummed on-wire frame (Seal/Open), so corrupt,
 //     truncated, or version-skewed entries are detected and degrade to a
 //     miss — never an error, never a panic;
-//   - a concurrency-safe in-memory map (RWMutex reads on the hot path,
-//     atomic counters for stats, no lock held during encode/decode or
-//     disk I/O);
+//   - a concurrency-safe in-memory map, sharded 16 ways so parallel
+//     compile workers never serialize on one cache-wide lock (the strict
+//     insertion-order eviction keeps a separate policy mutex off the read
+//     path; atomic counters for stats; no lock held during encode/decode
+//     or disk I/O);
 //   - an optional on-disk directory for cross-process warm starts, with
 //     atomic writes (temp file + rename) and read-through promotion into
 //     memory.
@@ -66,11 +68,22 @@ type Hasher struct {
 	buf [512]byte
 }
 
+// hasherPool recycles Hashers (each carries a 512-byte staging buffer and
+// a SHA-256 state). Key hashing runs once per method per build — warm or
+// cold — so the pool keeps the warm path allocation-free.
+var hasherPool = sync.Pool{New: func() any {
+	return &Hasher{h: sha256.New()}
+}}
+
 // NewHasher starts a key over the given schema tag. The tag versions the
 // whole key layout: bumping it invalidates every existing entry at once,
 // which is the safe response to any change in what the key covers.
+// Hashers come from an internal pool; Sum returns them to it, which is why
+// a Hasher must not be touched after Sum.
 func NewHasher(schema string) *Hasher {
-	h := &Hasher{h: sha256.New()}
+	h := hasherPool.Get().(*Hasher)
+	h.h.Reset()
+	h.n = 0
 	h.Str(schema)
 	return h
 }
@@ -118,11 +131,13 @@ func (h *Hasher) Str(s string) {
 	}
 }
 
-// Sum finalizes the key. The Hasher must not be reused afterwards.
+// Sum finalizes the key and releases the Hasher back to the pool. The
+// Hasher must not be reused afterwards.
 func (h *Hasher) Sum() Key {
 	h.flush()
 	var k Key
 	h.h.Sum(k[:0])
+	hasherPool.Put(h)
 	return k
 }
 
@@ -197,16 +212,39 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// numShards splits the memory tier's data map. Keys are SHA-256, so the
+// first byte is uniformly distributed and a power-of-two mask balances
+// the shards.
+const numShards = 16
+
+// shard is one slice of the memory tier's data map with its own lock, so
+// parallel compile workers hitting different keys never serialize on one
+// cache-wide mutex.
+type shard struct {
+	mu  sync.RWMutex
+	mem map[Key][]byte // sealed frames; immutable once stored
+}
+
 // Cache is a concurrency-safe content-addressed store: an in-memory map
 // of sealed entries, optionally backed by a directory for cross-process
 // warm starts. The zero value is not usable; call New or NewDir.
+//
+// Locking: the hot path (Get on a resident key) takes only its shard's
+// read lock. Writes additionally take the policy mutex, which owns the
+// cache-wide state the strict global insertion-order eviction needs —
+// order, byte tally, limits. Lock order is policy, then shard; nothing
+// acquires policy while holding a shard lock.
 type Cache struct {
 	dir string
 
-	mu       sync.RWMutex
-	mem      map[Key][]byte // sealed frames; immutable once stored
-	order    []Key          // memory-tier insertion order, oldest first
-	memBytes int64          // sealed bytes resident in mem
+	shards [numShards]shard
+
+	policy sync.Mutex // guards order, memBytes, limits, and eviction
+	order  []Key      // memory-tier insertion order, oldest first
+	// memBytes is read under either policy (writers) or atomically
+	// (Stats); entries counts resident keys the same way.
+	memBytes atomic.Int64
+	entries  atomic.Int64
 	// Memory-tier limits (0 = unbounded); see SetLimits.
 	maxEntries int
 	maxBytes   int64
@@ -216,7 +254,16 @@ type Cache struct {
 }
 
 // New returns a memory-only cache.
-func New() *Cache { return &Cache{mem: map[Key][]byte{}} }
+func New() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].mem = map[Key][]byte{}
+	}
+	return c
+}
+
+// shardOf picks the shard holding k.
+func (c *Cache) shardOf(k Key) *shard { return &c.shards[k[0]&(numShards-1)] }
 
 // NewDir returns a cache backed by the given directory, creating it if
 // needed. Entries written by other processes are picked up read-through;
@@ -248,8 +295,8 @@ func (c *Cache) Dir() string { return c.dir }
 // error. Limits may be changed at any time; shrinking them evicts
 // immediately.
 func (c *Cache) SetLimits(maxEntries int, maxBytes int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.policy.Lock()
+	defer c.policy.Unlock()
 	c.maxEntries = maxEntries
 	c.maxBytes = maxBytes
 	c.evictLocked()
@@ -257,31 +304,41 @@ func (c *Cache) SetLimits(maxEntries int, maxBytes int64) {
 
 // insertLocked stores a sealed frame in the memory tier, maintaining the
 // insertion-order list and the byte tally, then applies the limits. The
-// caller holds c.mu.
+// caller holds c.policy; the shard lock is taken here. A re-insert keeps
+// the key's original place in the insertion order — the eviction policy
+// is strictly first-inserted-first-out, overwrite or not.
 func (c *Cache) insertLocked(k Key, blob []byte) {
-	if old, ok := c.mem[k]; ok {
-		c.memBytes += int64(len(blob)) - int64(len(old))
-		c.mem[k] = blob
+	sh := c.shardOf(k)
+	sh.mu.Lock()
+	if old, ok := sh.mem[k]; ok {
+		c.memBytes.Add(int64(len(blob)) - int64(len(old)))
+		sh.mem[k] = blob
 	} else {
-		c.mem[k] = blob
+		sh.mem[k] = blob
 		c.order = append(c.order, k)
-		c.memBytes += int64(len(blob))
+		c.memBytes.Add(int64(len(blob)))
+		c.entries.Add(1)
 	}
+	sh.mu.Unlock()
 	c.evictLocked()
 }
 
 // evictLocked drops oldest-inserted entries until the memory tier fits
-// the configured limits. The caller holds c.mu.
+// the configured limits. The caller holds c.policy.
 func (c *Cache) evictLocked() {
 	over := func() bool {
-		return (c.maxEntries > 0 && len(c.mem) > c.maxEntries) ||
-			(c.maxBytes > 0 && c.memBytes > c.maxBytes)
+		return (c.maxEntries > 0 && c.entries.Load() > int64(c.maxEntries)) ||
+			(c.maxBytes > 0 && c.memBytes.Load() > c.maxBytes)
 	}
 	for len(c.order) > 0 && over() {
 		k := c.order[0]
 		c.order = c.order[1:]
-		c.memBytes -= int64(len(c.mem[k]))
-		delete(c.mem, k)
+		sh := c.shardOf(k)
+		sh.mu.Lock()
+		c.memBytes.Add(-int64(len(sh.mem[k])))
+		delete(sh.mem, k)
+		sh.mu.Unlock()
+		c.entries.Add(-1)
 		c.evicted.Add(1)
 	}
 }
@@ -295,9 +352,10 @@ func (c *Cache) path(k Key) string { return filepath.Join(c.dir, k.String()+".cc
 // the subsequent Put heals the entry. The returned payload is shared and
 // read-only.
 func (c *Cache) Get(k Key) (payload []byte, ok bool) {
-	c.mu.RLock()
-	blob, inMem := c.mem[k]
-	c.mu.RUnlock()
+	sh := c.shardOf(k)
+	sh.mu.RLock()
+	blob, inMem := sh.mem[k]
+	sh.mu.RUnlock()
 	if inMem {
 		// Memory entries were validated on the way in, but re-checking
 		// keeps one corruption policy for both tiers and costs one CRC.
@@ -313,9 +371,9 @@ func (c *Cache) Get(k Key) (payload []byte, ok bool) {
 	if c.dir != "" {
 		if blob, err := os.ReadFile(c.path(k)); err == nil {
 			if p, ok := Open(blob); ok {
-				c.mu.Lock()
+				c.policy.Lock()
 				c.insertLocked(k, blob)
-				c.mu.Unlock()
+				c.policy.Unlock()
 				c.hits.Add(1)
 				c.diskHits.Add(1)
 				c.bytesServed.Add(int64(len(p)))
@@ -337,13 +395,20 @@ func (c *Cache) Get(k Key) (payload []byte, ok bool) {
 // accelerator, never a correctness dependency.
 func (c *Cache) Put(k Key, payload []byte) {
 	blob := Seal(payload)
-	c.mu.Lock()
-	if old, exists := c.mem[k]; exists && bytes.Equal(old, blob) {
-		c.mu.Unlock()
+	sh := c.shardOf(k)
+	// Identical-bytes skip under the shard read lock only: on warm builds
+	// every re-Put takes this exit, so the common case never touches the
+	// policy mutex. A racing non-identical Put just falls through to
+	// insertLocked, which keeps the key's order slot — no duplicate.
+	sh.mu.RLock()
+	same := bytes.Equal(sh.mem[k], blob)
+	sh.mu.RUnlock()
+	if same {
 		return
 	}
+	c.policy.Lock()
 	c.insertLocked(k, blob)
-	c.mu.Unlock()
+	c.policy.Unlock()
 	c.bytesStored.Add(int64(len(blob)))
 	if c.dir != "" {
 		c.writeFile(k, blob)
@@ -371,20 +436,13 @@ func (c *Cache) writeFile(k Key, blob []byte) {
 }
 
 // Len returns the number of entries resident in memory.
-func (c *Cache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.mem)
-}
+func (c *Cache) Len() int { return int(c.entries.Load()) }
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
-	c.mu.RLock()
-	memBytes := c.memBytes
-	c.mu.RUnlock()
 	return Stats{
 		Entries:     c.Len(),
-		MemBytes:    memBytes,
+		MemBytes:    c.memBytes.Load(),
 		Evicted:     c.evicted.Load(),
 		Hits:        c.hits.Load(),
 		Misses:      c.misses.Load(),

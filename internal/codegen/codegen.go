@@ -143,8 +143,12 @@ func compileMethod(m *dex.Method, opts Options) (*CompiledMethod, error) {
 	if opts.Optimize {
 		hgraph.Optimize(g)
 	}
-	e := &emitter{m: m, g: g, opts: opts}
-	return e.emit()
+	e := emitterPool.Get().(*emitter)
+	e.reset(m, g, opts)
+	cm, err := e.emit()
+	e.m, e.g = nil, nil // don't pin the graph while pooled
+	emitterPool.Put(e)
+	return cm, err
 }
 
 // compileJNIStub emits the fixed stub for a Java native method: return the

@@ -2,6 +2,7 @@ package codegen
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/a64"
 	"repro/internal/abi"
@@ -61,6 +62,35 @@ type switchTable struct {
 	targets []a64.Label
 }
 
+// emitterPool recycles emitters (and, through them, the assembler's item
+// and label arrays and all metadata scratch slices) across methods. A
+// worker compiles thousands of methods per build; once an emitter has
+// grown to the largest method seen it emits without allocating, except
+// for the output slices that escape into the CompiledMethod.
+var emitterPool = sync.Pool{New: func() any {
+	return &emitter{pool: map[uint64]a64.Label{}}
+}}
+
+// reset prepares a pooled emitter for the next method, keeping every
+// backing array.
+func (e *emitter) reset(m *dex.Method, g *hgraph.Graph, opts Options) {
+	e.m, e.g, e.opts = m, g, opts
+	e.asm.Reset()
+	e.blockLabels = e.blockLabels[:0]
+	e.frame = 0
+	e.npeLabel, e.boundsLabel = 0, 0
+	e.npeUsed, e.boundsUsed = false, false
+	e.terms = e.terms[:0]
+	e.slow = e.slow[:0]
+	e.stackmap = e.stackmap[:0]
+	e.indirect = false
+	e.dexPC = 0
+	e.curLive = 0
+	clear(e.pool)
+	e.poolOrder = e.poolOrder[:0]
+	e.tables = e.tables[:0]
+}
+
 // allocated returns the physical register holding vr, if register-allocated.
 func allocated(vr uint8) (a64.Reg, bool) {
 	if vr < numAllocRegs {
@@ -79,8 +109,11 @@ func (e *emitter) emit() (*CompiledMethod, error) {
 		spills = 0
 	}
 	e.frame = align16(spillBase + 8*int64(spills))
-	e.pool = map[uint64]a64.Label{}
-	e.blockLabels = make([]a64.Label, len(e.g.Blocks))
+	if cap(e.blockLabels) < len(e.g.Blocks) {
+		e.blockLabels = make([]a64.Label, len(e.g.Blocks))
+	} else {
+		e.blockLabels = e.blockLabels[:len(e.g.Blocks)]
+	}
 	for i := range e.blockLabels {
 		e.blockLabels[i] = e.asm.NewLabel()
 	}
@@ -107,19 +140,32 @@ func (e *emitter) emit() (*CompiledMethod, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The emitter is pooled: slices that escape into the CompiledMethod are
+	// copied out at their exact size so the scratch can be reused.
 	return &CompiledMethod{
 		M:    e.m,
 		Code: prog.Words,
 		Meta: Meta{
 			PCRel:           prog.PCRel,
-			Terminators:     e.terms,
+			Terminators:     copyOut(e.terms),
 			EmbeddedData:    prog.Data,
-			Slowpaths:       e.slow,
+			Slowpaths:       copyOut(e.slow),
 			HasIndirectJump: e.indirect,
 		},
-		StackMap: e.stackmap,
+		StackMap: copyOut(e.stackmap),
 		Ext:      prog.Ext,
 	}, nil
+}
+
+// copyOut clones a scratch slice at exact size, preserving nil for empty
+// so pooled and non-pooled emitters produce identical metadata.
+func copyOut[T any](s []T) []T {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]T, len(s))
+	copy(out, s)
+	return out
 }
 
 func align16(n int64) int64 { return (n + 15) &^ 15 }

@@ -33,6 +33,12 @@ type Config struct {
 	// ParallelTrees is the number of partitioned suffix trees (PlOpti);
 	// values <= 1 build one global tree.
 	ParallelTrees int
+	// DetectShards splits each tree's sequence construction and repeat
+	// detection into N parallel shards whose candidates merge into one
+	// global selection (outline.Options.DetectShards) — the Table 6
+	// global-vs-parallel tradeoff as a tunable. <= 1 keeps the exact
+	// global structure per tree.
+	DetectShards int
 	// HotFilter, together with Profile, excludes the hottest functions
 	// from outlining (HfOpti).
 	HotFilter bool
@@ -189,6 +195,7 @@ func BuildCtx(ctx context.Context, app *dex.App, cfg Config) (*Result, error) {
 			MinLength:      cfg.MinLength,
 			MinBenefit:     cfg.MinBenefit,
 			Parallel:       cfg.ParallelTrees,
+			DetectShards:   cfg.DetectShards,
 			Rounds:         cfg.Rounds,
 			DedupFunctions: cfg.DedupFunctions,
 			Detector:       cfg.Detector,

@@ -89,15 +89,50 @@ func Build(m *dex.Method) (*Graph, error) {
 	}
 
 	g := &Graph{Method: m}
+	numBlocks := 0
 	blockAt := make([]int, len(m.Code)) // leader pc -> block ID
 	for pc := range m.Code {
 		if leader[pc] {
-			b := &Block{ID: len(g.Blocks)}
-			g.Blocks = append(g.Blocks, b)
-			blockAt[pc] = b.ID
+			blockAt[pc] = numBlocks
+			numBlocks++
 		} else if pc > 0 {
 			blockAt[pc] = blockAt[pc-1]
 		}
+	}
+
+	// Count instructions and edges per block so every slice below is carved
+	// out of one backing array; the fill loop then never grows a slice. The
+	// edge walk mirrors the fill loop exactly (fall-through first).
+	insnCount := make([]int32, numBlocks)
+	succCount := make([]int32, numBlocks)
+	predCount := make([]int32, numBlocks) // upper bound; Preds dedupe
+	forEachEdge(m, leader, blockAt, func(from, to int) {
+		succCount[from]++
+		predCount[to]++
+	})
+	for pc := range m.Code {
+		insnCount[blockAt[pc]]++
+	}
+	blocks := make([]Block, numBlocks)
+	insns := make([]Insn, len(m.Code))
+	totalSucc, totalPred := 0, 0
+	for i := range blocks {
+		totalSucc += int(succCount[i])
+		totalPred += int(predCount[i])
+	}
+	edges := make([]int, totalSucc+totalPred)
+	g.Blocks = make([]*Block, numBlocks)
+	insnOff, edgeOff := 0, 0
+	for i := range blocks {
+		b := &blocks[i]
+		b.ID = i
+		b.Insns = insns[insnOff:insnOff : insnOff+int(insnCount[i])]
+		insnOff += int(insnCount[i])
+		b.Succs = edges[edgeOff:edgeOff : edgeOff+int(succCount[i])]
+		edgeOff += int(succCount[i])
+		b.Preds = edges[edgeOff:edgeOff : edgeOff+int(predCount[i])]
+		edgeOff += int(predCount[i])
+		g.Blocks[i] = b
 	}
 
 	// Fill blocks and record edges.
@@ -110,8 +145,9 @@ func Build(m *dex.Method) (*Graph, error) {
 		last := pc == len(m.Code)-1 || leader[pc+1]
 		switch {
 		case in.Op == dex.OpPackedSwitch:
-			for _, t := range in.Targets {
-				ir.Targets = append(ir.Targets, blockAt[t])
+			ir.Targets = make([]int, len(in.Targets))
+			for i, t := range in.Targets {
+				ir.Targets[i] = blockAt[t]
 			}
 			b.Insns = append(b.Insns, ir)
 			// Fall-through first, then the switch targets.
@@ -136,6 +172,34 @@ func Build(m *dex.Method) (*Graph, error) {
 		}
 	}
 	return g, nil
+}
+
+// forEachEdge replays the edge-recording decisions of Build's fill loop
+// without materializing blocks, so edge slice capacities can be counted
+// up front.
+func forEachEdge(m *dex.Method, leader []bool, blockAt []int, emit func(from, to int)) {
+	for pc, in := range m.Code {
+		from := blockAt[pc]
+		last := pc == len(m.Code)-1 || leader[pc+1]
+		switch {
+		case in.Op == dex.OpPackedSwitch:
+			if pc+1 < len(m.Code) {
+				emit(from, blockAt[pc+1])
+			}
+			for _, t := range in.Targets {
+				emit(from, blockAt[t])
+			}
+		case in.Op.IsBranch():
+			if in.Op != dex.OpGoto && pc+1 < len(m.Code) {
+				emit(from, blockAt[pc+1])
+			}
+			emit(from, blockAt[in.Target])
+		default:
+			if last && !in.Op.IsTerminal() && pc+1 < len(m.Code) {
+				emit(from, blockAt[pc+1])
+			}
+		}
+	}
 }
 
 // addEdge records a CFG edge, keeping duplicates out of Preds but allowing
@@ -222,26 +286,35 @@ func (in Insn) def() (uint8, bool) {
 	return 0, false
 }
 
-// uses returns the registers an instruction reads.
-func (in Insn) uses() []uint8 {
+// uses returns the registers an instruction reads. The registers are
+// returned by value (an instruction reads at most three) so the hot
+// liveness and DCE loops never allocate; callers iterate regs[:n].
+func (in Insn) uses() (regs [3]uint8, n int) {
 	switch in.Op {
 	case dex.OpMove, dex.OpAddLit, dex.OpIGet, dex.OpNewArray, dex.OpArrayLen:
-		return []uint8{in.B}
+		regs[0] = in.B
+		return regs, 1
 	case dex.OpAdd, dex.OpSub, dex.OpAnd, dex.OpOr, dex.OpXor,
 		dex.OpMul, dex.OpShl, dex.OpShr, dex.OpAGet:
-		return []uint8{in.B, in.C}
+		regs[0], regs[1] = in.B, in.C
+		return regs, 2
 	case dex.OpIfEq, dex.OpIfNe, dex.OpIfLt, dex.OpIfGe:
-		return []uint8{in.A, in.B}
+		regs[0], regs[1] = in.A, in.B
+		return regs, 2
 	case dex.OpIfEqz, dex.OpIfNez, dex.OpReturn, dex.OpPackedSwitch:
-		return []uint8{in.A}
+		regs[0] = in.A
+		return regs, 1
 	case dex.OpIPut:
-		return []uint8{in.A, in.B}
+		regs[0], regs[1] = in.A, in.B
+		return regs, 2
 	case dex.OpAPut:
-		return []uint8{in.A, in.B, in.C}
+		regs[0], regs[1], regs[2] = in.A, in.B, in.C
+		return regs, 3
 	case dex.OpInvoke, dex.OpInvokeNative:
-		return []uint8{in.B, in.C}
+		regs[0], regs[1] = in.B, in.C
+		return regs, 2
 	}
-	return nil
+	return regs, 0
 }
 
 // pure reports whether the instruction can be removed when its result is

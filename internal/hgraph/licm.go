@@ -11,31 +11,45 @@ import (
 // block's idom is itself; unreachable blocks get -1.
 func Dominators(g *Graph) []int {
 	n := len(g.Blocks)
+	// idom escapes to the caller; every DFS scratch slice shares a second
+	// backing allocation (the pass runs once per optimization round per
+	// method, so its allocation count is hot).
 	idom := make([]int, n)
+	scratch := make([]int, 4*n)
+	order := scratch[0:0:n]
+	rpoNum := scratch[n : 2*n : 2*n]
+	stack := scratch[2*n : 2*n : 3*n]
+	cursor := scratch[3*n:]
+	state := make([]uint8, n)
 	for i := range idom {
 		idom[i] = -1
+		rpoNum[i] = -1
 	}
-	// Reverse post-order.
-	order := make([]int, 0, n)
-	state := make([]uint8, n)
-	var dfs func(int)
-	dfs = func(b int) {
-		state[b] = 1
-		for _, s := range g.Blocks[b].Succs {
+	// Iterative post-order DFS (same visit order as the recursive form:
+	// successors explored in order, node appended after its children).
+	stack = append(stack, 0)
+	state[0] = 1
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		descended := false
+		for cursor[b] < len(g.Blocks[b].Succs) {
+			s := g.Blocks[b].Succs[cursor[b]]
+			cursor[b]++
 			if state[s] == 0 {
-				dfs(s)
+				state[s] = 1
+				stack = append(stack, s)
+				descended = true
+				break
 			}
 		}
-		order = append(order, b)
+		if !descended {
+			order = append(order, b)
+			stack = stack[:len(stack)-1]
+		}
 	}
-	dfs(0)
 	// order is post-order; reverse it.
 	for l, r := 0, len(order)-1; l < r; l, r = l+1, r-1 {
 		order[l], order[r] = order[r], order[l]
-	}
-	rpoNum := make([]int, n)
-	for i := range rpoNum {
-		rpoNum[i] = -1
 	}
 	for i, b := range order {
 		rpoNum[b] = i
@@ -105,7 +119,7 @@ type loopInfo struct {
 // naturalLoops finds the natural loop of every back edge (latch -> header
 // where header dominates latch); loops sharing a header are merged.
 func naturalLoops(g *Graph, idom []int) []loopInfo {
-	byHeader := map[int]map[int]bool{}
+	var byHeader map[int]map[int]bool // lazy: most methods have no loops
 	for _, b := range g.Blocks {
 		for _, s := range b.Succs {
 			if idom[s] == -1 || idom[b.ID] == -1 {
@@ -113,6 +127,9 @@ func naturalLoops(g *Graph, idom []int) []loopInfo {
 			}
 			if !dominates(idom, s, b.ID) {
 				continue // not a back edge
+			}
+			if byHeader == nil {
+				byHeader = map[int]map[int]bool{}
 			}
 			body := byHeader[s]
 			if body == nil {
@@ -137,6 +154,15 @@ func naturalLoops(g *Graph, idom []int) []loopInfo {
 	var loops []loopInfo
 	for h, body := range byHeader {
 		loops = append(loops, loopInfo{header: h, blocks: body})
+	}
+	// Map iteration order is random; hoisting processes loops in slice
+	// order and mints preheader block IDs as it goes, so the order must be
+	// deterministic for the byte-identical-images contract. Methods have a
+	// handful of loops at most; insertion sort avoids sort.Slice's closure.
+	for i := 1; i < len(loops); i++ {
+		for j := i; j > 0 && loops[j].header < loops[j-1].header; j-- {
+			loops[j], loops[j-1] = loops[j-1], loops[j]
+		}
 	}
 	return loops
 }
@@ -168,8 +194,9 @@ func hoistInvariants(g *Graph) bool {
 // hoistLoop hoists what it can out of one loop; returns whether anything
 // moved.
 func (g *Graph) hoistLoop(lp loopInfo, idom []int) bool {
-	// Definition counts per register inside the loop.
-	defCount := map[uint8]int{}
+	// Definition counts per register inside the loop; a dense stack array
+	// beats a map here (registers are uint8 and the loop runs per method).
+	var defCount [256]int32
 	for b := range lp.blocks {
 		for _, in := range g.Blocks[b].Insns {
 			if d, ok := in.def(); ok {
@@ -207,7 +234,7 @@ func (g *Graph) hoistLoop(lp loopInfo, idom []int) bool {
 		var newlyHoisted []uint8
 		for _, b := range loopBlocks {
 			for idx, in := range g.Blocks[b].Insns {
-				if g.canHoist(in, idx, b, lp, idom, lv, defCount, hoisted, exits) {
+				if g.canHoist(in, idx, b, lp, idom, lv, &defCount, hoisted, exits) {
 					marks = append(marks, mark{b, idx})
 					d, _ := in.def()
 					newlyHoisted = append(newlyHoisted, d)
@@ -270,7 +297,7 @@ func (g *Graph) hoistLoop(lp loopInfo, idom []int) bool {
 // canHoist checks the safety conditions for hoisting the instruction at
 // g.Blocks[blockID].Insns[inIdx].
 func (g *Graph) canHoist(in Insn, inIdx, blockID int, lp loopInfo, idom []int, lv *Liveness,
-	defCount map[uint8]int, hoisted map[uint8]bool, exits []int) bool {
+	defCount *[256]int32, hoisted map[uint8]bool, exits []int) bool {
 	if !in.pure() {
 		return false
 	}
@@ -279,7 +306,8 @@ func (g *Graph) canHoist(in Insn, inIdx, blockID int, lp loopInfo, idom []int, l
 		return false
 	}
 	// Self-referencing instructions (d among uses) are induction-like.
-	for _, u := range in.uses() {
+	us, n := in.uses()
+	for _, u := range us[:n] {
 		if u == d {
 			return false
 		}
@@ -303,7 +331,8 @@ func (g *Graph) canHoist(in Insn, inIdx, blockID int, lp loopInfo, idom []int, l
 	for b := range lp.blocks {
 		for idx, other := range g.Blocks[b].Insns {
 			uses := false
-			for _, u := range other.uses() {
+			ous, on := other.uses()
+			for _, u := range ous[:on] {
 				uses = uses || u == d
 			}
 			if !uses {

@@ -27,19 +27,24 @@ type Liveness struct {
 
 // ComputeLiveness runs the standard backward dataflow over the graph.
 func ComputeLiveness(g *Graph) *Liveness {
+	// One backing array serves all four per-block set slices; the dataflow
+	// runs once per DCE round per method, so the allocation count matters.
+	nb := len(g.Blocks)
+	sets := make([]regSet, 4*nb)
 	lv := &Liveness{
-		In:  make([]regSet, len(g.Blocks)),
-		Out: make([]regSet, len(g.Blocks)),
+		In:  sets[0:nb:nb],
+		Out: sets[nb : 2*nb : 2*nb],
 	}
 	// Per-block gen (upward-exposed uses) and kill (defs).
-	gen := make([]regSet, len(g.Blocks))
-	kill := make([]regSet, len(g.Blocks))
+	gen := sets[2*nb : 3*nb : 3*nb]
+	kill := sets[3*nb:]
 	for _, b := range g.Blocks {
 		if b == nil {
 			continue
 		}
 		for _, in := range b.Insns {
-			for _, u := range in.uses() {
+			us, n := in.uses()
+			for _, u := range us[:n] {
 				if !kill[b.ID].has(u) {
 					gen[b.ID].add(u)
 				}
@@ -80,8 +85,10 @@ func ComputeLiveness(g *Graph) *Liveness {
 func LiveAfterMasks(g *Graph) [][]uint32 {
 	lv := ComputeLiveness(g)
 	out := make([][]uint32, len(g.Blocks))
+	backing := make([]uint32, g.NumInsns())
 	for _, b := range g.Blocks {
-		masks := make([]uint32, len(b.Insns))
+		masks := backing[:len(b.Insns):len(b.Insns)]
+		backing = backing[len(b.Insns):]
 		live := lv.Out[b.ID]
 		for i := len(b.Insns) - 1; i >= 0; i-- {
 			masks[i] = uint32(live[0])
@@ -89,7 +96,8 @@ func LiveAfterMasks(g *Graph) [][]uint32 {
 			if d, ok := in.def(); ok {
 				live.remove(d)
 			}
-			for _, u := range in.uses() {
+			us, n := in.uses()
+			for _, u := range us[:n] {
 				live.add(u)
 			}
 		}

@@ -1,6 +1,11 @@
 package hgraph
 
-import "repro/internal/dex"
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/dex"
+)
 
 // Optimize runs the per-function optimization pipeline the way dex2oat's
 // HGraph phase does when every code-size optimization is enabled: local
@@ -27,15 +32,18 @@ func Optimize(g *Graph) {
 // propagation, arithmetic constant folding, local value numbering, and
 // folding of conditional branches whose outcome is known.
 func foldAndPropagate(g *Graph) bool {
+	st := foldPool.Get().(*foldState)
 	changed := false
 	for _, b := range g.Blocks {
 		if b == nil {
 			continue
 		}
-		if blockFold(g, b) {
+		st.reset()
+		if blockFold(g, b, st) {
 			changed = true
 		}
 	}
+	foldPool.Put(st)
 	return changed
 }
 
@@ -46,34 +54,73 @@ type exprKey struct {
 	lit  int64
 }
 
-func blockFold(g *Graph, b *Block) bool {
-	changed := false
-	consts := map[uint8]int64{}  // reg -> known constant
-	copies := map[uint8]uint8{}  // reg -> original it copies
-	exprs := map[exprKey]uint8{} // available expression -> holding reg
+// foldState is the per-block scratch for blockFold. Constant and copy facts
+// are keyed by register, so dense arrays guarded by presence bitsets replace
+// the maps the fold used to allocate per block; only the value-numbering
+// table stays a map (its key is a full expression). States are pooled across
+// methods — blockFold runs on every block of every method every round, so
+// this is one of the hottest paths in the compiler.
+type foldState struct {
+	constVal [256]int64 // reg -> known constant (when constSet has reg)
+	copyOf   [256]uint8 // reg -> original it copies (when copySet has reg)
+	constSet regSet
+	copySet  regSet
+	exprs    map[exprKey]uint8 // available expression -> holding reg
+}
 
-	// invalidate removes every fact that mentions r.
-	invalidate := func(r uint8) {
-		delete(consts, r)
-		delete(copies, r)
-		for k, v := range copies {
-			if v == r {
-				delete(copies, k)
-			}
-		}
-		for k, v := range exprs {
-			if v == r || k.b == r || k.c == r {
-				delete(exprs, k)
+var foldPool = sync.Pool{New: func() any {
+	return &foldState{exprs: make(map[exprKey]uint8)}
+}}
+
+// reset clears all facts; the arrays need no clearing because the bitsets
+// gate every read.
+func (st *foldState) reset() {
+	st.constSet = regSet{}
+	st.copySet = regSet{}
+	clear(st.exprs)
+}
+
+func (st *foldState) constOf(r uint8) (int64, bool) {
+	if !st.constSet.has(r) {
+		return 0, false
+	}
+	return st.constVal[r], true
+}
+
+// invalidate removes every fact that mentions r.
+func (st *foldState) invalidate(r uint8) {
+	st.constSet.remove(r)
+	st.copySet.remove(r)
+	// Drop copies whose source is r: walk only the registers with facts.
+	for w, word := range st.copySet {
+		for word != 0 {
+			bit := uint8(bits.TrailingZeros64(word))
+			word &^= 1 << bit
+			k := uint8(w<<6) | bit
+			if st.copyOf[k] == r {
+				st.copySet.remove(k)
 			}
 		}
 	}
-	// resolve chases the copy chain for an operand.
-	resolve := func(r uint8) uint8 {
-		if o, ok := copies[r]; ok {
-			return o
+	for k, v := range st.exprs {
+		if v == r || k.b == r || k.c == r {
+			delete(st.exprs, k)
 		}
-		return r
 	}
+}
+
+// resolve chases the copy chain for an operand.
+func (st *foldState) resolve(r uint8) uint8 {
+	if st.copySet.has(r) {
+		return st.copyOf[r]
+	}
+	return r
+}
+
+func blockFold(g *Graph, b *Block, st *foldState) bool {
+	changed := false
+	resolve := st.resolve
+	invalidate := st.invalidate
 
 	for idx := range b.Insns {
 		in := &b.Insns[idx]
@@ -101,19 +148,19 @@ func blockFold(g *Graph, b *Block) bool {
 		switch in.Op {
 		case dex.OpAdd, dex.OpSub, dex.OpAnd, dex.OpOr, dex.OpXor,
 			dex.OpMul, dex.OpShl, dex.OpShr:
-			vb, okb := consts[in.B]
-			vc, okc := consts[in.C]
+			vb, okb := st.constOf(in.B)
+			vc, okc := st.constOf(in.C)
 			if okb && okc {
 				*in = Insn{Op: dex.OpConst, A: in.A, Lit: foldArith(in.Op, vb, vc)}
 				changed = true
 			}
 		case dex.OpAddLit:
-			if vb, ok := consts[in.B]; ok {
+			if vb, ok := st.constOf(in.B); ok {
 				*in = Insn{Op: dex.OpConst, A: in.A, Lit: vb + in.Lit}
 				changed = true
 			}
 		case dex.OpMove:
-			if vb, ok := consts[in.B]; ok {
+			if vb, ok := st.constOf(in.B); ok {
 				*in = Insn{Op: dex.OpConst, A: in.A, Lit: vb}
 				changed = true
 			}
@@ -122,14 +169,14 @@ func blockFold(g *Graph, b *Block) bool {
 		// Algebraic simplification / strength reduction, another of the
 		// HGraph code-size optimizations dex2oat runs: identities with a
 		// constant or repeated operand collapse to moves or constants.
-		if simplified, ok := simplifyAlgebraic(*in, consts); ok {
+		if simplified, ok := simplifyAlgebraic(*in, st); ok {
 			*in = simplified
 			changed = true
 		}
 
 		// Fold conditional branches with known outcomes. Succs[0] is the
 		// fall-through; the recorded Target is the taken edge.
-		if taken, known := foldBranch(in, consts); known {
+		if taken, known := foldBranch(in, st); known {
 			fallThrough := b.Succs[0]
 			if taken {
 				g.removeEdge(b.ID, fallThrough)
@@ -149,14 +196,14 @@ func blockFold(g *Graph, b *Block) bool {
 			if in.Op != dex.OpAddLit {
 				key.c = in.C
 			}
-			if holder, ok := exprs[key]; ok && holder != in.A {
+			if holder, ok := st.exprs[key]; ok && holder != in.A {
 				*in = Insn{Op: dex.OpMove, A: in.A, B: holder}
 				changed = true
 			} else {
 				d := in.A
 				invalidate(d)
 				if key.b != d && key.c != d {
-					exprs[key] = d
+					st.exprs[key] = d
 				}
 				continue
 			}
@@ -167,10 +214,12 @@ func blockFold(g *Graph, b *Block) bool {
 			invalidate(d)
 			switch in.Op {
 			case dex.OpConst:
-				consts[d] = in.Lit
+				st.constVal[d] = in.Lit
+				st.constSet.add(d)
 			case dex.OpMove:
 				if in.B != d {
-					copies[d] = in.B
+					st.copyOf[d] = in.B
+					st.copySet.add(d)
 				}
 			}
 		}
@@ -189,8 +238,8 @@ func blockFold(g *Graph, b *Block) bool {
 // simplifyAlgebraic applies operand identities: x+0, x-0, x|0, x^0 → move;
 // x&0 → 0; x-x, x^x → 0; x&x, x|x → move. It returns the replacement and
 // whether one applies (and is actually simpler).
-func simplifyAlgebraic(in Insn, consts map[uint8]int64) (Insn, bool) {
-	isZero := func(r uint8) bool { v, ok := consts[r]; return ok && v == 0 }
+func simplifyAlgebraic(in Insn, st *foldState) (Insn, bool) {
+	isZero := func(r uint8) bool { v, ok := st.constOf(r); return ok && v == 0 }
 	mv := func(dst, src uint8) (Insn, bool) {
 		if dst == src {
 			return Insn{Op: dex.OpNopCode}, true // self-move: drop entirely
@@ -233,7 +282,7 @@ func simplifyAlgebraic(in Insn, consts map[uint8]int64) (Insn, bool) {
 			return zero(in.A)
 		}
 	case dex.OpMul:
-		isOne := func(r uint8) bool { v, ok := consts[r]; return ok && v == 1 }
+		isOne := func(r uint8) bool { v, ok := st.constOf(r); return ok && v == 1 }
 		if isZero(in.B) || isZero(in.C) {
 			return zero(in.A)
 		}
@@ -283,10 +332,10 @@ func foldArith(op dex.Opcode, a, b int64) int64 {
 }
 
 // foldBranch decides a conditional branch whose operands are constants.
-func foldBranch(in *Insn, consts map[uint8]int64) (taken, known bool) {
+func foldBranch(in *Insn, st *foldState) (taken, known bool) {
 	switch in.Op {
 	case dex.OpIfEqz, dex.OpIfNez:
-		va, ok := consts[in.A]
+		va, ok := st.constOf(in.A)
 		if !ok {
 			return false, false
 		}
@@ -295,8 +344,8 @@ func foldBranch(in *Insn, consts map[uint8]int64) (taken, known bool) {
 		}
 		return va != 0, true
 	case dex.OpIfEq, dex.OpIfNe, dex.OpIfLt, dex.OpIfGe:
-		va, oka := consts[in.A]
-		vb, okb := consts[in.B]
+		va, oka := st.constOf(in.A)
+		vb, okb := st.constOf(in.B)
 		if !oka || !okb {
 			return false, false
 		}
@@ -324,9 +373,12 @@ func eliminateDeadCode(g *Graph) bool {
 			continue
 		}
 		live := lv.Out[b.ID]
-		// Walk backwards, collecting surviving instructions.
-		kept := make([]Insn, 0, len(b.Insns))
-		for i := len(b.Insns) - 1; i >= 0; i-- {
+		// Walk backwards, compacting survivors toward the end of the slice
+		// in place (the write cursor never passes the read cursor), then
+		// shift them back to the front. No per-block allocation.
+		n := len(b.Insns)
+		w := n
+		for i := n - 1; i >= 0; i-- {
 			in := b.Insns[i]
 			d, hasDef := in.def()
 			if hasDef && in.pure() && !live.has(d) {
@@ -336,16 +388,17 @@ func eliminateDeadCode(g *Graph) bool {
 			if hasDef {
 				live.remove(d)
 			}
-			for _, u := range in.uses() {
+			us, un := in.uses()
+			for _, u := range us[:un] {
 				live.add(u)
 			}
-			kept = append(kept, in)
+			w--
+			b.Insns[w] = in
 		}
-		// Reverse kept back into order.
-		for l, r := 0, len(kept)-1; l < r; l, r = l+1, r-1 {
-			kept[l], kept[r] = kept[r], kept[l]
+		if w > 0 {
+			copy(b.Insns, b.Insns[w:])
+			b.Insns = b.Insns[:n-w]
 		}
-		b.Insns = kept
 	}
 	return changed
 }
@@ -353,31 +406,36 @@ func eliminateDeadCode(g *Graph) bool {
 // removeUnreachable deletes blocks not reachable from the entry and
 // compacts block IDs.
 func removeUnreachable(g *Graph) bool {
-	reachable := make([]bool, len(g.Blocks))
-	stack := []int{0}
-	reachable[0] = true
+	// newID doubles as the visited set during the DFS (-1 = unreachable);
+	// it shares one backing allocation with the DFS stack.
+	nb := len(g.Blocks)
+	scratch := make([]int, 2*nb)
+	newID := scratch[:nb]
+	for i := range newID {
+		newID[i] = -1
+	}
+	stack := scratch[nb:nb]
+	stack = append(stack, 0)
+	newID[0] = 0
+	reached := 1
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, s := range g.Blocks[id].Succs {
-			if !reachable[s] {
-				reachable[s] = true
+			if newID[s] == -1 {
+				newID[s] = 0
+				reached++
 				stack = append(stack, s)
 			}
 		}
 	}
-	all := true
-	for _, r := range reachable {
-		all = all && r
-	}
-	if all {
+	if reached == nb {
 		return false
 	}
 	// Renumber.
-	newID := make([]int, len(g.Blocks))
-	var kept []*Block
+	kept := make([]*Block, 0, reached)
 	for id, b := range g.Blocks {
-		if reachable[id] {
+		if newID[id] == 0 {
 			newID[id] = len(kept)
 			kept = append(kept, b)
 		} else {
@@ -484,53 +542,75 @@ func dedupInts(xs []int) []int {
 // rewritten to jump to one canonical return block, so the code generator
 // emits a single epilogue per returned register.
 func mergeReturns(g *Graph) bool {
-	type retKey struct {
+	// Group return blocks by (opcode, returned register) without a map:
+	// collect (key, block) pairs and insertion-sort them — methods have a
+	// handful of returns, and the sorted walk also makes the group
+	// processing order deterministic (a map walk is not, and group order
+	// decides the IDs of any synthesized canonical return blocks).
+	type retEntry struct {
 		op  dex.Opcode
 		reg uint8
+		id  int
 	}
-	keyOf := func(in Insn) retKey {
-		k := retKey{op: in.Op, reg: in.A}
-		if in.Op == dex.OpReturnVoid {
-			k.reg = 0
-		}
-		return k
-	}
-	groups := map[retKey][]int{}
+	var entries []retEntry
 	for _, b := range g.Blocks {
 		t := b.Terminator()
 		if t == nil || (t.Op != dex.OpReturn && t.Op != dex.OpReturnVoid) {
 			continue
 		}
-		k := keyOf(*t)
-		groups[k] = append(groups[k], b.ID)
+		e := retEntry{op: t.Op, reg: t.A, id: b.ID}
+		if t.Op == dex.OpReturnVoid {
+			e.reg = 0
+		}
+		entries = append(entries, e)
+	}
+	less := func(a, b retEntry) bool {
+		if a.op != b.op {
+			return a.op < b.op
+		}
+		if a.reg != b.reg {
+			return a.reg < b.reg
+		}
+		return a.id < b.id
+	}
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && less(entries[j], entries[j-1]); j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
 	}
 	changed := false
-	for _, ids := range groups {
+	for lo := 0; lo < len(entries); {
+		hi := lo + 1
+		for hi < len(entries) && entries[hi].op == entries[lo].op && entries[hi].reg == entries[lo].reg {
+			hi++
+		}
+		ids := entries[lo:hi]
+		lo = hi
 		if len(ids) < 2 {
 			continue
 		}
 		// Prefer an existing bare-return block as the canonical copy.
 		canon := -1
-		for _, id := range ids {
-			if len(g.Blocks[id].Insns) == 1 {
-				canon = id
+		for _, e := range ids {
+			if len(g.Blocks[e.id].Insns) == 1 {
+				canon = e.id
 				break
 			}
 		}
 		if canon == -1 {
-			first := g.Blocks[ids[0]]
+			first := g.Blocks[ids[0].id]
 			ret := *first.Terminator()
 			nb := &Block{ID: len(g.Blocks), Insns: []Insn{ret}}
 			g.Blocks = append(g.Blocks, nb)
 			canon = nb.ID
 		}
-		for _, id := range ids {
-			if id == canon {
+		for _, e := range ids {
+			if e.id == canon {
 				continue
 			}
-			b := g.Blocks[id]
+			b := g.Blocks[e.id]
 			b.Insns[len(b.Insns)-1] = Insn{Op: dex.OpGoto, Target: canon}
-			g.addEdge(id, canon)
+			g.addEdge(e.id, canon)
 			changed = true
 		}
 	}

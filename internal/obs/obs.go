@@ -36,7 +36,9 @@
 package obs
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -51,21 +53,50 @@ type SpanRecord struct {
 	Inst  bool // instant event: a point in time carrying Args, Dur unused
 }
 
+// nStripes splits the tracer's span and counter state. Spans stripe by
+// lane (worker-pool lanes are the contended writers; each worker lands on
+// a stable stripe), counters by name hash. 16 stripes cover the pool
+// widths the build runs at.
+const nStripes = 16
+
+// spanStripe is one lane-sharded slice of the span log.
+type spanStripe struct {
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// counterStripe is one name-sharded slice of the counter map.
+type counterStripe struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
 // Tracer records spans and counters. The zero value is not usable; call
 // New. A nil *Tracer is the no-op tracer: every method (and the pool
 // observer it vends) is safe to call and does nothing.
+//
+// Recording is striped: every pool worker appends to its own lane's span
+// stripe and counter updates hash to independent stripes, so a tracer on
+// a saturated pool never funnels all workers through one mutex. Snapshots
+// merge the stripes and order spans by start time, which the exporters
+// sort by anyway — the merged view is identical to what a single-lock log
+// would have held, modulo the order of concurrent records, which was
+// scheduling-dependent already.
 type Tracer struct {
 	t0 time.Time
 
-	mu       sync.Mutex
-	spans    []SpanRecord
-	counters map[string]int64
-	maxLane  int
+	stripes  [nStripes]spanStripe
+	counters [nStripes]counterStripe
+	maxLane  atomic.Int64
 }
 
 // New returns a live tracer; its clock starts now.
 func New() *Tracer {
-	return &Tracer{t0: time.Now(), counters: map[string]int64{}}
+	t := &Tracer{t0: time.Now()}
+	for i := range t.counters {
+		t.counters[i].m = map[string]int64{}
+	}
+	return t
 }
 
 // Noop returns the no-op tracer (nil). It exists to make call sites that
@@ -125,9 +156,20 @@ func (t *Tracer) Count(name string, delta int64) {
 	if t == nil {
 		return
 	}
-	t.mu.Lock()
-	t.counters[name] += delta
-	t.mu.Unlock()
+	cs := &t.counters[hashName(name)%nStripes]
+	cs.mu.Lock()
+	cs.m[name] += delta
+	cs.mu.Unlock()
+}
+
+// hashName is FNV-1a over the counter name: cheap, allocation-free, and
+// good enough to spread a handful of hot counter names across stripes.
+func hashName(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
 }
 
 // Instant records a point event carrying args — the vehicle for per-group
@@ -177,26 +219,41 @@ func (t *Tracer) PoolObserver(cat string, name func(i int) string) func(worker, 
 }
 
 func (t *Tracer) record(r SpanRecord) {
-	t.mu.Lock()
-	t.spans = append(t.spans, r)
-	if r.Lane > t.maxLane {
-		t.maxLane = r.Lane
+	st := &t.stripes[uint(r.Lane)%nStripes]
+	st.mu.Lock()
+	st.spans = append(st.spans, r)
+	st.mu.Unlock()
+	for {
+		cur := t.maxLane.Load()
+		if int64(r.Lane) <= cur || t.maxLane.CompareAndSwap(cur, int64(r.Lane)) {
+			return
+		}
 	}
-	t.mu.Unlock()
 }
 
-// snapshotState copies the recorded state for export without holding the
-// lock during encoding.
+// snapshotState merges the stripes into one consistent copy for export
+// without holding any lock during encoding. Spans come back ordered by
+// start time (stable across equal starts), so exporters see one log, not
+// sixteen.
 func (t *Tracer) snapshotState() (spans []SpanRecord, counters map[string]int64, maxLane int) {
 	if t == nil {
 		return nil, nil, 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	spans = append([]SpanRecord(nil), t.spans...)
-	counters = make(map[string]int64, len(t.counters))
-	for k, v := range t.counters {
-		counters[k] = v
+	for i := range t.stripes {
+		st := &t.stripes[i]
+		st.mu.Lock()
+		spans = append(spans, st.spans...)
+		st.mu.Unlock()
 	}
-	return spans, counters, t.maxLane
+	sort.SliceStable(spans, func(a, b int) bool { return spans[a].Start < spans[b].Start })
+	counters = map[string]int64{}
+	for i := range t.counters {
+		cs := &t.counters[i]
+		cs.mu.Lock()
+		for k, v := range cs.m {
+			counters[k] = v
+		}
+		cs.mu.Unlock()
+	}
+	return spans, counters, int(t.maxLane.Load())
 }

@@ -90,7 +90,7 @@ func TestSpanAndCounterRecording(t *testing.T) {
 // output is fully deterministic.
 func fixedTracer() *Tracer {
 	tr := New()
-	tr.spans = []SpanRecord{
+	tr.stripes[0].spans = []SpanRecord{
 		// Deliberately out of start order: the exporter must sort.
 		{Name: "m0", Cat: "compile", Lane: 1, Start: 10 * time.Microsecond, Dur: 30 * time.Microsecond,
 			Args: map[string]int64{"queue_us": 2}},
@@ -102,8 +102,8 @@ func fixedTracer() *Tracer {
 			Args: map[string]int64{"functions": 3}},
 		{Name: "link", Cat: "stage", Lane: 0, Start: 80 * time.Microsecond, Dur: 15 * time.Microsecond},
 	}
-	tr.maxLane = 2
-	tr.counters = map[string]int64{"outline.functions": 3}
+	tr.maxLane.Store(2)
+	tr.Count("outline.functions", 3)
 	return tr
 }
 

@@ -41,8 +41,12 @@ type RepeatInfo struct {
 // with true it applies the outliner's full correctness constraints, which
 // is what LTBO can actually capture.
 func Analyze(methods []*codegen.CompiledMethod, respectBoundaries bool) *Analysis {
-	sym := newSymbolizer()
-	var seq []uint32
+	total := len(methods)
+	for _, cm := range methods {
+		total += len(cm.Code)
+	}
+	sym := newSymbolizer(total)
+	seq := make([]uint32, 0, total)
 	var posWords int
 
 	for _, cm := range methods {

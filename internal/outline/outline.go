@@ -53,6 +53,21 @@ type Options struct {
 	// repeat families with a far smaller memory footprint (the resource
 	// the paper's global tree exhausts at production scale).
 	Detector DetectorKind
+	// DetectShards splits each group's sequence construction and repeat
+	// detection into N shards that fan out on the worker pool, merging the
+	// per-shard candidate sets by content before one global selection.
+	// This is the paper's global-structure-vs-parallel-detection tradeoff
+	// (Table 6) as a tunable: <= 1 keeps the exact global structure per
+	// group (and is byte-identical to it by construction); N >= 2 trades a
+	// little detection power — a repeat whose occurrences all land in
+	// different shards is invisible — for a parallel detection stage.
+	// Orthogonal to Parallel, which partitions what is *selected over*;
+	// DetectShards only partitions what is *detected over*, selection
+	// stays global within the group.
+	DetectShards int
+	// forceSharded routes groups through the sharded machinery even at one
+	// shard; tests use it to pin the byte-identity of the two routes.
+	forceSharded bool
 	// Workers bounds the goroutines the outliner uses for the group
 	// fan-out, the per-method separator scans, and the per-method
 	// rewrites; <= 0 selects runtime.GOMAXPROCS(0). Distinct from
@@ -88,6 +103,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Rounds == 0 {
 		o.Rounds = 1
+	}
+	if o.DetectShards == 0 {
+		o.DetectShards = 1
 	}
 	return o
 }

@@ -97,8 +97,13 @@ type symbolizer struct {
 	next uint32
 }
 
-func newSymbolizer() *symbolizer {
-	return &symbolizer{dict: map[uint32]uint32{}}
+// newSymbolizer returns a symbolizer sized for a sequence of sizeHint
+// symbols (the rev table gets one entry per distinct word or separator).
+func newSymbolizer(sizeHint int) *symbolizer {
+	return &symbolizer{
+		dict: make(map[uint32]uint32, 256),
+		rev:  make([]uint32, 0, sizeHint),
+	}
 }
 
 func (s *symbolizer) word(w uint32) uint32 {
@@ -150,9 +155,15 @@ func buildSequence(methods []*codegen.CompiledMethod, group []int, opts Options,
 	st.SepScan = time.Since(t0)
 	t1 := time.Now()
 	defer func() { st.Symbolize = time.Since(t1) }()
-	sym := newSymbolizer()
-	var seq []uint32
-	var pos []position
+	// One word per code word plus one separator per method: exact sizes,
+	// so the serial symbolize walk never reallocates.
+	total := len(group)
+	for _, mi := range group {
+		total += len(methods[mi].Code)
+	}
+	sym := newSymbolizer(total)
+	seq := make([]uint32, 0, total)
+	pos := make([]position, 0, total)
 	for gi, mi := range group {
 		cm := methods[mi]
 		sep := seps[gi]
@@ -176,6 +187,7 @@ func buildSequence(methods []*codegen.CompiledMethod, group []int, opts Options,
 type repeatCand struct {
 	length, count int
 	ord           int          // deterministic tie-break ordinal
+	first         int          // one occurrence start, cheap and deterministic
 	occurrences   func() []int // start positions in the sequence
 }
 
@@ -193,6 +205,7 @@ func detectRepeats(seq []uint32, opts Options, st *Stats) []repeatCand {
 			cands = append(cands, repeatCand{
 				length: rep.Length, count: rep.Count,
 				ord:         rep.Occurrences()[0]*1000 + rep.Length,
+				first:       rep.First(),
 				occurrences: rep.Occurrences,
 			})
 		}
@@ -206,6 +219,7 @@ func detectRepeats(seq []uint32, opts Options, st *Stats) []repeatCand {
 			rep := rep
 			cands = append(cands, repeatCand{
 				length: rep.Length, count: rep.Count, ord: rep.Node,
+				first:       tree.FirstOccurrence(rep.Node),
 				occurrences: func() []int { return tree.Occurrences(rep.Node) },
 			})
 		}
@@ -216,7 +230,18 @@ func detectRepeats(seq []uint32, opts Options, st *Stats) []repeatCand {
 
 // outlineGroup runs detection and selection over one method group and
 // returns the functions to create (with their chosen occurrences).
+//
+// Two detection routes share this entry: the paper's global structure (one
+// sequence, one tree, selection in sequence coordinates) and the sharded
+// route of shard.go (DetectShards >= 2), which partitions the group's
+// sequence construction and detection and then selects globally in method
+// coordinates. With one shard the two routes are byte-identical — the
+// property shard_test.go pins — which is what makes DetectShards a tunable
+// rather than a fork.
 func outlineGroup(methods []*codegen.CompiledMethod, group []int, opts Options) ([]outlinedFunc, Stats, error) {
+	if opts.DetectShards > 1 || opts.forceSharded {
+		return outlineGroupSharded(methods, group, opts)
+	}
 	var st Stats
 	seq, pos := buildSequence(methods, group, opts, &st)
 	st.SequenceSymbols = len(seq)

@@ -78,6 +78,29 @@ func TestMapRunsEverything(t *testing.T) {
 	}
 }
 
+// TestBatchedClaimCoversOddSizes sweeps (n, workers) shapes where the
+// batched index-range pickup has ragged tails — n not divisible by the
+// batch, batches wider than the remainder, more workers than batches —
+// and checks every index still runs exactly once.
+func TestBatchedClaimCoversOddSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 63, 64, 65, 500, 1023, 4099} {
+		for _, w := range []int{2, 3, 8, 16} {
+			counts := make([]atomic.Int32, n)
+			if err := Each(w, n, func(i int) error {
+				counts[i].Add(1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("n=%d w=%d: index %d ran %d times", n, w, i, c)
+				}
+			}
+		}
+	}
+}
+
 // TestEachError checks the Each wrapper propagates failures.
 func TestEachError(t *testing.T) {
 	err := Each(4, 10, func(i int) error {

@@ -55,6 +55,7 @@ type JobRequest struct {
 
 	Config string `json:"config,omitempty"` // baseline|cto|ltbo|plopti|hfopti (default plopti)
 	Trees  int    `json:"trees,omitempty"`  // parallel suffix trees (default 8)
+	Shards int    `json:"shards,omitempty"` // detection shards per tree; <= 1 exact global
 	Rounds int    `json:"rounds,omitempty"` // outlining rounds
 	Dedup  bool   `json:"dedup,omitempty"`  // merge identical outlined functions
 
@@ -287,6 +288,7 @@ func (s *Server) build(ctx context.Context, req JobRequest, queueWait time.Durat
 		return nil, err
 	}
 	cfg := ladder(req)
+	cfg.DetectShards = req.Shards
 	cfg.Rounds = req.Rounds
 	cfg.DedupFunctions = req.Dedup
 	cfg.VerifyImage = req.Verify

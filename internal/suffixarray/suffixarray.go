@@ -107,6 +107,10 @@ type Repeat struct {
 	arr    *Array
 }
 
+// First returns one deterministic occurrence start (the suffix-array-order
+// first) without materializing the full Occurrences slice.
+func (r Repeat) First() int { return int(r.arr.sa[r.lo]) }
+
 // Occurrences returns the start positions (unsorted).
 func (r Repeat) Occurrences() []int {
 	out := make([]int, 0, r.hi-r.lo+1)

@@ -15,11 +15,19 @@ import "fmt"
 // node is one suffix-tree node. The edge leading into the node is labeled
 // seq[start:end]; leaves use end == -1 meaning "to the end of the sequence"
 // (Ukkonen's global end).
+//
+// Children are kept two ways: a first-child/next-sibling list on the nodes
+// themselves for iteration, and a single tree-level map (Tree.children)
+// for by-symbol lookup. The per-node map this replaces dominated the
+// build's allocation profile — two heap objects per node — where the
+// sibling list costs nothing and the shared map amortizes to a handful of
+// allocations for the whole tree.
 type node struct {
-	start    int
-	end      int
-	link     int32
-	children map[uint32]int32
+	start       int
+	end         int
+	link        int32
+	firstChild  int32 // head of the child list, -1 for leaves
+	nextSibling int32 // next child of this node's parent, -1 at the end
 
 	// Filled by finish():
 	leafCount int32
@@ -29,8 +37,9 @@ type node struct {
 
 // Tree is a built suffix tree.
 type Tree struct {
-	seq   []uint32
-	nodes []node
+	seq      []uint32
+	nodes    []node
+	children map[uint64]int32 // (parent, edge first symbol) -> child
 	// internal build state
 	activeNode   int32
 	activeEdge   int
@@ -41,15 +50,53 @@ type Tree struct {
 
 const root int32 = 0
 
+// childKey packs a parent node index and an edge's first symbol into the
+// children map key.
+func childKey(n int32, sym uint32) uint64 {
+	return uint64(uint32(n))<<32 | uint64(sym)
+}
+
+// childOf looks up the child of n whose edge starts with sym.
+func (t *Tree) childOf(n int32, sym uint32) (int32, bool) {
+	c, ok := t.children[childKey(n, sym)]
+	return c, ok
+}
+
+// setChild binds c as the child of parent under edge symbol sym, either
+// adding it to the child list or substituting it for the previous holder
+// (an Ukkonen split), which keeps the list position and hands the old
+// child's sibling pointer to the new one.
+func (t *Tree) setChild(parent int32, sym uint32, c int32) {
+	key := childKey(parent, sym)
+	if old, ok := t.children[key]; ok {
+		next := t.nodes[old].nextSibling
+		if t.nodes[parent].firstChild == old {
+			t.nodes[parent].firstChild = c
+		} else {
+			p := t.nodes[parent].firstChild
+			for t.nodes[p].nextSibling != old {
+				p = t.nodes[p].nextSibling
+			}
+			t.nodes[p].nextSibling = c
+		}
+		t.nodes[c].nextSibling = next
+	} else {
+		t.nodes[c].nextSibling = t.nodes[parent].firstChild
+		t.nodes[parent].firstChild = c
+	}
+	t.children[key] = c
+}
+
 // Build constructs the suffix tree of seq. The caller must guarantee that
 // the final symbol of seq terminates every intended suffix (the outliner's
 // per-position separator symbols provide this); Build appends nothing.
 func Build(seq []uint32) *Tree {
 	t := &Tree{
-		seq:   seq,
-		nodes: make([]node, 1, 2*len(seq)+2),
+		seq:      seq,
+		nodes:    make([]node, 1, 2*len(seq)+2),
+		children: make(map[uint64]int32, len(seq)),
 	}
-	t.nodes[0] = node{start: -1, end: -1, children: map[uint32]int32{}}
+	t.nodes[0] = node{start: -1, end: -1, firstChild: -1, nextSibling: -1}
 	for i := range seq {
 		t.extend(i)
 	}
@@ -59,7 +106,7 @@ func Build(seq []uint32) *Tree {
 
 // newNode appends a node and returns its index.
 func (t *Tree) newNode(start, end int) int32 {
-	t.nodes = append(t.nodes, node{start: start, end: end, children: map[uint32]int32{}})
+	t.nodes = append(t.nodes, node{start: start, end: end, firstChild: -1, nextSibling: -1})
 	return int32(len(t.nodes) - 1)
 }
 
@@ -86,10 +133,10 @@ func (t *Tree) extend(i int) {
 			t.activeEdge = i
 		}
 		edgeSym := t.seq[t.activeEdge]
-		child, ok := t.nodes[t.activeNode].children[edgeSym]
+		child, ok := t.childOf(t.activeNode, edgeSym)
 		if !ok {
 			leaf := t.newNode(i, -1)
-			t.nodes[t.activeNode].children[edgeSym] = leaf
+			t.setChild(t.activeNode, edgeSym, leaf)
 			addLink(t.activeNode)
 		} else {
 			edgeLen := t.edgeEnd(child, i+1) - t.nodes[child].start
@@ -105,11 +152,11 @@ func (t *Tree) extend(i int) {
 				break
 			}
 			split := t.newNode(t.nodes[child].start, t.nodes[child].start+t.activeLength)
-			t.nodes[t.activeNode].children[edgeSym] = split
+			t.setChild(t.activeNode, edgeSym, split)
 			leaf := t.newNode(i, -1)
-			t.nodes[split].children[t.seq[i]] = leaf
+			t.setChild(split, t.seq[i], leaf)
 			t.nodes[child].start += t.activeLength
-			t.nodes[split].children[t.seq[t.nodes[child].start]] = child
+			t.setChild(split, t.seq[t.nodes[child].start], child)
 			addLink(split)
 		}
 		t.remainder--
@@ -148,18 +195,19 @@ func (t *Tree) finish() {
 				}
 				nd.depth = parentDepth + int32(end-nd.start)
 			}
-			if len(nd.children) == 0 {
+			if nd.firstChild == -1 {
 				nd.leafCount = 1
 				stack = stack[:len(stack)-1]
 				continue
 			}
-			for _, c := range nd.children {
-				t.nodes[c].parent = f.node
+			id := f.node
+			for c := nd.firstChild; c != -1; c = t.nodes[c].nextSibling {
+				t.nodes[c].parent = id
 				stack = append(stack, frame{node: c})
 			}
 			continue
 		}
-		for _, c := range nd.children {
+		for c := nd.firstChild; c != -1; c = t.nodes[c].nextSibling {
 			nd.leafCount += t.nodes[c].leafCount
 		}
 		stack = stack[:len(stack)-1]
@@ -191,7 +239,7 @@ func (t *Tree) Repeats(minLen, minCount int) []Repeat {
 	var out []Repeat
 	for idx := 1; idx < len(t.nodes); idx++ {
 		nd := &t.nodes[idx]
-		if len(nd.children) == 0 {
+		if nd.firstChild == -1 {
 			continue // leaf
 		}
 		if int(nd.depth) >= minLen && int(nd.leafCount) >= minCount {
@@ -213,14 +261,14 @@ func (t *Tree) Occurrences(nodeIdx int) []int {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		nd := &t.nodes[cur]
-		if len(nd.children) == 0 {
+		if nd.firstChild == -1 {
 			// Leaf: the suffix starts at n - depth; the repeat occurrence
 			// starts there too (the repeat is a prefix of the suffix).
 			suffixStart := n - int(nd.depth)
 			occ = append(occ, suffixStart)
 			continue
 		}
-		for _, c := range nd.children {
+		for c := nd.firstChild; c != -1; c = t.nodes[c].nextSibling {
 			stack = append(stack, c)
 		}
 	}
@@ -240,13 +288,17 @@ func (t *Tree) Label(nodeIdx int) []uint32 {
 	return t.seq[occ : occ+int(nd.depth)]
 }
 
+// FirstOccurrence returns one deterministic start position (in seq) of the
+// repeat rooted at the given node — the first-child-path leaf's suffix —
+// without walking the whole subtree like Occurrences does.
+func (t *Tree) FirstOccurrence(nodeIdx int) int {
+	return t.firstLeafSuffix(int32(nodeIdx))
+}
+
 func (t *Tree) firstLeafSuffix(nodeIdx int32) int {
 	cur := nodeIdx
-	for len(t.nodes[cur].children) > 0 {
-		for _, c := range t.nodes[cur].children {
-			cur = c
-			break
-		}
+	for t.nodes[cur].firstChild != -1 {
+		cur = t.nodes[cur].firstChild
 	}
 	return len(t.seq) - int(t.nodes[cur].depth)
 }
@@ -274,7 +326,7 @@ func ReductionRatio(length, count int) float64 {
 func (t *Tree) Validate() error {
 	for idx := 1; idx < len(t.nodes); idx++ {
 		nd := &t.nodes[idx]
-		if len(nd.children) == 0 {
+		if nd.firstChild == -1 {
 			continue
 		}
 		label := t.Label(idx)

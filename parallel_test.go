@@ -3,6 +3,7 @@ package calibro
 import (
 	"bytes"
 	"reflect"
+	"sync"
 	"testing"
 )
 
@@ -51,6 +52,62 @@ func TestBuildDeterministicAcrossWorkers(t *testing.T) {
 		if !bytes.Equal(images[1], images[j]) {
 			t.Errorf("image built at -j %d differs from -j 1 (%d vs %d bytes)",
 				j, len(images[j]), len(images[1]))
+		}
+	}
+}
+
+// TestConcurrentBuildsShareScratch runs several full builds at once, each
+// with a wide worker pool, sharded detection, and a live tracer. The
+// compile and cache-hashing hot paths hand out scratch buffers from
+// package-level sync.Pools, so concurrent builds recycle each other's
+// buffers — this test is the race-detector surface for that sharing (and
+// for the striped tracer and batched task pickup underneath), and pins
+// that every concurrent build still produces the same bytes as a serial
+// single-worker build.
+func TestConcurrentBuildsShareScratch(t *testing.T) {
+	app := wechatApp(t)
+
+	ref := CTOLTBOPl(8)
+	ref.Workers = 1
+	ref.DetectShards = 4
+	refRes, err := Build(app, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MarshalImage(refRes.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const builds = 4
+	images := make([][]byte, builds)
+	errs := make([]error, builds)
+	var wg sync.WaitGroup
+	for g := 0; g < builds; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cfg := CTOLTBOPl(8)
+			cfg.Workers = 8
+			cfg.DetectShards = 4
+			cfg.VerifyImage = true
+			cfg.Tracer = NewTracer()
+			res, err := Build(app, cfg)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			images[g], errs[g] = MarshalImage(res.Image)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < builds; g++ {
+		if errs[g] != nil {
+			t.Fatalf("concurrent build %d: %v", g, errs[g])
+		}
+		if !bytes.Equal(images[g], want) {
+			t.Errorf("concurrent build %d differs from serial reference (%d vs %d bytes)",
+				g, len(images[g]), len(want))
 		}
 	}
 }

@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: ci build vet lint test test-short race fuzz bench bench-obs bench-cache bench-smoke serve-smoke
+.PHONY: ci build vet lint test test-short race fuzz bench bench-obs bench-cache bench-smoke serve-smoke replay-smoke bench-serve
 
 # ci is the gate every change must pass: compile everything, lint
 # everything (vet always, staticcheck when installed), run the full test
 # suite, run the short suite under the race detector (the build pipeline
 # fans out per-method work since -j), smoke the observability benchmarks,
-# and smoke the serving daemon.
-ci: build lint test race bench-smoke serve-smoke
+# smoke the serving daemon, and replay the fixed-seed workload with its
+# asserted served/rejected counts.
+ci: build lint test race bench-smoke serve-smoke replay-smoke
 
 build:
 	$(GO) build ./...
@@ -75,3 +76,16 @@ bench-smoke:
 # SIGTERM drain.
 serve-smoke:
 	GO=$(GO) sh scripts/serve_smoke.sh
+
+# replay-smoke replays the fixed-seed calibroload workload against a
+# fresh daemon and asserts the exact served/413 split the seed dictates,
+# plus the prom exposition, a per-job trace, and the JSON event log.
+replay-smoke:
+	GO=$(GO) sh scripts/replay_smoke.sh
+
+# bench-serve replays the seeded serving workload at full scale and
+# appends client-observed latency percentiles, queue wait, cache hit
+# rate, and served/rejected counts to BENCH_serve.json (host CPU count
+# stamped alongside, via cmd/benchjson -append).
+bench-serve:
+	GO=$(GO) sh scripts/bench_serve.sh

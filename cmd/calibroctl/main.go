@@ -13,9 +13,10 @@
 //	stats    print a finished job's build stats JSON
 //	fetch    download a finished job's OAT image
 //	lint     print a finished job's lint findings
+//	trace    print a job's lifecycle trace (Chrome trace JSON)
 //	cancel   cancel a job
 //	health   print the daemon's /healthz
-//	metrics  print the daemon's /metrics
+//	metrics  print the daemon's /metrics (-prom for Prometheus text)
 //
 // submit prints the bare job ID on stdout so shells can do
 // `id=$(calibroctl submit -app Taobao)`; everything else prints JSON.
@@ -44,14 +45,16 @@ func usage(errOut io.Writer) {
 commands:
   submit   -app NAME | -dex FILE  [-config C] [-scale F] [-trees N] [-shards N]
            [-rounds N] [-dedup] [-j N] [-runs N] [-verify] [-lint] [-timeout d]
+           [-version N] [-delta F]
   wait     JOB [-poll d]
   status   JOB
   stats    JOB
   fetch    JOB -o FILE
   lint     JOB
+  trace    JOB
   cancel   JOB
   health
-  metrics`)
+  metrics  [-prom]`)
 }
 
 func run(args []string, out, errOut io.Writer) int {
@@ -84,6 +87,8 @@ func run(args []string, out, errOut io.Writer) int {
 		err = c.getJSON1(rest, "stats", "/stats")
 	case "lint":
 		err = c.getJSON1(rest, "lint", "/lint")
+	case "trace":
+		err = c.getJSON1(rest, "trace", "/trace")
 	case "fetch":
 		err = c.fetch(rest)
 	case "cancel":
@@ -91,7 +96,7 @@ func run(args []string, out, errOut io.Writer) int {
 	case "health":
 		err = c.getJSON("/healthz")
 	case "metrics":
-		err = c.getJSON("/metrics")
+		err = c.metrics(rest)
 	default:
 		fmt.Fprintf(errOut, "calibroctl: unknown command %q\n", cmd)
 		usage(errOut)
@@ -150,6 +155,8 @@ func (c *client) submit(args []string) error {
 		verify  = fs.Bool("verify", false, "fail the build on lint findings")
 		lint    = fs.Bool("lint", false, "lint the image and attach findings")
 		timeout = fs.Duration("timeout", 0, "job deadline; 0 = server maximum")
+		version = fs.Int("version", 0, "app-update version of the profile; 0 = base release")
+		delta   = fs.Float64("delta", 0, "fraction of methods changed per version step; 0 = server default 0.10")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -194,6 +201,12 @@ func (c *client) submit(args []string) error {
 	}
 	if *timeout > 0 {
 		req["timeout_ms"] = timeout.Milliseconds()
+	}
+	if *version > 0 {
+		req["version"] = *version
+	}
+	if *delta > 0 {
+		req["delta"] = *delta
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -285,6 +298,20 @@ func (c *client) getJSON(path string) error {
 	_, err = io.Copy(c.out, resp.Body)
 	resp.Body.Close()
 	return err
+}
+
+// metrics relays /metrics, optionally in the Prometheus text format.
+func (c *client) metrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	fs.SetOutput(c.errOut)
+	prom := fs.Bool("prom", false, "fetch the Prometheus text exposition instead of JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *prom {
+		return c.getJSON("/metrics?format=prom")
+	}
+	return c.getJSON("/metrics")
 }
 
 func (c *client) fetch(args []string) error {

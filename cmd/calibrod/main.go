@@ -11,7 +11,13 @@
 //	calibrod [-addr host:port] [-queue N] [-jobs N] [-j N]
 //	         [-max-job-time d] [-scale f] [-cache] [-cache-dir DIR]
 //	         [-cache-max-entries N] [-cache-max-bytes N]
-//	         [-drain-timeout d]
+//	         [-drain-timeout d] [-log FILE] [-max-body N] [-retention N]
+//
+// -log enables structured JSON job and access logs ("-" for stderr);
+// logging is off by default and strictly observational — images are
+// byte-identical with it on or off. /metrics?format=prom exposes the
+// serving counters in the Prometheus text format; GET /jobs/{id}/trace
+// serves one job's lifecycle as Chrome trace JSON.
 //
 // On SIGINT/SIGTERM the daemon stops admission, drains queued and
 // running jobs (up to -drain-timeout, then force-cancels), and exits 0.
@@ -57,6 +63,9 @@ func run(args []string, out io.Writer) error {
 		cacheMaxEnt  = fs.Int("cache-max-entries", 0, "evict oldest cache entries beyond this count; 0 = unbounded")
 		cacheMaxB    = fs.Int64("cache-max-bytes", 0, "evict oldest cache entries beyond this many bytes; 0 = unbounded")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long to let jobs finish on shutdown before force-cancelling")
+		logPath      = fs.String("log", "", "write JSON-lines job/access logs to this file (\"-\" = stderr); off when empty")
+		maxBody      = fs.Int64("max-body", 0, "submit body size limit in bytes; over it is HTTP 413; 0 = 64MiB default")
+		retention    = fs.Int("retention", 0, "terminal jobs kept pollable before FIFO eviction; 0 = 1024, negative = unbounded")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +81,20 @@ func run(args []string, out io.Writer) error {
 		MaxJobTime:   *maxJobTime,
 		Scale:        *scale,
 		Tracer:       obs.New(),
+		MaxBody:      *maxBody,
+		Retention:    *retention,
+	}
+	if *logPath != "" {
+		w := io.Writer(os.Stderr)
+		if *logPath != "-" {
+			f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		cfg.Log = serve.NewEventLogger(w)
 	}
 	if *useCache || *cacheDir != "" {
 		var c *cache.Cache

@@ -32,26 +32,26 @@ type traceFile struct {
 
 func us(d int64) float64 { return float64(d) / 1e3 } // ns -> µs
 
-// WriteTrace emits the recording as Chrome trace-event JSON. Lane 0 is
-// named "build" and lanes 1..W "worker k"; span events are sorted by
-// start timestamp (metadata first), every span carries pid/tid/ts/dur.
-// A nil tracer writes a valid empty trace.
-func (t *Tracer) WriteTrace(w io.Writer) error {
-	spans, _, maxLane := t.snapshotState()
+// WriteTraceRecords renders an arbitrary span log as Chrome trace-event
+// JSON: one ph "M" metadata event per named lane, then the spans sorted
+// by start timestamp. It is the shared backend of Tracer.WriteTrace and
+// of callers that synthesize their own small span sets (the serving
+// layer's per-job traces). The spans slice is sorted in place.
+func WriteTraceRecords(w io.Writer, spans []SpanRecord, laneNames map[int]string) error {
 	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
 
-	events := make([]traceEvent, 0, len(spans)+maxLane+1)
-	if t != nil {
-		for lane := 0; lane <= maxLane; lane++ {
-			name := "build"
-			if lane > 0 {
-				name = fmt.Sprintf("worker %d", lane)
-			}
-			events = append(events, traceEvent{
-				Name: "thread_name", Ph: "M", PID: 1, TID: lane,
-				Args: map[string]string{"name": name},
-			})
-		}
+	lanes := make([]int, 0, len(laneNames))
+	for lane := range laneNames {
+		lanes = append(lanes, lane)
+	}
+	sort.Ints(lanes)
+
+	events := make([]traceEvent, 0, len(spans)+len(lanes))
+	for _, lane := range lanes {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: lane,
+			Args: map[string]string{"name": laneNames[lane]},
+		})
 	}
 	for _, s := range spans {
 		ev := traceEvent{Name: s.Name, Cat: s.Cat, PID: 1, TID: s.Lane, TS: us(s.Start.Nanoseconds())}
@@ -72,14 +72,41 @@ func (t *Tracer) WriteTrace(w io.Writer) error {
 	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
 }
 
+// WriteTrace emits the recording as Chrome trace-event JSON. Lane 0 is
+// named "build", lanes 1..W "worker k", and negative (service) lanes
+// "serve"; span events are sorted by start timestamp (metadata first),
+// every span carries pid/tid/ts/dur. A nil tracer writes a valid empty
+// trace.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	spans, _, maxLane := t.snapshotState()
+	laneNames := map[int]string{}
+	if t != nil {
+		for lane := 0; lane <= maxLane; lane++ {
+			name := "build"
+			if lane > 0 {
+				name = fmt.Sprintf("worker %d", lane)
+			}
+			laneNames[lane] = name
+		}
+		for _, s := range spans {
+			if s.Lane < 0 {
+				laneNames[s.Lane] = "serve"
+			}
+		}
+	}
+	return WriteTraceRecords(w, spans, laneNames)
+}
+
 // TaskStats is a duration distribution over one task category (or its
-// queue waits): count, total, and nearest-rank p50/p95/max, all in
-// microseconds.
+// queue waits): count, total, and nearest-rank p50/p95/p99/max, all in
+// microseconds. Percentiles are histogram-quantized (bucket upper
+// bounds); count, total, and max are exact.
 type TaskStats struct {
 	Count   int   `json:"count"`
 	TotalUS int64 `json:"total_us"`
 	P50US   int64 `json:"p50_us"`
 	P95US   int64 `json:"p95_us"`
+	P99US   int64 `json:"p99_us"`
 	MaxUS   int64 `json:"max_us"`
 }
 
@@ -111,8 +138,9 @@ type Snapshot struct {
 	Counters map[string]int64 `json:"counters"`
 }
 
-// Snapshot reduces the recording to flat metrics. A nil tracer yields an
-// empty (but usable) snapshot.
+// Snapshot reduces the recording to flat metrics. Spans on negative
+// (service) lanes are serving-layer annotations, not pool work, and are
+// excluded. A nil tracer yields an empty (but usable) snapshot.
 func (t *Tracer) Snapshot() *Snapshot {
 	spans, counters, _ := t.snapshotState()
 	snap := &Snapshot{
@@ -125,10 +153,13 @@ func (t *Tracer) Snapshot() *Snapshot {
 		snap.Counters = map[string]int64{}
 	}
 
-	taskDurs := map[string][]int64{}  // cat -> run µs
-	queueDurs := map[string][]int64{} // cat -> queue µs
+	taskDist := map[string]*Histogram{}  // cat -> run µs
+	queueDist := map[string]*Histogram{} // cat -> queue µs
 	laneBusy := map[int]*LaneOccupancy{}
 	for _, s := range spans {
+		if s.Lane < 0 {
+			continue
+		}
 		if end := (s.Start + s.Dur).Microseconds(); end > snap.WallUS {
 			snap.WallUS = end
 		}
@@ -141,9 +172,19 @@ func (t *Tracer) Snapshot() *Snapshot {
 			}
 			continue
 		}
-		taskDurs[s.Cat] = append(taskDurs[s.Cat], s.Dur.Microseconds())
+		hd := taskDist[s.Cat]
+		if hd == nil {
+			hd = &Histogram{}
+			taskDist[s.Cat] = hd
+		}
+		hd.Observe(s.Dur.Microseconds())
 		if q, ok := s.Args["queue_us"]; ok {
-			queueDurs[s.Cat] = append(queueDurs[s.Cat], q)
+			qd := queueDist[s.Cat]
+			if qd == nil {
+				qd = &Histogram{}
+				queueDist[s.Cat] = qd
+			}
+			qd.Observe(q)
 		}
 		lo := laneBusy[s.Lane]
 		if lo == nil {
@@ -153,11 +194,11 @@ func (t *Tracer) Snapshot() *Snapshot {
 		lo.Tasks++
 		lo.BusyUS += s.Dur.Microseconds()
 	}
-	for cat, ds := range taskDurs {
-		snap.Tasks[cat] = distStats(ds)
+	for cat, h := range taskDist {
+		snap.Tasks[cat] = h.Stats()
 	}
-	for cat, ds := range queueDurs {
-		snap.QueueWait[cat] = distStats(ds)
+	for cat, h := range queueDist {
+		snap.QueueWait[cat] = h.Stats()
 	}
 	for _, lo := range laneBusy {
 		if snap.WallUS > 0 {
@@ -176,35 +217,14 @@ func (t *Tracer) WriteMetrics(w io.Writer) error {
 	return enc.Encode(t.Snapshot())
 }
 
-// Dist reduces a sample of microsecond durations to TaskStats — the same
-// nearest-rank reduction Snapshot applies to task categories, exported
-// for callers (the serving layer's queue-wait samples) that collect their
-// own distributions. The input is not modified.
+// Dist reduces a sample of microsecond durations to TaskStats through the
+// same bounded histogram every other percentile in the system goes
+// through, so ad-hoc collectors (benchmark harnesses, replay clients)
+// report comparably quantized numbers. The input is not modified.
 func Dist(us []int64) TaskStats {
-	return distStats(append([]int64(nil), us...))
-}
-
-// distStats computes nearest-rank percentiles over a duration sample.
-func distStats(ds []int64) TaskStats {
-	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
-	st := TaskStats{Count: len(ds)}
-	for _, d := range ds {
-		st.TotalUS += d
+	var h Histogram
+	for _, v := range us {
+		h.Observe(v)
 	}
-	if len(ds) == 0 {
-		return st
-	}
-	st.P50US = ds[rank(len(ds), 50)]
-	st.P95US = ds[rank(len(ds), 95)]
-	st.MaxUS = ds[len(ds)-1]
-	return st
-}
-
-// rank returns the nearest-rank index for percentile p over n samples.
-func rank(n, p int) int {
-	r := (n*p + 99) / 100 // ceil(n*p/100)
-	if r < 1 {
-		r = 1
-	}
-	return r - 1
+	return h.Stats()
 }

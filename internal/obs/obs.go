@@ -42,6 +42,13 @@ import (
 	"time"
 )
 
+// LaneServe is the conventional lane for serving-layer annotation spans
+// (job lifecycle intervals recorded by calibrod). Negative lanes are
+// "service lanes": WriteTrace names them "serve", and Snapshot excludes
+// them from task distributions and worker occupancy — they describe what
+// the daemon did *around* builds, not pool work.
+const LaneServe = -1
+
 // SpanRecord is one completed span (or instant event) as recorded.
 type SpanRecord struct {
 	Name  string
@@ -170,6 +177,26 @@ func hashName(s string) uint32 {
 		h = (h ^ uint32(s[i])) * 16777619
 	}
 	return h
+}
+
+// SpanAt records a completed span post-hoc from wall-clock endpoints —
+// the vehicle for callers (the serving layer) that learn a span's bounds
+// from their own timestamps rather than bracketing the work with
+// Start/End. Endpoints before the tracer's epoch clamp to it; an end
+// before its start records a zero-duration span.
+func (t *Tracer) SpanAt(cat, name string, lane int, start, end time.Time, args map[string]int64) {
+	if t == nil {
+		return
+	}
+	s := start.Sub(t.t0)
+	if s < 0 {
+		s = 0
+	}
+	d := end.Sub(start)
+	if d < 0 {
+		d = 0
+	}
+	t.record(SpanRecord{Name: name, Cat: cat, Lane: lane, Start: s, Dur: d, Args: args})
 }
 
 // Instant records a point event carrying args — the vehicle for per-group

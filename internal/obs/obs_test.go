@@ -196,7 +196,10 @@ func TestSnapshot(t *testing.T) {
 	if !ok {
 		t.Fatalf("no compile task stats: %v", snap.Tasks)
 	}
-	if ts.Count != 2 || ts.TotalUS != 70 || ts.P50US != 30 || ts.P95US != 40 || ts.MaxUS != 40 {
+	// Percentiles are histogram-quantized: 30µs lands in the (28,32]
+	// bucket and reports its upper bound; 40µs is itself a bound; max is
+	// exact.
+	if ts.Count != 2 || ts.TotalUS != 70 || ts.P50US != 32 || ts.P95US != 40 || ts.MaxUS != 40 {
 		t.Errorf("compile stats: %+v", ts)
 	}
 	qs := snap.QueueWait["compile"]
@@ -234,17 +237,57 @@ func TestWriteMetricsRoundTrip(t *testing.T) {
 	}
 }
 
-// TestRank pins the nearest-rank percentile at small sample counts.
-func TestRank(t *testing.T) {
-	cases := []struct{ n, p, want int }{
-		{1, 50, 0}, {1, 95, 0},
-		{2, 50, 0}, {2, 95, 1},
-		{10, 50, 4}, {10, 95, 9}, {10, 100, 9},
-		{100, 95, 94}, {100, 50, 49},
+// TestSpanAtAndServiceLanes drives the post-hoc span entry point: spans
+// land with clamped bounds, service-lane spans show in the trace under a
+// "serve" lane but never in the snapshot's worker aggregation.
+func TestSpanAtAndServiceLanes(t *testing.T) {
+	tr := New()
+	start := time.Now()
+	tr.SpanAt("job", "queued", LaneServe, start, start.Add(2*time.Millisecond),
+		map[string]int64{"job": 7})
+	tr.Task("compile", "m0", 0, time.Microsecond, time.Millisecond)
+
+	spans, _, _ := tr.snapshotState()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
 	}
-	for _, c := range cases {
-		if got := rank(c.n, c.p); got != c.want {
-			t.Errorf("rank(%d,%d) = %d, want %d", c.n, c.p, got, c.want)
+	var svc *SpanRecord
+	for i := range spans {
+		if spans[i].Lane == LaneServe {
+			svc = &spans[i]
+		}
+	}
+	if svc == nil {
+		t.Fatal("no service-lane span recorded")
+	}
+	if svc.Name != "queued" || svc.Args["job"] != 7 || svc.Dur < 2*time.Millisecond {
+		t.Errorf("service span: %+v", svc)
+	}
+
+	snap := tr.Snapshot()
+	if _, ok := snap.Tasks["job"]; ok {
+		t.Error("service-lane span leaked into task stats")
+	}
+	for _, w := range snap.Workers {
+		if w.Lane < 0 {
+			t.Errorf("service lane %d in worker occupancy", w.Lane)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"serve"`) {
+		t.Error("trace does not name the service lane")
+	}
+
+	// Endpoints before the epoch clamp rather than going negative.
+	tr.SpanAt("job", "early", LaneServe, start.Add(-time.Hour), start.Add(-2*time.Hour), nil)
+	spans, _, _ = tr.snapshotState()
+	for _, s := range spans {
+		if s.Name == "early" && (s.Start < 0 || s.Dur < 0) {
+			t.Errorf("unclamped early span: %+v", s)
 		}
 	}
 }

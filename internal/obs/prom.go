@@ -1,0 +1,174 @@
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4): "# HELP"/"# TYPE" headers per family, one sample per
+// line, label values escaped. It exists so the serving layer can expose
+// its counters and histograms to a standard scraper without taking a
+// client-library dependency — the format is small and this writer
+// enforces the parts scrapers actually reject: metric-name syntax,
+// duplicate family registration, and samples outside a family.
+//
+// Output is deterministic for deterministic inputs: families appear in
+// registration order and callers pass labels as ordered pairs, so a
+// golden test can parse (and diff) the exposition byte for byte.
+
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Label is one exposition label pair, ordered by the caller.
+type Label struct{ Key, Value string }
+
+// PromWriter writes one exposition document. Errors are sticky: the
+// first write or validation failure is remembered and every later call
+// is a no-op, so call sites chain without per-line checks and read Err
+// once at the end.
+type PromWriter struct {
+	w        io.Writer
+	err      error
+	families map[string]bool
+	cur      string // family currently open for samples
+	curTyp   string
+}
+
+// NewPromWriter returns a writer targeting w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, families: map[string]bool{}}
+}
+
+// Err returns the first error the writer hit, nil if none.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = fmt.Errorf("prom: "+format, args...)
+	}
+}
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// validName reports whether s is a legal metric or label name
+// ([a-zA-Z_:][a-zA-Z0-9_:]*; labels additionally may not contain ':',
+// which the caller's names never do either, so one check serves both).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// Family opens a metric family: writes its HELP and TYPE lines and makes
+// it the target of subsequent Sample/Histo calls. Registering the same
+// family twice, or an invalid name or type, is an error — the exact
+// mistakes that make a scraper drop the whole scrape.
+func (p *PromWriter) Family(name, typ, help string) {
+	if p.err != nil {
+		return
+	}
+	if !validName(name) {
+		p.fail("invalid metric family name %q", name)
+		return
+	}
+	switch typ {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+	default:
+		p.fail("invalid type %q for family %s", typ, name)
+		return
+	}
+	if p.families[name] {
+		p.fail("duplicate metric family %s", name)
+		return
+	}
+	p.families[name] = true
+	p.cur, p.curTyp = name, typ
+	if help != "" {
+		p.printf("# HELP %s %s\n", name, strings.ReplaceAll(help, "\n", " "))
+	}
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Sample writes one sample of the open family. suffix extends the family
+// name ("" for plain counters/gauges, "_bucket"/"_sum"/"_count" inside
+// histograms, written by Histo).
+func (p *PromWriter) Sample(suffix string, labels []Label, value float64) {
+	if p.err != nil {
+		return
+	}
+	if p.cur == "" {
+		p.fail("sample before any Family")
+		return
+	}
+	var lb strings.Builder
+	for i, l := range labels {
+		if !validName(l.Key) || strings.Contains(l.Key, ":") {
+			p.fail("invalid label name %q on %s", l.Key, p.cur)
+			return
+		}
+		if i > 0 {
+			lb.WriteByte(',')
+		}
+		fmt.Fprintf(&lb, `%s="%s"`, l.Key, escapeLabel(l.Value))
+	}
+	if lb.Len() > 0 {
+		p.printf("%s%s{%s} %s\n", p.cur, suffix, lb.String(), formatValue(value))
+	} else {
+		p.printf("%s%s %s\n", p.cur, suffix, formatValue(value))
+	}
+}
+
+// formatValue renders a sample value the way Prometheus expects: shortest
+// round-trip float, integers without an exponent.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Histo writes the open histogram family's _bucket/_sum/_count series
+// from a bounded Histogram whose samples are microseconds, scaled to
+// seconds (the Prometheus base unit for durations). Buckets stop at the
+// one containing the observed maximum; the +Inf bucket always carries
+// the total count.
+func (p *PromWriter) Histo(labels []Label, h *Histogram) {
+	if p.err != nil {
+		return
+	}
+	if p.curTyp != "histogram" {
+		p.fail("Histo on %s family %s", p.curTyp, p.cur)
+		return
+	}
+	bl := make([]Label, len(labels), len(labels)+1)
+	copy(bl, labels)
+	h.Each(func(leUS int64, cum uint64) {
+		le := strconv.FormatFloat(float64(leUS)/1e6, 'g', -1, 64)
+		p.Sample("_bucket", append(bl, Label{"le", le}), float64(cum))
+	})
+	p.Sample("_bucket", append(bl, Label{"le", "+Inf"}), float64(h.Count()))
+	p.Sample("_sum", labels, float64(h.SumUS())/1e6)
+	p.Sample("_count", labels, float64(h.Count()))
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPromWriterBasics: families render HELP/TYPE once, samples carry
+// escaped labels, and values format without exponents for integers.
+func TestPromWriterBasics(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Family("calibrod_jobs_total", "counter", "Jobs by terminal state.")
+	p.Sample("", []Label{{"state", "done"}}, 42)
+	p.Sample("", []Label{{"state", `we"ird\state`}}, 1)
+	p.Family("calibrod_queue_depth", "gauge", "")
+	p.Sample("", nil, 3)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP calibrod_jobs_total Jobs by terminal state.\n",
+		"# TYPE calibrod_jobs_total counter\n",
+		`calibrod_jobs_total{state="done"} 42` + "\n",
+		`calibrod_jobs_total{state="we\"ird\\state"} 1` + "\n",
+		"# TYPE calibrod_queue_depth gauge\n",
+		"calibrod_queue_depth 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The empty-help family has no HELP line.
+	if strings.Contains(out, "# HELP calibrod_queue_depth") {
+		t.Error("HELP line written for empty help")
+	}
+}
+
+// TestPromWriterRejects: the validation cases that would poison a scrape.
+func TestPromWriterRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		use  func(p *PromWriter)
+	}{
+		{"duplicate family", func(p *PromWriter) {
+			p.Family("x_total", "counter", "")
+			p.Family("x_total", "counter", "")
+		}},
+		{"bad family name", func(p *PromWriter) { p.Family("2bad", "counter", "") }},
+		{"bad type", func(p *PromWriter) { p.Family("ok_total", "meter", "") }},
+		{"sample before family", func(p *PromWriter) { p.Sample("", nil, 1) }},
+		{"bad label name", func(p *PromWriter) {
+			p.Family("ok_total", "counter", "")
+			p.Sample("", []Label{{"0bad", "v"}}, 1)
+		}},
+		{"histo on counter", func(p *PromWriter) {
+			p.Family("ok_total", "counter", "")
+			p.Histo(nil, &Histogram{})
+		}},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		p := NewPromWriter(&buf)
+		tc.use(p)
+		if p.Err() == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+// TestPromWriterHistogram: the bucket series is cumulative, le values
+// ascend, +Inf carries the total, and _sum/_count agree with the source.
+func TestPromWriterHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{500, 1500, 2_000_000, 30} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Family("calibrod_job_duration_seconds", "histogram", "End-to-end job latency.")
+	p.Histo(nil, &h)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var lastCum float64 = -1
+	infSeen := false
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "calibrod_job_duration_seconds_bucket") {
+			continue
+		}
+		var cum float64
+		if _, err := parseSampleValue(line, &cum); err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if cum < lastCum {
+			t.Errorf("bucket counts not cumulative at %q", line)
+		}
+		lastCum = cum
+		if strings.Contains(line, `le="+Inf"`) {
+			infSeen = true
+			if cum != 4 {
+				t.Errorf("+Inf bucket = %v, want 4", cum)
+			}
+		}
+	}
+	if !infSeen {
+		t.Error("no +Inf bucket")
+	}
+	if !strings.Contains(out, "calibrod_job_duration_seconds_count 4\n") {
+		t.Errorf("missing _count in:\n%s", out)
+	}
+}
+
+// parseSampleValue extracts the float value of one exposition sample
+// line.
+func parseSampleValue(line string, out *float64) (string, error) {
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		return "", errors.New("no value field")
+	}
+	v, err := strconv.ParseFloat(line[i+1:], 64)
+	if err != nil {
+		return "", err
+	}
+	*out = v
+	return line[:i], nil
+}

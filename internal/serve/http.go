@@ -10,11 +10,12 @@
 //	GET    /jobs/{id}/image  fetch the linked OAT image bytes
 //	GET    /jobs/{id}/stats  fetch the Table-6-style JobStats
 //	GET    /jobs/{id}/lint   fetch the lint findings (when requested)
+//	GET    /jobs/{id}/trace  fetch the job's lifecycle trace (Chrome JSON)
 //	GET    /healthz          liveness + drain state
-//	GET    /metrics          Metrics JSON
+//	GET    /metrics          Metrics JSON (?format=prom for Prometheus text)
 //
 // Backpressure is visible at the edge: a full queue answers 429 with a
-// Retry-After hint, a draining server answers 503.
+// Retry-After hint, a draining server answers 503, an oversized body 413.
 
 package serve
 
@@ -23,13 +24,13 @@ import (
 	"errors"
 	"net/http"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// maxRequestBytes bounds a submit body; a dex payload beyond this is a
-// 400, not an OOM.
-const maxRequestBytes = 64 << 20
-
-// Handler returns the daemon's HTTP handler.
+// Handler returns the daemon's HTTP handler. When Config.Log is set,
+// every request additionally emits one http_access event after its
+// response is written.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -38,9 +39,39 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/image", s.handleImage)
 	mux.HandleFunc("GET /jobs/{id}/stats", s.handleStats)
 	mux.HandleFunc("GET /jobs/{id}/lint", s.handleLint)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	if s.cfg.Log == nil {
+		return mux
+	}
+	return s.accessLog(mux)
+}
+
+// statusWriter remembers the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// accessLog wraps the mux with one JSON access line per request. It runs
+// after the response is committed and reads nothing the handler didn't
+// already compute — logging observes, it never steers.
+func (s *Server) accessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		s.cfg.Log.Log("http_access", map[string]any{
+			"method": r.Method, "path": r.URL.Path, "status": sw.status,
+			"dur_us": time.Since(start).Microseconds(),
+		})
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -62,8 +93,14 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	if err := dec.Decode(&req); err != nil {
+		s.invalid.Add(1)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body over limit: "+err.Error())
+			return
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
@@ -81,6 +118,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case err != nil:
+		s.invalid.Add(1)
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -213,6 +251,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h)
 }
 
+// handleTrace serves the job's lifecycle span tree as Chrome trace-event
+// JSON — the same format the build-level -trace flag emits, so one
+// viewer (Perfetto, chrome://tracing) opens both.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	spans, lanes := j.traceRecords()
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteTraceRecords(w, spans, lanes) //nolint:errcheck // response committed
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Metrics())
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, s.Metrics())
+	case "prom":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WritePrometheus(w) //nolint:errcheck // response committed
+	default:
+		writeError(w, http.StatusBadRequest, "unknown metrics format "+format)
+	}
 }

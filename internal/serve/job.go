@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dex"
 	"repro/internal/oat"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -46,6 +47,13 @@ type JobRequest struct {
 	App   string  `json:"app,omitempty"`   // profile name (Toutiao .. Wechat)
 	Scale float64 `json:"scale,omitempty"` // profile scale; server default when 0
 	Dex   []byte  `json:"dex,omitempty"`   // dex container bytes or assembly text
+
+	// Version and Delta model app updates against a named profile:
+	// version V regenerates Delta of the app's methods (deterministically
+	// per version), leaving the rest byte-identical — so a warm cache hits
+	// on the unchanged majority. Delta defaults to 0.10 when Version > 0.
+	Version int     `json:"version,omitempty"`
+	Delta   float64 `json:"delta,omitempty"`
 
 	// Oat is the serialized OAT image a debloat job rewrites (base64 in
 	// JSON). Roots lists the method IDs reachability starts from; empty
@@ -85,6 +93,9 @@ func (r JobRequest) withDefaults(scale float64) JobRequest {
 	}
 	if r.Runs == 0 {
 		r.Runs = 20
+	}
+	if r.Version > 0 && r.Delta == 0 {
+		r.Delta = 0.10
 	}
 	return r
 }
@@ -127,6 +138,14 @@ func (r JobRequest) validate() error {
 		if _, ok := workload.AppByName(r.App, r.Scale); !ok {
 			return fmt.Errorf("unknown app %q", r.App)
 		}
+	}
+	switch {
+	case r.Version < 0:
+		return errors.New("version must be >= 0")
+	case r.Delta < 0 || r.Delta >= 1:
+		return errors.New("delta must be in [0, 1)")
+	case (r.Version > 0 || r.Delta > 0) && r.App == "":
+		return errors.New("version and delta apply to app profiles only")
 	}
 	return nil
 }
@@ -190,6 +209,7 @@ type FindingJSON struct {
 // job is the server-side record of one submission.
 type job struct {
 	id  string
+	seq int64 // numeric ID, the trace correlation key
 	req JobRequest
 
 	ctx    context.Context
@@ -199,6 +219,7 @@ type job struct {
 	state     string
 	errMsg    string
 	submitted time.Time
+	dequeued  time.Time // zero until a worker picks the job up
 	finished  time.Time
 	queueWait time.Duration
 	image     []byte
@@ -223,6 +244,53 @@ func (j *job) status() *JobStatus {
 	return st
 }
 
+// traceRecords synthesizes the job's lifecycle span tree for the
+// /jobs/{id}/trace endpoint from the bounded timestamps the job record
+// already holds (submitted/dequeued/finished) — nothing per-span is
+// stored, so a long-lived daemon's memory does not grow with trace
+// detail. The tree is: a root span covering the job's whole life, a
+// "queued" child, a "build" child once a worker picked the job up, and
+// an instant event at the terminal transition named by outcome. Times
+// are relative to submission; an unfinished job's open spans end "now".
+func (j *job) traceRecords() ([]obs.SpanRecord, map[int]string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	rel := func(t time.Time) time.Duration {
+		d := t.Sub(j.submitted)
+		if d < 0 {
+			return 0
+		}
+		return d
+	}
+	args := map[string]int64{"job": j.seq, "queue_wait_us": j.queueWait.Microseconds()}
+	spans := []obs.SpanRecord{
+		{Name: "job " + j.id, Cat: "job", Lane: 0, Start: 0, Dur: rel(end), Args: args},
+	}
+	qEnd := j.dequeued
+	if qEnd.IsZero() {
+		qEnd = end // still queued (or canceled before pickup)
+	}
+	spans = append(spans, obs.SpanRecord{
+		Name: "queued", Cat: "job", Lane: 0, Start: 0, Dur: rel(qEnd),
+	})
+	if !j.dequeued.IsZero() {
+		spans = append(spans, obs.SpanRecord{
+			Name: "build", Cat: "job", Lane: 0, Start: rel(j.dequeued),
+			Dur: rel(end) - rel(j.dequeued),
+		})
+	}
+	if !j.finished.IsZero() {
+		spans = append(spans, obs.SpanRecord{
+			Name: j.state, Cat: "job", Lane: 0, Start: rel(j.finished), Inst: true,
+		})
+	}
+	return spans, map[int]string{0: "job " + j.id}
+}
+
 // buildOutput is what a successful build hands the job record.
 type buildOutput struct {
 	image []byte
@@ -238,6 +306,9 @@ func loadApp(req JobRequest) (*dex.App, *workload.Manifest, error) {
 		prof, ok := workload.AppByName(req.App, req.Scale)
 		if !ok {
 			return nil, nil, fmt.Errorf("unknown app %q", req.App)
+		}
+		if req.Version > 0 || req.Delta > 0 {
+			prof = workload.Update(prof, req.Version, req.Delta)
 		}
 		return workload.Generate(prof)
 	}

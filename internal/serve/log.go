@@ -1,0 +1,53 @@
+// Structured job and access logging. The daemon's log is JSON lines —
+// one object per event, machine-splittable, with a stable "event" field
+// naming the shape — because a fleet scheduler tails logs with a parser,
+// not with eyes. Logging is off by default and strictly observational:
+// the logger runs after state transitions commit, touches only its own
+// writer under its own mutex, and feeds nothing back into admission,
+// scheduling, or build output. TestLoggingDeterminism pins that a build
+// with logging on is byte-identical to one without.
+
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventLogger writes JSON-lines events. Safe for concurrent use; a nil
+// *EventLogger discards everything, so call sites need no "is logging
+// on" branch.
+type EventLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewEventLogger returns a logger targeting w.
+func NewEventLogger(w io.Writer) *EventLogger {
+	return &EventLogger{w: w}
+}
+
+// Log writes one event line: {"ts": ..., "event": event, ...fields}.
+// Field keys are sorted by the JSON encoder, so lines are deterministic
+// for deterministic fields. Write errors are swallowed — a full log disk
+// must not fail builds.
+func (l *EventLogger) Log(event string, fields map[string]any) {
+	if l == nil {
+		return
+	}
+	if fields == nil {
+		fields = map[string]any{}
+	}
+	fields["ts"] = time.Now().UTC().Format(time.RFC3339Nano)
+	fields["event"] = event
+	line, err := json.Marshal(fields)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	l.w.Write(line) //nolint:errcheck // logging must never fail the serving path
+	l.mu.Unlock()
+}

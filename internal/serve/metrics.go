@@ -27,10 +27,14 @@ type Metrics struct {
 	JobsFailed   int64 `json:"jobs_failed"`
 	JobsCanceled int64 `json:"jobs_canceled"`
 	JobsRejected int64 `json:"jobs_rejected"`
+	JobsInvalid  int64 `json:"jobs_invalid"`
 
 	// QueueWait is the distribution of time dequeued jobs spent waiting
-	// for a worker (p50/p95/max, µs).
-	QueueWait obs.TaskStats `json:"queue_wait"`
+	// for a worker; JobDuration the end-to-end submit-to-terminal latency
+	// (p50/p95/p99/max, µs). Both come from bounded histograms, so their
+	// memory does not grow with job count.
+	QueueWait   obs.TaskStats `json:"queue_wait"`
+	JobDuration obs.TaskStats `json:"job_duration"`
 
 	// Cache is the shared cache's accounting and its derived hit rate;
 	// absent when the daemon runs uncached.
@@ -54,10 +58,10 @@ func (s *Server) Metrics() *Metrics {
 		JobsFailed:   s.failed.Load(),
 		JobsCanceled: s.canceled.Load(),
 		JobsRejected: s.rejected.Load(),
+		JobsInvalid:  s.invalid.Load(),
 	}
-	s.qwMu.Lock()
-	m.QueueWait = obs.Dist(s.queueWaitUS)
-	s.qwMu.Unlock()
+	m.QueueWait = s.queueWait.Stats()
+	m.JobDuration = s.jobDur.Stats()
 	if s.cfg.Cache != nil {
 		st := s.cfg.Cache.Stats()
 		m.Cache = &st

@@ -1,0 +1,98 @@
+// Prometheus exposition of the daemon's serving state. WritePrometheus
+// renders the same facts /metrics serves as JSON — queue occupancy, job
+// totals, the bounded latency histograms, cache accounting, and the
+// tracer's stage totals — in the text format (0.0.4) a standard scraper
+// ingests. Maps are emitted in sorted key order, so two scrapes of an
+// idle daemon are byte-identical and the exposition golden test can
+// parse a stable document.
+
+package serve
+
+import (
+	"io"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// WritePrometheus renders the server's metrics in the Prometheus text
+// exposition format. It returns the first write or validation error.
+func (s *Server) WritePrometheus(w io.Writer) error {
+	p := obs.NewPromWriter(w)
+
+	p.Family("calibrod_queue_depth", "gauge", "Jobs waiting for a build worker right now.")
+	p.Sample("", nil, float64(len(s.queue)))
+	p.Family("calibrod_queue_capacity", "gauge", "Bound on the job queue; submits beyond it are rejected.")
+	p.Sample("", nil, float64(s.cfg.QueueDepth))
+	p.Family("calibrod_draining", "gauge", "1 once Drain began, else 0.")
+	if s.Draining() {
+		p.Sample("", nil, 1)
+	} else {
+		p.Sample("", nil, 0)
+	}
+	p.Family("calibrod_jobs_running", "gauge", "Jobs occupying a build worker right now.")
+	p.Sample("", nil, float64(s.running.Load()))
+
+	p.Family("calibrod_jobs_accepted_total", "counter", "Submits that entered the queue.")
+	p.Sample("", nil, float64(s.accepted.Load()))
+	p.Family("calibrod_jobs_total", "counter", "Terminal jobs by state.")
+	p.Sample("", []obs.Label{{Key: "state", Value: StateDone}}, float64(s.done.Load()))
+	p.Sample("", []obs.Label{{Key: "state", Value: StateFailed}}, float64(s.failed.Load()))
+	p.Sample("", []obs.Label{{Key: "state", Value: StateCanceled}}, float64(s.canceled.Load()))
+	p.Family("calibrod_jobs_rejected_total", "counter", "Submits refused by queue backpressure (HTTP 429).")
+	p.Sample("", nil, float64(s.rejected.Load()))
+	p.Family("calibrod_submits_invalid_total", "counter", "Submits refused as unparseable or invalid (HTTP 400/413).")
+	p.Sample("", nil, float64(s.invalid.Load()))
+
+	p.Family("calibrod_queue_wait_seconds", "histogram", "Time dequeued jobs spent waiting for a worker.")
+	p.Histo(nil, &s.queueWait)
+	p.Family("calibrod_job_duration_seconds", "histogram", "End-to-end job latency, submit to terminal state.")
+	p.Histo(nil, &s.jobDur)
+
+	if s.cfg.Cache != nil {
+		st := s.cfg.Cache.Stats()
+		p.Family("calibrod_cache_entries", "gauge", "Live cache entries.")
+		p.Sample("", nil, float64(st.Entries))
+		p.Family("calibrod_cache_mem_bytes", "gauge", "Bytes held by the in-memory cache tier.")
+		p.Sample("", nil, float64(st.MemBytes))
+		p.Family("calibrod_cache_hits_total", "counter", "Cache lookups answered without compiling.")
+		p.Sample("", nil, float64(st.Hits))
+		p.Family("calibrod_cache_misses_total", "counter", "Cache lookups that compiled.")
+		p.Sample("", nil, float64(st.Misses))
+		p.Family("calibrod_cache_evicted_total", "counter", "Entries evicted by the memory bound.")
+		p.Sample("", nil, float64(st.Evicted))
+		p.Family("calibrod_cache_hit_ratio", "gauge", "Hits over lookups since start.")
+		p.Sample("", nil, st.HitRate())
+	}
+
+	if s.cfg.Tracer != nil {
+		snap := s.cfg.Tracer.Snapshot()
+		p.Family("calibro_stage_seconds_total", "counter", "Cumulative build-stage wall time by stage.")
+		for _, k := range sortedKeys(snap.Stages) {
+			p.Sample("", []obs.Label{{Key: "stage", Value: k}}, float64(snap.Stages[k])/1e6)
+		}
+		p.Family("calibro_tasks_total", "counter", "Worker-pool tasks completed by category.")
+		for _, k := range sortedKeys(snap.Tasks) {
+			p.Sample("", []obs.Label{{Key: "category", Value: k}}, float64(snap.Tasks[k].Count))
+		}
+		p.Family("calibro_task_seconds_total", "counter", "Cumulative worker-pool task time by category.")
+		for _, k := range sortedKeys(snap.Tasks) {
+			p.Sample("", []obs.Label{{Key: "category", Value: k}}, float64(snap.Tasks[k].TotalUS)/1e6)
+		}
+		p.Family("calibro_events_total", "counter", "Tracer counters (outliner statistics, cache events).")
+		for _, k := range sortedKeys(snap.Counters) {
+			p.Sample("", []obs.Label{{Key: "name", Value: k}}, float64(snap.Counters[k]))
+		}
+	}
+	return p.Err()
+}
+
+// sortedKeys returns m's keys ascending, for deterministic exposition.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -64,8 +64,23 @@ type Config struct {
 	// recompiling. Bound it with cache.SetLimits in a long-lived process.
 	Cache *cache.Cache
 	// Tracer, when non-nil, records every job's build telemetry into one
-	// process-wide recording, exported by /metrics.
+	// process-wide recording, exported by /metrics. Job lifecycle spans
+	// (queued, terminal state) are stitched into it on obs.LaneServe with
+	// the job's numeric ID as the "job" correlation arg.
 	Tracer *obs.Tracer
+	// Log, when non-nil, receives structured JSON job and HTTP access
+	// events. Logging observes committed state transitions and never
+	// steers admission, scheduling, or build output.
+	Log *EventLogger
+	// MaxBody bounds a submit request body in bytes; a payload beyond it
+	// is rejected with HTTP 413 before it can occupy memory. Default
+	// 64 MiB.
+	MaxBody int64
+	// Retention bounds how many terminal jobs stay pollable: beyond it,
+	// the oldest finished/failed/canceled jobs are forgotten (their
+	// endpoints answer 404). Queued and running jobs are never evicted.
+	// Default 1024; negative keeps every job forever.
+	Retention int
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +95,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Scale <= 0 {
 		c.Scale = 0.25
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 64 << 20
+	}
+	if c.Retention == 0 {
+		c.Retention = 1024
 	}
 	return c
 }
@@ -107,9 +128,10 @@ type Server struct {
 
 	wg sync.WaitGroup // build workers
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	nextID int64
+	mu      sync.Mutex
+	jobs    map[string]*job
+	nextID  int64
+	retired []string // terminal job IDs, oldest first, for Retention
 
 	running  atomic.Int64 // jobs in a worker right now
 	accepted atomic.Int64 // submits that entered the queue
@@ -117,9 +139,12 @@ type Server struct {
 	failed   atomic.Int64
 	canceled atomic.Int64
 	rejected atomic.Int64 // 429s
+	invalid  atomic.Int64 // submits refused as unparseable/invalid (400/413)
 
-	qwMu        sync.Mutex
-	queueWaitUS []int64 // queue wait of every dequeued job, µs
+	// Bounded distributions: fixed-size histograms, so a daemon serving
+	// millions of jobs holds the same few KB it held after the first one.
+	queueWait obs.Histogram // dequeue - submit, µs
+	jobDur    obs.Histogram // terminal - submit (end-to-end), µs
 }
 
 // New starts the worker pool and returns a serving Server. Callers serve
@@ -168,23 +193,40 @@ func (s *Server) submit(req JobRequest) (*job, error) {
 		cancel()
 		return nil, ErrDraining
 	}
+	// The ID must be set before the queue send: the moment the send
+	// lands, a worker may read j.seq and j.id, and the send is the only
+	// happens-before edge between submit and that worker. Submits
+	// serialize on enqMu, so un-claiming the ID on rejection keeps IDs
+	// dense.
+	s.mu.Lock()
+	s.nextID++
+	j.seq = s.nextID
+	j.id = fmt.Sprintf("j%d", s.nextID)
+	s.mu.Unlock()
 	select {
 	case s.queue <- j:
 		// Register only admitted jobs: a rejected submit leaves no trace
 		// to leak, and an admitted one is pollable the moment the submit
 		// response is written.
 		s.mu.Lock()
-		s.nextID++
-		j.id = fmt.Sprintf("j%d", s.nextID)
 		s.jobs[j.id] = j
 		s.mu.Unlock()
 		s.enqMu.Unlock()
 		s.accepted.Add(1)
+		s.cfg.Log.Log("job_accept", map[string]any{
+			"job": j.id, "kind": req.Kind, "app": req.App,
+		})
 		return j, nil
 	default:
+		s.mu.Lock()
+		s.nextID--
+		s.mu.Unlock()
 		s.enqMu.Unlock()
 		cancel()
 		s.rejected.Add(1)
+		s.cfg.Log.Log("job_reject", map[string]any{
+			"kind": req.Kind, "app": req.App, "reason": "queue_full",
+		})
 		return nil, ErrQueueFull
 	}
 }
@@ -210,10 +252,11 @@ func (s *Server) worker() {
 // job's context, so cancellation mid-build stops at the pool's next task
 // pickup.
 func (s *Server) runJob(j *job) {
-	wait := time.Since(j.submitted)
-	s.qwMu.Lock()
-	s.queueWaitUS = append(s.queueWaitUS, wait.Microseconds())
-	s.qwMu.Unlock()
+	now := time.Now()
+	wait := now.Sub(j.submitted)
+	s.queueWait.Observe(wait.Microseconds())
+	s.cfg.Tracer.SpanAt("serve", "queued", obs.LaneServe, j.submitted, now,
+		map[string]int64{"job": j.seq})
 
 	j.mu.Lock()
 	if terminal(j.state) { // cancelled while queued; already finished
@@ -221,6 +264,7 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	j.queueWait = wait
+	j.dequeued = now
 	if err := j.ctx.Err(); err != nil {
 		j.mu.Unlock()
 		s.finishJob(j, nil, err)
@@ -228,6 +272,10 @@ func (s *Server) runJob(j *job) {
 	}
 	j.state = StateRunning
 	j.mu.Unlock()
+	s.cfg.Log.Log("job_start", map[string]any{
+		"job": j.id, "kind": j.req.Kind, "app": j.req.App,
+		"queue_wait_us": wait.Microseconds(),
+	})
 
 	s.running.Add(1)
 	out, err := s.build(j.ctx, j.req, wait)
@@ -260,9 +308,47 @@ func (s *Server) finishJob(j *job, out *buildOutput, err error) {
 		j.errMsg = err.Error()
 		s.failed.Add(1)
 	}
+	state, errMsg := j.state, j.errMsg
+	started, finished := j.dequeued, j.finished
 	close(j.doneCh)
 	j.mu.Unlock()
 	j.cancel() // release the deadline timer
+
+	wall := finished.Sub(j.submitted)
+	s.jobDur.Observe(wall.Microseconds())
+	if !started.IsZero() {
+		// The run span is named by outcome, so the serve lane of the
+		// global trace reads as a timeline of terminal states.
+		s.cfg.Tracer.SpanAt("serve", string(state), obs.LaneServe,
+			started, finished, map[string]int64{"job": j.seq})
+	}
+	s.cfg.Log.Log("job_finish", map[string]any{
+		"job": j.id, "state": string(state), "wall_us": wall.Microseconds(),
+		"error": errMsg,
+	})
+	s.retire(j.id)
+}
+
+// retire records one more terminal job and evicts the oldest beyond the
+// retention window, so the jobs registry is bounded no matter how long
+// the daemon serves. Eviction only ever touches terminal jobs (retired
+// holds nothing else), so a queued or running job is never forgotten.
+func (s *Server) retire(id string) {
+	if s.cfg.Retention < 0 {
+		return
+	}
+	s.mu.Lock()
+	s.retired = append(s.retired, id)
+	for len(s.retired) > s.cfg.Retention {
+		delete(s.jobs, s.retired[0])
+		s.retired[0] = ""
+		s.retired = s.retired[1:]
+	}
+	// Don't let the sliced-off prefix pin the backing array forever.
+	if cap(s.retired) > 2*len(s.retired)+16 {
+		s.retired = append([]string(nil), s.retired...)
+	}
+	s.mu.Unlock()
 }
 
 // cancelJob delivers a client cancellation: the job's context is

@@ -52,11 +52,17 @@ func Apps(scale float64) []Profile {
 }
 
 // AppByName returns the profile with the given name at the given scale.
+// Beyond the six paper apps it also resolves "Obfuscated", the
+// adversarial high-redundancy variant (see update.go), which is kept out
+// of Apps so the experiment tables stay the paper's test set.
 func AppByName(name string, scale float64) (Profile, bool) {
 	for _, p := range Apps(scale) {
 		if p.Name == name {
 			return p, true
 		}
+	}
+	if p := obfuscatedProfile(scale); p.Name == name {
+		return p, true
 	}
 	return Profile{}, false
 }

@@ -1,0 +1,122 @@
+// App updates and adversarial variants. Real serving traffic is not six
+// static apps: stores ship frequent updates that change a few percent of
+// an app's methods, and obfuscated apps arrive with far more repetition
+// than hand-written code. Update models the first; the "Obfuscated"
+// profile (reachable through AppByName, excluded from the paper's
+// six-app Apps set) models the second.
+//
+// Update semantics: version V of a profile regenerates roughly
+// ChangedFrac of its methods per version step, chosen deterministically
+// per (seed, method, step), and leaves every other method byte-identical
+// to the previous version. That identity is what makes update traffic
+// interesting to serve: a warm content-addressed cache hits on the
+// unchanged majority and recompiles only the delta. The plain profile
+// (Version == 0, ChangedFrac == 0) keeps the original single-stream
+// generator, so existing goldens and experiments are untouched; delta
+// mode switches to per-method seeded streams, which is what makes the
+// cross-version identity possible at all.
+
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/dex"
+)
+
+// Update returns p as version `version` of the app with `changed` of its
+// methods regenerated per version step.
+func Update(p Profile, version int, changed float64) Profile {
+	p.Version = version
+	p.ChangedFrac = changed
+	return p
+}
+
+// delta reports whether the profile uses per-method generation streams.
+func (p Profile) delta() bool { return p.Version > 0 || p.ChangedFrac > 0 }
+
+// mix hashes a value sequence into an RNG seed (FNV-1a over the bytes).
+func mix(vals ...int64) int64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, v := range vals {
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(v >> (8 * i)))
+			h *= prime
+		}
+	}
+	return int64(h &^ (1 << 63))
+}
+
+// revision returns the last version step at which the method changed, 0
+// if it still carries its launch-version body. Each step redraws its own
+// hash, so successive versions accumulate independent ~ChangedFrac
+// deltas, like successive app releases do.
+func revision(p Profile, id dex.MethodID) int {
+	rev := 0
+	for u := 1; u <= p.Version; u++ {
+		x := float64(mix(p.Seed, int64(id), int64(u))%(1<<53)) / (1 << 53)
+		if x < p.ChangedFrac {
+			rev = u
+		}
+	}
+	return rev
+}
+
+// methodGen returns the generator one method's body is drawn from. In
+// delta mode every method owns a stream seeded by (app, method,
+// revision): a method whose revision did not change between versions
+// replays the identical stream and produces the identical body.
+func (g *generator) methodGen(id dex.MethodID) *generator {
+	if !g.p.delta() {
+		return g
+	}
+	r := rand.New(rand.NewSource(mix(g.p.Seed, int64(id), int64(revision(g.p, id)))))
+	return &generator{
+		p: g.p, r: r, motifs: g.motifs,
+		zipf: rand.NewZipf(r, zipfS, zipfV, uint64(g.p.MotifPool-1)),
+	}
+}
+
+// driverGen is methodGen's analogue for entry methods: seeded by the
+// driver ordinal only, so a driver's coverage sample is stable across
+// versions (drivers are the app's navigation, which updates rarely).
+func (g *generator) driverGen(d int) *generator {
+	if !g.p.delta() {
+		return g
+	}
+	r := rand.New(rand.NewSource(mix(g.p.Seed, -1, int64(d))))
+	return &generator{p: g.p, r: r, motifs: g.motifs}
+}
+
+// obfuscatedProfile is the adversarial high-redundancy variant:
+// obfuscators expand call sites and control flow through a small set of
+// templates, so the same instruction sequences recur far more often than
+// in hand-written code — a tiny motif pool drawn heavily, long motifs,
+// and little unique filler between them. It stresses the outliner's
+// candidate explosion (many overlapping repeats) rather than its
+// discovery (which this makes easy).
+func obfuscatedProfile(scale float64) Profile {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(1200 * scale)
+	if n < 20 {
+		n = 20
+	}
+	return Profile{
+		Name:    "Obfuscated",
+		Seed:    107,
+		Methods: n,
+
+		NativeFrac: 0.01,
+		SwitchFrac: 0.02,
+		HotFrac:    0.02,
+
+		MotifPool:      24,
+		MotifLen:       8,
+		MotifsPerM:     9,
+		CallSitesPerM:  6,
+		FillerPerMotif: 5,
+	}
+}

@@ -58,12 +58,19 @@ type Profile struct {
 	HotFrac    float64 // fraction with heavy loop kernels
 
 	MotifPool      int     // distinct motifs shared across the app
+	MotifLen       int     // minimum motif length (default 3)
 	MotifsPerM     int     // average motif instances per method
 	CallSitesPerM  int     // average arg-gated invoke sites per method
 	FillerPerMotif int     // average unique filler instructions per motif slot
 	HotLoopIters   int     // iterations of a hot method's kernel loop
 	WarmLoopIters  int     // iterations of an ordinary method's loop
 	DriverCoverage float64 // fraction of methods each driver calls
+
+	// Version and ChangedFrac select app-update delta mode (see
+	// update.go): version V regenerates ~ChangedFrac of the methods per
+	// version step and leaves the rest byte-identical to version V-1.
+	Version     int
+	ChangedFrac float64
 }
 
 // Manifest records generation-time ground truth used by experiments.
@@ -120,18 +127,21 @@ func Generate(p Profile) (*dex.App, *Manifest, error) {
 		addMethod(m)
 		man.Drivers = append(man.Drivers, m.ID)
 	}
-	// Regular methods.
+	// Regular methods. In delta mode each method draws from its own
+	// (app, method, revision)-seeded stream instead of the shared one, so
+	// an update regenerates exactly the methods whose revision moved.
 	first := dex.MethodID(numDrivers)
 	n := dex.MethodID(numDrivers + p.Methods)
 	for id := first; id < n; id++ {
-		hot := r.Float64() < p.HotFrac
+		gm := g.methodGen(id)
+		hot := gm.r.Float64() < p.HotFrac
 		m := &dex.Method{Name: fmt.Sprintf("m%04d", id),
 			NumRegs: numRegs, NumIns: numIns}
 		switch {
-		case r.Float64() < p.NativeFrac:
+		case gm.r.Float64() < p.NativeFrac:
 			m.Native = true
 		default:
-			g.methodBody(m, id, n, hot)
+			gm.methodBody(m, id, n, hot)
 			if hot {
 				man.Hot = append(man.Hot, id)
 			}
@@ -140,7 +150,7 @@ func Generate(p Profile) (*dex.App, *Manifest, error) {
 	}
 	// Driver bodies: call every hot method plus a sample of the rest.
 	for d := 0; d < numDrivers; d++ {
-		g.driverBody(app.Methods[d], man, first, n)
+		g.driverGen(d).driverBody(app.Methods[d], man, first, n)
 	}
 	if err := app.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("workload: generated app invalid: %w", err)
@@ -173,11 +183,18 @@ type generator struct {
 	zipf   *rand.Zipf
 }
 
+// Zipf shape of motif popularity, shared by the base generator and the
+// per-method delta streams so both draw from the same distribution.
+const (
+	zipfS = 1.4
+	zipfV = 1.0
+)
+
 // buildMotifs creates the shared motif pool. Motifs are straight-line and
 // write only scratch registers, so any motif can be dropped anywhere in a
 // method body, including loop bodies.
 func (g *generator) buildMotifs() {
-	g.zipf = rand.NewZipf(g.r, 1.4, 1.0, uint64(g.p.MotifPool-1))
+	g.zipf = rand.NewZipf(g.r, zipfS, zipfV, uint64(g.p.MotifPool-1))
 	for i := 0; i < g.p.MotifPool; i++ {
 		g.motifs = append(g.motifs, g.randomMotif())
 	}
@@ -186,7 +203,11 @@ func (g *generator) buildMotifs() {
 func (g *generator) randomMotif() []dex.Insn {
 	r := g.r
 	scratch := func() uint8 { return uint8(r.Intn(3)) }
-	n := 3 + r.Intn(8)
+	min := 3
+	if g.p.MotifLen > 0 {
+		min = g.p.MotifLen
+	}
+	n := min + r.Intn(8)
 	var code []dex.Insn
 	for len(code) < n {
 		switch r.Intn(10) {

@@ -1,0 +1,62 @@
+#!/bin/sh
+# bench_serve.sh — the serving benchmark: boot calibrod, replay the
+# seeded calibroload workload at full scale, and append the run (client
+# latency percentiles, queue wait, cache hit rate, served/rejected) to
+# BENCH_serve.json via cmd/benchjson -append, which stamps host CPU
+# count, GOMAXPROCS, and Go version next to the numbers so runs stay
+# comparable across machines.
+set -eu
+
+GO="${GO:-go}"
+DIR="$(mktemp -d)"
+LOG="$DIR/calibrod.log"
+PID=""
+
+SEED="${SEED:-1}"
+N="${N:-120}"
+RATE="${RATE:-30}"
+SCALE="${SCALE:-0.1}"
+
+cleanup() {
+	status=$?
+	if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+		kill "$PID" 2>/dev/null || true
+		wait "$PID" 2>/dev/null || true
+	fi
+	if [ "$status" -ne 0 ]; then
+		echo "bench-serve: FAILED; daemon log:" >&2
+		cat "$LOG" >&2 || true
+	fi
+	rm -rf "$DIR"
+	exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+echo "bench-serve: building binaries"
+$GO build -o "$DIR/calibrod" ./cmd/calibrod
+$GO build -o "$DIR/calibroload" ./cmd/calibroload
+
+"$DIR/calibrod" -addr 127.0.0.1:0 -scale "$SCALE" -queue 64 -jobs 2 \
+	-max-body 65536 >"$LOG" 2>&1 &
+PID=$!
+
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+	ADDR="$(sed -n 's/^calibrod: listening on //p' "$LOG")"
+	[ -n "$ADDR" ] && break
+	kill -0 "$PID" 2>/dev/null || { echo "bench-serve: calibrod died at startup" >&2; exit 1; }
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$ADDR" ] || { echo "bench-serve: calibrod never announced its address" >&2; exit 1; }
+echo "bench-serve: daemon at $ADDR, replaying seed=$SEED n=$N rate=$RATE"
+
+"$DIR/calibroload" -addr "$ADDR" -seed "$SEED" -n "$N" -rate "$RATE" -bench \
+	| $GO run ./cmd/benchjson -append -o BENCH_serve.json \
+		-note "seed=$SEED n=$N rate=$RATE scale=$SCALE"
+
+kill -TERM "$PID"
+wait "$PID" || { echo "bench-serve: calibrod exited non-zero" >&2; exit 1; }
+PID=""
+echo "bench-serve: OK"

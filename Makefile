@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: ci build vet lint test test-short race fuzz bench bench-obs bench-cache bench-smoke serve-smoke replay-smoke bench-serve
+.PHONY: ci build vet lint test test-short race fuzz bench bench-obs bench-cache bench-smoke serve-smoke replay-smoke fleet-smoke bench-serve
 
 # ci is the gate every change must pass: compile everything, lint
 # everything (vet always, staticcheck when installed), run the full test
 # suite, run the short suite under the race detector (the build pipeline
 # fans out per-method work since -j), smoke the observability benchmarks,
-# smoke the serving daemon, and replay the fixed-seed workload with its
-# asserted served/rejected counts.
-ci: build lint test race bench-smoke serve-smoke replay-smoke
+# smoke the serving daemon, replay the fixed-seed workload with its
+# asserted served/rejected counts, and smoke the multi-daemon fleet
+# against a shared calibrocached.
+ci: build lint test race bench-smoke serve-smoke replay-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -30,16 +31,22 @@ test-short:
 	$(GO) test -short ./...
 
 # race runs the short suite under the race detector; the parallel
-# per-method stages (compile, analysis, outline, verify) must stay clean.
+# per-method stages (compile, analysis, outline, verify) must stay
+# clean, as must the fleet layer's concurrent surfaces (remote-tier
+# breaker, cacheserver long-poll waiters, cross-daemon single-flight).
 race:
 	$(GO) test -race -short ./...
 
-# fuzz gives the serialization, lint, and call-graph fuzzers a short
-# budget each.
+# fuzz gives the serialization, lint, call-graph, and remote-cache wire
+# fuzzers a short budget each. FuzzRemoteFrame attacks the client half of
+# the cache protocol (hostile server responses), FuzzRemoteRequest the
+# server half (hostile client requests).
 fuzz:
 	$(GO) test ./internal/oat -run xxx -fuzz FuzzUnmarshal -fuzztime 20s
 	$(GO) test ./internal/oat -run xxx -fuzz FuzzUnmarshalLint -fuzztime 20s
 	$(GO) test ./internal/cache -run xxx -fuzz FuzzCacheEntry -fuzztime 20s
+	$(GO) test ./internal/cache -run xxx -fuzz FuzzRemoteFrame -fuzztime 20s
+	$(GO) test ./internal/cache/cacheserver -run xxx -fuzz FuzzRemoteRequest -fuzztime 20s
 	$(GO) test ./internal/analysis -run xxx -fuzz FuzzCallGraph -fuzztime 20s
 
 # bench regenerates the paper's tables and figures.
@@ -82,6 +89,13 @@ serve-smoke:
 # plus the prom exposition, a per-job trace, and the JSON event log.
 replay-smoke:
 	GO=$(GO) sh scripts/replay_smoke.sh
+
+# fleet-smoke boots one calibrocached and two calibrod daemons sharing it
+# as a remote cache tier, replays the fixed-seed workload twice (single
+# daemon, then routed across the fleet), and asserts the identical
+# served/413 split plus actual cross-daemon artifact hits.
+fleet-smoke:
+	GO=$(GO) sh scripts/fleet_smoke.sh
 
 # bench-serve replays the seeded serving workload at full scale and
 # appends client-observed latency percentiles, queue wait, cache hit

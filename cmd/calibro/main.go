@@ -8,7 +8,7 @@
 //	calibro -app Wechat [-scale 0.25] [-config baseline|cto|ltbo|plopti|hfopti]
 //	        [-trees 8] [-shards 1] [-j N] [-runs 20] [-measure] [-o out.oat]
 //	        [-trace t.json] [-metrics m.json] [-stats] [-pprof cpu.out|mem.out]
-//	        [-cache] [-cache-dir DIR]
+//	        [-cache] [-cache-dir DIR] [-remote-cache URL]
 //	calibro -debloat app.oat [-roots 0,1,2] [-o smaller.oat]
 //
 // Telemetry: -trace writes a Chrome trace-event JSON of the whole build
@@ -23,8 +23,9 @@
 // content-addressed compilation cache (the hfopti rebuild then compiles
 // warm); -cache-dir persists the cache to a directory so the next calibro
 // invocation with unchanged inputs skips per-method code generation
-// entirely. The linked image is byte-identical with the cache cold, warm,
-// or absent.
+// entirely; -remote-cache additionally consults a shared calibrocached
+// store, so one machine's compile warms every machine's. The linked image
+// is byte-identical with the cache cold, warm, remote, or absent.
 //
 // Debloating: -debloat takes an already linked OAT image instead of
 // building one, removes every method body, outlined function, and thunk
@@ -95,8 +96,9 @@ func run(args []string, out io.Writer) error {
 		statsFlag   = fs.Bool("stats", false, "print the build telemetry table")
 		pprofPath   = fs.String("pprof", "", "collect a runtime/pprof profile (mem* = heap at exit, otherwise CPU)")
 
-		cacheFlag = fs.Bool("cache", false, "compile through an in-memory compilation cache (hfopti's rebuild compiles warm)")
-		cacheDir  = fs.String("cache-dir", "", "persist the compilation cache in this directory for cross-process warm rebuilds (implies -cache)")
+		cacheFlag   = fs.Bool("cache", false, "compile through an in-memory compilation cache (hfopti's rebuild compiles warm)")
+		cacheDir    = fs.String("cache-dir", "", "persist the compilation cache in this directory for cross-process warm rebuilds (implies -cache)")
+		remoteCache = fs.String("remote-cache", "", "calibrocached base URL to share compilations with a fleet (implies -cache); failures degrade to misses")
 
 		debloatPath = fs.String("debloat", "", "debloat this existing OAT image instead of building: remove code unreachable from -roots and write the result to -o")
 		rootsSpec   = fs.String("roots", "", "comma-separated method IDs rooting the debloat reachability (default: no-caller inference)")
@@ -114,8 +116,11 @@ func run(args []string, out io.Writer) error {
 		if cc, err = cache.NewDir(*cacheDir); err != nil {
 			return err
 		}
-	} else if *cacheFlag {
+	} else if *cacheFlag || *remoteCache != "" {
 		cc = cache.New()
+	}
+	if cc != nil && *remoteCache != "" {
+		cc.SetRemote(cache.NewRemote(cache.RemoteConfig{URL: *remoteCache}))
 	}
 
 	var stopProfile func() error

@@ -1,0 +1,109 @@
+// Command calibrocached is the fleet artifact store: a standalone daemon
+// serving the content-addressed cache protocol that calibrod and calibro
+// consume as their remote tier (-remote-cache). One calibrocached in
+// front of a disk directory lets N daemons share compiled methods and
+// whole build artifacts, and hosts the claim table their cross-daemon
+// single-flight coalesces on.
+//
+// Usage:
+//
+//	calibrocached [-addr host:port] [-dir DIR] [-max-entries N]
+//	              [-max-bytes N] [-claim-ttl d] [-max-body N]
+//
+// The store is the same two-tier (memory + optional disk) cache the
+// compiler uses locally; -dir makes entries survive restarts. /metrics
+// serves counters as JSON and, with ?format=prom, in the Prometheus text
+// exposition format. On SIGINT/SIGTERM the daemon shuts down cleanly and
+// exits 0 — clients degrade to building locally, never to failing.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cache/cacheserver"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrocached:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("calibrocached", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:7740", "listen address (port 0 picks a free port)")
+		dir        = fs.String("dir", "", "persist entries in this directory; memory-only when empty")
+		maxEntries = fs.Int("max-entries", 0, "evict oldest entries beyond this count; 0 = unbounded")
+		maxBytes   = fs.Int64("max-bytes", 0, "evict oldest entries beyond this many bytes; 0 = unbounded")
+		claimTTL   = fs.Duration("claim-ttl", time.Minute, "single-flight claim expiry; an unfulfilled claim frees up after this")
+		maxBody    = fs.Int64("max-body", 0, "PUT body size limit in bytes; 0 = 256MiB default")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	var store *cache.Cache
+	if *dir != "" {
+		var err error
+		if store, err = cache.NewDir(*dir); err != nil {
+			return err
+		}
+	} else {
+		store = cache.New()
+	}
+	if *maxEntries > 0 || *maxBytes > 0 {
+		store.SetLimits(*maxEntries, *maxBytes)
+	}
+
+	srv := cacheserver.New(cacheserver.Config{
+		Store:    store,
+		ClaimTTL: *claimTTL,
+		MaxBody:  *maxBody,
+	})
+
+	// Listen before announcing, so -addr :0 resolves to the real port and
+	// scripts can scrape it from the first output line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "calibrocached: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-httpErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Fprintln(out, "calibrocached: bye")
+	return nil
+}

@@ -22,6 +22,14 @@
 // `id=$(calibroctl submit -app Taobao)`; everything else prints JSON.
 // Exit status is 0 on success, 1 when a waited job ends non-done, 2 on
 // usage or transport errors.
+//
+// Fleet mode: -fleet takes a comma-separated daemon list and routes each
+// submit by consistent hash of its app/config/version, so repeat builds
+// of the same app land on the same daemon's warm cache. A fleet submit
+// prints ID@ADDR, and every job command accepts that form back — the
+// address rides inside the ID, so `calibroctl -fleet ... wait $(...)`
+// needs no extra bookkeeping. With a shared -remote-cache behind the
+// daemons, a job landing on the "wrong" daemon still hits fleet-wide.
 package main
 
 import (
@@ -32,7 +40,11 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
+
+	"repro/internal/fleet"
 )
 
 func main() {
@@ -40,7 +52,7 @@ func main() {
 }
 
 func usage(errOut io.Writer) {
-	fmt.Fprintln(errOut, `usage: calibroctl [-addr host:port] <command> [flags]
+	fmt.Fprintln(errOut, `usage: calibroctl [-addr host:port | -fleet a:p,b:p,...] <command> [flags]
 
 commands:
   submit   -app NAME | -dex FILE  [-config C] [-scale F] [-trees N] [-shards N]
@@ -62,6 +74,7 @@ func run(args []string, out, errOut io.Writer) int {
 	fs.SetOutput(errOut)
 	fs.Usage = func() { usage(errOut) }
 	addr := fs.String("addr", "127.0.0.1:7723", "calibrod address")
+	fleetList := fs.String("fleet", "", "comma-separated calibrod addresses; submits route by consistent hash, job IDs become ID@ADDR")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -70,6 +83,9 @@ func run(args []string, out, errOut io.Writer) int {
 		return 2
 	}
 	c := &client{base: "http://" + *addr, out: out, errOut: errOut}
+	if *fleetList != "" {
+		c.ring = fleet.New(fleet.ParseList(*fleetList), 0)
+	}
 	cmd, rest := fs.Arg(0), fs.Args()[1:]
 	var err error
 	switch cmd {
@@ -120,8 +136,18 @@ type jobStatus struct {
 
 type client struct {
 	base   string
+	ring   *fleet.Ring // nil outside fleet mode
 	out    io.Writer
 	errOut io.Writer
+}
+
+// jobBase resolves a job operand: an ID@ADDR form (what fleet submits
+// print) carries its daemon inside, a bare ID goes to -addr.
+func (c *client) jobBase(id string) (base, bare string) {
+	if i := strings.LastIndexByte(id, '@'); i >= 0 {
+		return "http://" + id[i+1:], id[:i]
+	}
+	return c.base, id
 }
 
 // apiErr turns a non-2xx response into an error carrying the server's
@@ -212,7 +238,19 @@ func (c *client) submit(args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(c.base+"/jobs", "application/json", bytes.NewReader(body))
+	base, suffix := c.base, ""
+	if c.ring != nil {
+		// Route by what steers the build, so repeat submits of one
+		// app/config/version always land on the same daemon's warm cache.
+		key := *app + "|" + *config + "|v" + strconv.Itoa(*version)
+		if *dexFile != "" {
+			key = "dex|" + *dexFile
+		}
+		if a := c.ring.Pick(key); a != "" {
+			base, suffix = "http://"+a, "@"+a
+		}
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -225,7 +263,7 @@ func (c *client) submit(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(c.out, st.ID)
+	fmt.Fprintln(c.out, st.ID+suffix)
 	return nil
 }
 
@@ -248,8 +286,9 @@ func (c *client) wait(args []string) (*jobStatus, error) {
 	if err := fs.Parse(rest); err != nil {
 		return nil, err
 	}
+	base, bare := c.jobBase(id)
 	for {
-		resp, err := http.Get(fmt.Sprintf("%s/jobs/%s?wait=%s", c.base, id, *poll))
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%s?wait=%s", base, bare, *poll))
 		if err != nil {
 			return nil, err
 		}
@@ -283,12 +322,18 @@ func (c *client) getJSON1(args []string, name, suffix string) error {
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
-	return c.getJSON("/jobs/" + id + suffix)
+	base, bare := c.jobBase(id)
+	return c.getJSONAt(base, "/jobs/"+bare+suffix)
 }
 
 // getJSON relays one GET endpoint's body to stdout.
 func (c *client) getJSON(path string) error {
-	resp, err := http.Get(c.base + path)
+	return c.getJSONAt(c.base, path)
+}
+
+// getJSONAt relays one GET endpoint of a specific daemon to stdout.
+func (c *client) getJSONAt(base, path string) error {
+	resp, err := http.Get(base + path)
 	if err != nil {
 		return err
 	}
@@ -328,7 +373,8 @@ func (c *client) fetch(args []string) error {
 	if *outPath == "" {
 		return fmt.Errorf("fetch: -o FILE is required")
 	}
-	resp, err := http.Get(c.base + "/jobs/" + id + "/image")
+	base, bare := c.jobBase(id)
+	resp, err := http.Get(base + "/jobs/" + bare + "/image")
 	if err != nil {
 		return err
 	}
@@ -362,7 +408,8 @@ func (c *client) cancel(args []string) error {
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodDelete, c.base+"/jobs/"+id, nil)
+	base, bare := c.jobBase(id)
+	req, err := http.NewRequest(http.MethodDelete, base+"/jobs/"+bare, nil)
 	if err != nil {
 		return err
 	}

@@ -11,7 +11,13 @@
 //	calibrod [-addr host:port] [-queue N] [-jobs N] [-j N]
 //	         [-max-job-time d] [-scale f] [-cache] [-cache-dir DIR]
 //	         [-cache-max-entries N] [-cache-max-bytes N]
+//	         [-remote-cache URL] [-remote-timeout d] [-fleet-wait d]
 //	         [-drain-timeout d] [-log FILE] [-max-body N] [-retention N]
+//
+// -remote-cache points at a calibrocached store shared by the fleet:
+// method compilations and whole-build artifacts are fetched from and
+// published to it, and identical in-flight builds coalesce across
+// daemons. Every remote failure degrades to a cache miss.
 //
 // -log enables structured JSON job and access logs ("-" for stderr);
 // logging is off by default and strictly observational — images are
@@ -62,6 +68,9 @@ func run(args []string, out io.Writer) error {
 		cacheDir     = fs.String("cache-dir", "", "persist the cache in this directory (implies -cache)")
 		cacheMaxEnt  = fs.Int("cache-max-entries", 0, "evict oldest cache entries beyond this count; 0 = unbounded")
 		cacheMaxB    = fs.Int64("cache-max-bytes", 0, "evict oldest cache entries beyond this many bytes; 0 = unbounded")
+		remoteCache  = fs.String("remote-cache", "", "calibrocached base URL; shares the cache and coalesces builds across daemons (implies -cache)")
+		remoteTO     = fs.Duration("remote-timeout", 0, "per-request deadline against the remote cache; 0 = 2s default")
+		fleetWait    = fs.Duration("fleet-wait", 0, "how long a coalesced job waits for a peer's build before building locally; 0 = 30s default")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long to let jobs finish on shutdown before force-cancelling")
 		logPath      = fs.String("log", "", "write JSON-lines job/access logs to this file (\"-\" = stderr); off when empty")
 		maxBody      = fs.Int64("max-body", 0, "submit body size limit in bytes; over it is HTTP 413; 0 = 64MiB default")
@@ -96,7 +105,7 @@ func run(args []string, out io.Writer) error {
 		}
 		cfg.Log = serve.NewEventLogger(w)
 	}
-	if *useCache || *cacheDir != "" {
+	if *useCache || *cacheDir != "" || *remoteCache != "" {
 		var c *cache.Cache
 		if *cacheDir != "" {
 			var err error
@@ -108,6 +117,17 @@ func run(args []string, out io.Writer) error {
 		}
 		if *cacheMaxEnt > 0 || *cacheMaxB > 0 {
 			c.SetLimits(*cacheMaxEnt, *cacheMaxB)
+		}
+		if *remoteCache != "" {
+			// The remote tier slots above memory/disk and, via the serve
+			// layer, enables whole-build artifact sharing and cross-daemon
+			// single-flight. Strict degrade-to-miss: a dead or flaky
+			// calibrocached costs hit rate, never a build.
+			c.SetRemote(cache.NewRemote(cache.RemoteConfig{
+				URL:     *remoteCache,
+				Timeout: *remoteTO,
+			}))
+			cfg.FleetWait = *fleetWait
 		}
 		cfg.Cache = c
 	}

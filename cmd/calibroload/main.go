@@ -28,6 +28,12 @@
 //	BenchmarkServeReplay/apps=7/rate=20 <served> <mean> ns/op \
 //	    <p50_us> p50_us <p95_us> p95_us ... <rejected> rejected
 //
+// Fleet mode: -fleet replays the identical plan against several daemons,
+// routing each submit through the same consistent-hash ring calibroctl
+// uses (affinity by app@version; hostile bodies go to the first daemon).
+// The reported hit rate then sums all daemons' counters, and the bench
+// name gains a /fleet=N component.
+//
 // Exit status 0 when every submit was answered (even with 4xx), 1 on
 // transport errors or when nothing was served.
 package main
@@ -44,6 +50,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/workload"
 )
@@ -82,6 +89,7 @@ func run(args []string, out io.Writer) error {
 	fs.SetOutput(out)
 	var (
 		addr         = fs.String("addr", "127.0.0.1:7723", "calibrod address")
+		fleetList    = fs.String("fleet", "", "comma-separated calibrod addresses; submits route by consistent hash of app@version")
 		seed         = fs.Int64("seed", 1, "workload seed; same seed, same request mix")
 		n            = fs.Int("n", 60, "total submits to replay")
 		rate         = fs.Float64("rate", 20, "mean arrival rate, submits/second (Poisson)")
@@ -100,7 +108,22 @@ func run(args []string, out io.Writer) error {
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
-	base := "http://" + *addr
+	// One daemon, or a consistent-hash fleet. The plan below is a pure
+	// function of the seed either way, so the request mix — and with
+	// deep-enough queues the served/413 split — is routing-independent.
+	bases := []string{"http://" + *addr}
+	var ring *fleet.Ring
+	if *fleetList != "" {
+		addrs := fleet.ParseList(*fleetList)
+		ring = fleet.New(addrs, 0)
+		bases = bases[:0]
+		for _, a := range ring.Addrs() {
+			bases = append(bases, "http://"+a)
+		}
+		if len(bases) == 0 {
+			return fmt.Errorf("-fleet lists no addresses")
+		}
+	}
 
 	// App roster: the six paper apps by Zipf popularity, the adversarial
 	// obfuscated profile as the least popular tail entry.
@@ -112,7 +135,16 @@ func run(args []string, out io.Writer) error {
 
 	plan := buildPlan(*seed, *n, *rate, apps, *updateEvery, *hostile)
 
-	hitsBefore, missesBefore, _ := cacheCounts(base)
+	// baseFor routes one event: hostile bodies and the single-daemon case
+	// go to the first base, everything else by app@version affinity.
+	baseFor := func(ev event) string {
+		if ring == nil || ev.hostile {
+			return bases[0]
+		}
+		return "http://" + ring.Pick(fmt.Sprintf("%s@v%d", ev.app, ev.version))
+	}
+
+	hitsBefore, missesBefore, _ := cacheCounts(bases)
 
 	var (
 		cnt      counters
@@ -132,14 +164,14 @@ func run(args []string, out io.Writer) error {
 			time.Sleep(time.Until(started.Add(ev.at)))
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			replayOne(base, ev, *scale, *config, *delta, *timeout, hostileB,
+			replayOne(baseFor(ev), ev, *scale, *config, *delta, *timeout, hostileB,
 				&cnt, &latency, &queueWt)
 		}(ev)
 	}
 	wg.Wait()
 	wall := time.Since(started)
 
-	hitsAfter, missesAfter, cacheErr := cacheCounts(base)
+	hitsAfter, missesAfter, cacheErr := cacheCounts(bases)
 	hitRate := 0.0
 	if lookups := (hitsAfter - hitsBefore) + (missesAfter - missesBefore); cacheErr == nil && lookups > 0 {
 		hitRate = float64(hitsAfter-hitsBefore) / float64(lookups)
@@ -161,11 +193,15 @@ func run(args []string, out io.Writer) error {
 		if ls.Count > 0 {
 			mean = float64(ls.TotalUS) * 1e3 / float64(ls.Count)
 		}
+		name := fmt.Sprintf("BenchmarkServeReplay/apps=%d/rate=%g", len(apps), *rate)
+		if ring != nil {
+			name += fmt.Sprintf("/fleet=%d", len(bases))
+		}
 		fmt.Fprintf(out,
-			"BenchmarkServeReplay/apps=%d/rate=%g %d %.1f ns/op"+
+			name+" %d %.1f ns/op"+
 				" %d p50_us %d p95_us %d p99_us %d max_us"+
 				" %d qwait_p95_us %.3f hit_rate %d served %d rejected\n",
-			len(apps), *rate, cnt.served, mean,
+			cnt.served, mean,
 			ls.P50US, ls.P95US, ls.P99US, ls.MaxUS,
 			qs.P95US, hitRate, cnt.served, rejected)
 	}
@@ -306,9 +342,21 @@ func (c *counters) bump(f func(*counters)) {
 	c.mu.Unlock()
 }
 
-// cacheCounts scrapes the daemon's cache hit/miss counters from the
-// JSON metrics endpoint.
-func cacheCounts(base string) (hits, misses int64, err error) {
+// cacheCounts sums the cache hit/miss counters across every daemon's
+// JSON metrics endpoint, so the reported hit rate is the fleet's.
+func cacheCounts(bases []string) (hits, misses int64, err error) {
+	for _, base := range bases {
+		h, m, err := cacheCounts1(base)
+		if err != nil {
+			return 0, 0, err
+		}
+		hits += h
+		misses += m
+	}
+	return hits, misses, nil
+}
+
+func cacheCounts1(base string) (hits, misses int64, err error) {
 	resp, err := http.Get(base + "/metrics")
 	if err != nil {
 		return 0, 0, err

@@ -193,9 +193,10 @@ func Open(blob []byte) (payload []byte, ok bool) {
 type Stats struct {
 	Entries     int   `json:"entries"`      // entries resident in memory
 	MemBytes    int64 `json:"mem_bytes"`    // sealed bytes resident in memory
-	Hits        int64 `json:"hits"`         // Get calls served (memory or disk)
+	Hits        int64 `json:"hits"`         // Get calls served (memory, disk, or remote)
 	Misses      int64 `json:"misses"`       // Get calls that found nothing usable
 	DiskHits    int64 `json:"disk_hits"`    // subset of Hits served by reading the directory
+	RemoteHits  int64 `json:"remote_hits"`  // subset of Hits served by the remote tier
 	Corrupt     int64 `json:"corrupt"`      // entries rejected by the frame check (treated as misses)
 	Evicted     int64 `json:"evicted"`      // memory entries dropped by the SetLimits safety valve
 	BytesStored int64 `json:"bytes_stored"` // cumulative sealed bytes accepted by Put
@@ -236,6 +237,10 @@ type shard struct {
 // acquires policy while holding a shard lock.
 type Cache struct {
 	dir string
+	// remote, when non-nil, is the shared fleet tier consulted after a
+	// memory and disk miss and populated write-through on Put. Set once
+	// with SetRemote before the cache is shared; never mutated after.
+	remote *Remote
 
 	shards [numShards]shard
 
@@ -249,8 +254,8 @@ type Cache struct {
 	maxEntries int
 	maxBytes   int64
 
-	hits, misses, diskHits, corrupt, evicted atomic.Int64
-	bytesStored, bytesServed                 atomic.Int64
+	hits, misses, diskHits, remoteHits, corrupt, evicted atomic.Int64
+	bytesStored, bytesServed                             atomic.Int64
 }
 
 // New returns a memory-only cache.
@@ -279,6 +284,36 @@ func NewDir(dir string) (*Cache, error) {
 
 // Dir returns the backing directory, or "" for a memory-only cache.
 func (c *Cache) Dir() string { return c.dir }
+
+// SetRemote attaches the shared fleet tier: after a memory and disk
+// miss, Get consults it (promoting hits into the local tiers), and Put
+// publishes entries to it write-through. Remote failures of every kind
+// degrade to misses inside the Remote itself, so attaching a tier can
+// slow a Get by at most the remote's bounded request deadline, never
+// fail it. Must be called before the cache is shared across goroutines.
+func (c *Cache) SetRemote(r *Remote) { c.remote = r }
+
+// Remote returns the attached fleet tier, or nil.
+func (c *Cache) Remote() *Remote { return c.remote }
+
+// Contains reports whether k is resident in memory or on disk, without
+// touching the hit/miss counters or the remote tier — the existence
+// probe the cache server's claim election uses.
+func (c *Cache) Contains(k Key) bool {
+	sh := c.shardOf(k)
+	sh.mu.RLock()
+	_, ok := sh.mem[k]
+	sh.mu.RUnlock()
+	if ok {
+		return true
+	}
+	if c.dir != "" {
+		if _, err := os.Stat(c.path(k)); err == nil {
+			return true
+		}
+	}
+	return false
+}
 
 // SetLimits bounds the memory tier: at most maxEntries entries and
 // maxBytes sealed bytes (0 disables either bound). When an insert —
@@ -382,6 +417,27 @@ func (c *Cache) Get(k Key) (payload []byte, ok bool) {
 			c.corrupt.Add(1)
 		}
 	}
+	if c.remote != nil {
+		// The fleet tier: another daemon may have compiled this first.
+		// Remote.Get returns only validated frames and degrades every
+		// failure to a miss internally; a hit is promoted into memory
+		// (and disk, for cross-restart warmth) like a disk hit is.
+		if blob, ok := c.remote.Get(k); ok {
+			if p, valid := Open(blob); valid {
+				c.policy.Lock()
+				c.insertLocked(k, blob)
+				c.policy.Unlock()
+				if c.dir != "" {
+					c.writeFile(k, blob)
+				}
+				c.hits.Add(1)
+				c.remoteHits.Add(1)
+				c.bytesServed.Add(int64(len(p)))
+				return p, true
+			}
+			c.corrupt.Add(1)
+		}
+	}
 	c.misses.Add(1)
 	return nil, false
 }
@@ -412,6 +468,12 @@ func (c *Cache) Put(k Key, payload []byte) {
 	c.bytesStored.Add(int64(len(blob)))
 	if c.dir != "" {
 		c.writeFile(k, blob)
+	}
+	if c.remote != nil {
+		// Write-through to the fleet: failures are counted and swallowed
+		// inside the Remote, and its circuit breaker keeps a dead server
+		// from stalling every compile worker on the cold path.
+		c.remote.Put(k, blob)
 	}
 }
 
@@ -447,6 +509,7 @@ func (c *Cache) Stats() Stats {
 		Hits:        c.hits.Load(),
 		Misses:      c.misses.Load(),
 		DiskHits:    c.diskHits.Load(),
+		RemoteHits:  c.remoteHits.Load(),
 		Corrupt:     c.corrupt.Load(),
 		BytesStored: c.bytesStored.Load(),
 		BytesServed: c.bytesServed.Load(),

@@ -1,0 +1,328 @@
+package cacheserver_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cache/cacheserver"
+)
+
+func newServer(t *testing.T, cfg cacheserver.Config) (*cacheserver.Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Store == nil {
+		cfg.Store = cache.New()
+	}
+	s := cacheserver.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func key(s string) cache.Key {
+	h := cache.NewHasher("test/cacheserver/v1")
+	h.Str(s)
+	return h.Sum()
+}
+
+func doReq(t *testing.T, method, url string, body []byte, proto string) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proto != "" {
+		req.Header.Set(cache.RemoteProtoHeader, proto)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestEntryPutGetRoundTrip(t *testing.T) {
+	_, ts := newServer(t, cacheserver.Config{})
+	k := key("roundtrip")
+	payload := []byte("artifact bytes")
+	sealed := cache.Seal(payload)
+
+	resp := doReq(t, http.MethodPut, ts.URL+cache.RemoteEntriesPath+k.String(), sealed, cache.RemoteProtoVersion)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT status = %d", resp.StatusCode)
+	}
+
+	resp = doReq(t, http.MethodGet, ts.URL+cache.RemoteEntriesPath+k.String(), nil, cache.RemoteProtoVersion)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+	if v := resp.Header.Get(cache.RemoteProtoHeader); v != cache.RemoteProtoVersion {
+		t.Fatalf("response proto = %q", v)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	got, ok := cache.Open(body)
+	if !ok {
+		t.Fatal("served frame does not validate")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q, want %q", got, payload)
+	}
+}
+
+func TestEntryRejections(t *testing.T) {
+	_, ts := newServer(t, cacheserver.Config{})
+	k := key("rejections")
+
+	// Missing entry: clean 404.
+	resp := doReq(t, http.MethodGet, ts.URL+cache.RemoteEntriesPath+k.String(), nil, cache.RemoteProtoVersion)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing entry GET status = %d, want 404", resp.StatusCode)
+	}
+
+	// Invalid frame: the server-side checksum check refuses storage.
+	resp = doReq(t, http.MethodPut, ts.URL+cache.RemoteEntriesPath+k.String(), []byte("not a frame"), cache.RemoteProtoVersion)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage PUT status = %d, want 400", resp.StatusCode)
+	}
+
+	// Corrupted real frame: same refusal.
+	sealed := cache.Seal([]byte("payload"))
+	sealed[len(sealed)/2] ^= 0x01
+	resp = doReq(t, http.MethodPut, ts.URL+cache.RemoteEntriesPath+k.String(), sealed, cache.RemoteProtoVersion)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt PUT status = %d, want 400", resp.StatusCode)
+	}
+
+	// Malformed key.
+	resp = doReq(t, http.MethodGet, ts.URL+cache.RemoteEntriesPath+"nothex", nil, cache.RemoteProtoVersion)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad key GET status = %d, want 400", resp.StatusCode)
+	}
+
+	// Version skew: refused before touching the store.
+	resp = doReq(t, http.MethodGet, ts.URL+cache.RemoteEntriesPath+k.String(), nil, "999")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("skewed GET status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestPutBodyBound(t *testing.T) {
+	_, ts := newServer(t, cacheserver.Config{MaxBody: 1024})
+	k := key("oversize")
+	sealed := cache.Seal(bytes.Repeat([]byte{0xAB}, 4096))
+	resp := doReq(t, http.MethodPut, ts.URL+cache.RemoteEntriesPath+k.String(), sealed, cache.RemoteProtoVersion)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize PUT status = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestClaimElectionAndTTL(t *testing.T) {
+	_, ts := newServer(t, cacheserver.Config{ClaimTTL: 150 * time.Millisecond})
+	k := key("claim-ttl")
+	claim := func() cache.ClaimResult {
+		resp := doReq(t, http.MethodPost, ts.URL+cache.RemoteClaimsPath+k.String(), nil, cache.RemoteProtoVersion)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("claim status = %d", resp.StatusCode)
+		}
+		var res cache.ClaimResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if res := claim(); !res.Winner {
+		t.Fatalf("first claim = %+v, want winner", res)
+	}
+	if res := claim(); res.Winner {
+		t.Fatalf("concurrent claim = %+v, want loser", res)
+	}
+	// The winner crashed: past the TTL the claim frees up and the next
+	// claimant wins instead of the key being wedged forever.
+	time.Sleep(200 * time.Millisecond)
+	if res := claim(); !res.Winner {
+		t.Fatalf("post-TTL claim = %+v, want winner", res)
+	}
+}
+
+func TestLongPollWakesOnPut(t *testing.T) {
+	_, ts := newServer(t, cacheserver.Config{})
+	k := key("longpoll")
+	sealed := cache.Seal([]byte("published later"))
+
+	done := make(chan []byte, 1)
+	go func() {
+		resp := doReq(t, http.MethodGet, ts.URL+cache.RemoteEntriesPath+k.String()+"?wait=10s", nil, cache.RemoteProtoVersion)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			done <- nil
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		done <- body
+	}()
+
+	time.Sleep(100 * time.Millisecond) // let the poller park
+	resp := doReq(t, http.MethodPut, ts.URL+cache.RemoteEntriesPath+k.String(), sealed, cache.RemoteProtoVersion)
+	resp.Body.Close()
+
+	select {
+	case body := <-done:
+		if body == nil {
+			t.Fatal("long-poll did not serve the published entry")
+		}
+		if !bytes.Equal(body, sealed) {
+			t.Fatal("long-poll served different bytes than published")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("long-poll never woke")
+	}
+}
+
+func TestLongPollTimesOutClean(t *testing.T) {
+	_, ts := newServer(t, cacheserver.Config{})
+	k := key("longpoll-timeout")
+	start := time.Now()
+	resp := doReq(t, http.MethodGet, ts.URL+cache.RemoteEntriesPath+k.String()+"?wait=200ms", nil, cache.RemoteProtoVersion)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("timed-out long-poll status = %d, want 404", resp.StatusCode)
+	}
+	if el := time.Since(start); el < 150*time.Millisecond || el > 5*time.Second {
+		t.Fatalf("long-poll window not honored: %s", el)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s, ts := newServer(t, cacheserver.Config{})
+	s.Store().Put(key("h"), []byte("x"))
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h cacheserver.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Entries != 1 {
+		t.Fatalf("healthz = %+v", h)
+	}
+}
+
+// TestPrometheusGolden pins the exact exposition document after a fixed
+// request history. The server's families are all counters and gauges
+// with deterministic values, so the whole document — names, types,
+// labels, values, ordering — is asserted byte-for-byte; any drift in
+// the metrics surface fails loudly here.
+func TestPrometheusGolden(t *testing.T) {
+	s, ts := newServer(t, cacheserver.Config{})
+	k := key("golden")
+	payload := []byte("golden payload")
+	sealed := cache.Seal(payload)
+
+	// Fixed history: one rejected PUT, one accepted, one miss, one hit,
+	// one claim won, one lost, one skewed request, one bad key.
+	for _, step := range []struct {
+		method, path string
+		body         []byte
+		proto        string
+	}{
+		{http.MethodPut, cache.RemoteEntriesPath + k.String(), []byte("junk"), cache.RemoteProtoVersion},
+		{http.MethodGet, cache.RemoteEntriesPath + k.String(), nil, cache.RemoteProtoVersion},
+		{http.MethodPut, cache.RemoteEntriesPath + k.String(), sealed, cache.RemoteProtoVersion},
+		{http.MethodGet, cache.RemoteEntriesPath + k.String(), nil, cache.RemoteProtoVersion},
+		{http.MethodPost, cache.RemoteClaimsPath + key("unbuilt").String(), nil, cache.RemoteProtoVersion},
+		{http.MethodPost, cache.RemoteClaimsPath + key("unbuilt").String(), nil, cache.RemoteProtoVersion},
+		{http.MethodGet, cache.RemoteEntriesPath + k.String(), nil, "999"},
+		{http.MethodGet, cache.RemoteEntriesPath + "zzz", nil, cache.RemoteProtoVersion},
+	} {
+		resp := doReq(t, step.method, ts.URL+step.path, step.body, step.proto)
+		resp.Body.Close()
+	}
+
+	var buf bytes.Buffer
+	if err := s.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP calibrocached_entries Entries resident in the store's memory tier.",
+		"# TYPE calibrocached_entries gauge",
+		"calibrocached_entries 1",
+		"# HELP calibrocached_store_bytes Sealed bytes resident in the store's memory tier.",
+		"# TYPE calibrocached_store_bytes gauge",
+		"calibrocached_store_bytes 30",
+		"# HELP calibrocached_claims_open Unfulfilled single-flight claims held right now.",
+		"# TYPE calibrocached_claims_open gauge",
+		"calibrocached_claims_open 1",
+		"# HELP calibrocached_gets_total Entry fetches by result.",
+		"# TYPE calibrocached_gets_total counter",
+		`calibrocached_gets_total{result="hit"} 1`,
+		`calibrocached_gets_total{result="miss"} 1`,
+		"# HELP calibrocached_puts_total Entries accepted into the store.",
+		"# TYPE calibrocached_puts_total counter",
+		"calibrocached_puts_total 1",
+		"# HELP calibrocached_puts_rejected_total PUT bodies refused by the frame check.",
+		"# TYPE calibrocached_puts_rejected_total counter",
+		"calibrocached_puts_rejected_total 1",
+		"# HELP calibrocached_claims_total Single-flight elections by result.",
+		"# TYPE calibrocached_claims_total counter",
+		`calibrocached_claims_total{result="won"} 1`,
+		`calibrocached_claims_total{result="lost"} 1`,
+		"# HELP calibrocached_waits_total Long-poll GETs by outcome.",
+		"# TYPE calibrocached_waits_total counter",
+		`calibrocached_waits_total{result="hit"} 0`,
+		`calibrocached_waits_total{result="timeout"} 0`,
+		"# HELP calibrocached_proto_skew_total Requests refused for speaking another protocol version.",
+		"# TYPE calibrocached_proto_skew_total counter",
+		"calibrocached_proto_skew_total 1",
+		"# HELP calibrocached_bad_keys_total Requests with malformed content addresses.",
+		"# TYPE calibrocached_bad_keys_total counter",
+		"calibrocached_bad_keys_total 1",
+		"# HELP calibrocached_store_hits_total Store lookups served (memory or disk).",
+		"# TYPE calibrocached_store_hits_total counter",
+		"calibrocached_store_hits_total 1",
+		"# HELP calibrocached_store_misses_total Store lookups that found nothing.",
+		"# TYPE calibrocached_store_misses_total counter",
+		"calibrocached_store_misses_total 1",
+		"# HELP calibrocached_store_corrupt_total Store entries rejected by the frame check.",
+		"# TYPE calibrocached_store_corrupt_total counter",
+		"calibrocached_store_corrupt_total 0",
+		"# HELP calibrocached_store_evicted_total Store entries evicted by the memory bound.",
+		"# TYPE calibrocached_store_evicted_total counter",
+		"calibrocached_store_evicted_total 0",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition drifted.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The HTTP surface serves the same document.
+	resp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != want {
+		t.Fatal("/metrics?format=prom differs from WritePrometheus")
+	}
+}

@@ -1,0 +1,77 @@
+package cacheserver_test
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cache/cacheserver"
+)
+
+// FuzzRemoteRequest fuzzes the server half of the wire codec: arbitrary
+// method/path/body/version combinations must never panic a handler, and
+// the store behind the server must only ever accept bodies that validate
+// as sealed frames — a hostile or confused client cannot poison the
+// fleet's shared artifacts. Requests run through httptest.NewRecorder,
+// so the loop needs no sockets.
+func FuzzRemoteRequest(f *testing.F) {
+	validKey := func(s string) string {
+		h := cache.NewHasher("fuzz/request/v1")
+		h.Str(s)
+		return h.Sum().String()
+	}
+	sealed := cache.Seal([]byte("fuzz artifact payload"))
+	flipped := append([]byte(nil), sealed...)
+	flipped[len(flipped)/2] ^= 0x10
+
+	k := validKey("seed")
+	f.Add("PUT", cache.RemoteEntriesPath+k, sealed, cache.RemoteProtoVersion)
+	f.Add("PUT", cache.RemoteEntriesPath+k, flipped, cache.RemoteProtoVersion)
+	f.Add("PUT", cache.RemoteEntriesPath+k, sealed[:len(sealed)-3], cache.RemoteProtoVersion)
+	f.Add("GET", cache.RemoteEntriesPath+k, []byte{}, cache.RemoteProtoVersion)
+	f.Add("GET", cache.RemoteEntriesPath+k+"?wait=1ms", []byte{}, cache.RemoteProtoVersion)
+	f.Add("GET", cache.RemoteEntriesPath+k+"?wait=bogus", []byte{}, cache.RemoteProtoVersion)
+	f.Add("POST", cache.RemoteClaimsPath+k, []byte{}, cache.RemoteProtoVersion)
+	f.Add("GET", cache.RemoteEntriesPath+"not-a-key", []byte{}, cache.RemoteProtoVersion)
+	f.Add("GET", cache.RemoteEntriesPath+strings.Repeat("0", 64), []byte{}, "999")
+	f.Add("DELETE", cache.RemoteEntriesPath+k, []byte{}, cache.RemoteProtoVersion)
+	f.Add("GET", "/metrics?format=prom", []byte{}, "")
+	f.Add("GET", "/healthz", []byte{}, "")
+	f.Add("PUT", "/v1/entries/", sealed, cache.RemoteProtoVersion)
+
+	f.Fuzz(func(t *testing.T, method, path string, body []byte, proto string) {
+		store := cache.New()
+		s := cacheserver.New(cacheserver.Config{Store: store, MaxBody: 1 << 20})
+		handler := s.Handler()
+
+		if !strings.HasPrefix(path, "/") {
+			path = "/" + path
+		}
+		req, err := http.NewRequest(method, path, bytes.NewReader(body))
+		if err != nil {
+			return // not expressible as an HTTP request at all
+		}
+		if proto != "" {
+			req.Header.Set(cache.RemoteProtoHeader, proto)
+		}
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req) // must not panic
+
+		// Whatever happened, nothing invalid entered the store: every
+		// resident entry still opens. (Get revalidates; a poisoned entry
+		// would surface as corrupt.)
+		if st := store.Stats(); st.Corrupt != 0 {
+			t.Fatalf("request %s %s stored a corrupt entry", method, path)
+		}
+		// A 2xx PUT means the body was accepted — it must have been a
+		// valid frame.
+		if method == http.MethodPut && rec.Code >= 200 && rec.Code < 300 {
+			if _, ok := cache.Open(body); !ok {
+				t.Fatalf("PUT of invalid frame accepted with %d", rec.Code)
+			}
+		}
+	})
+}

@@ -1,0 +1,163 @@
+// Package cachetest provides the fault-injection harness the remote-tier
+// and fleet tests share: a real cacheserver wrapped in a proxy that can
+// drop connections, stall, answer 500s, truncate or corrupt frames, and
+// skew the protocol version — every failure mode the degrade-to-miss
+// contract promises to absorb, switchable at runtime so one test can
+// cycle a server through healthy, each fault, and healed.
+//
+// The harness is deliberately a *wrapper around the real server*, not a
+// mock: requests that pass through hit genuine cacheserver handlers, so
+// the faults are injected on top of true protocol behavior rather than a
+// parallel implementation that could drift.
+package cachetest
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cache/cacheserver"
+)
+
+// Fault selects the flaky server's current failure mode.
+type Fault int32
+
+const (
+	// FaultNone passes requests through to the real server.
+	FaultNone Fault = iota
+	// FaultDrop kills the TCP connection without an HTTP response — the
+	// client sees a transport error.
+	FaultDrop
+	// FaultDelay stalls Delay before answering, to trip client deadlines.
+	FaultDelay
+	// Fault500 answers 500 without consulting the server.
+	Fault500
+	// FaultTruncate serves the real response cut off mid-body, so frames
+	// fail the client's length/checksum validation.
+	FaultTruncate
+	// FaultCorrupt serves the real response with one payload byte
+	// flipped, so frames fail the client's checksum.
+	FaultCorrupt
+	// FaultSkew serves the real response under a different protocol
+	// version header — a mixed-version fleet.
+	FaultSkew
+)
+
+// Flaky is a cacheserver behind a switchable fault injector. Create with
+// NewFlaky; flip modes with SetFault at any time, concurrently with
+// traffic.
+type Flaky struct {
+	// Server is the real store behind the faults, for direct assertions
+	// on its state.
+	Server *cacheserver.Server
+
+	mode     atomic.Int32
+	delay    atomic.Int64 // nanoseconds, for FaultDelay
+	requests atomic.Int64 // all requests, faulted or not
+	faulted  atomic.Int64 // requests a non-None mode touched
+
+	inner http.Handler
+}
+
+// NewFlaky wraps a fresh memory-backed cacheserver. claimTTL <= 0 keeps
+// the server default.
+func NewFlaky(claimTTL time.Duration) *Flaky {
+	srv := cacheserver.New(cacheserver.Config{Store: cache.New(), ClaimTTL: claimTTL})
+	f := &Flaky{Server: srv, inner: srv.Handler()}
+	f.delay.Store(int64(250 * time.Millisecond))
+	return f
+}
+
+// SetFault switches the active failure mode.
+func (f *Flaky) SetFault(m Fault) { f.mode.Store(int32(m)) }
+
+// Fault returns the active failure mode.
+func (f *Flaky) Fault() Fault { return Fault(f.mode.Load()) }
+
+// SetDelay sets how long FaultDelay stalls (default 250ms).
+func (f *Flaky) SetDelay(d time.Duration) { f.delay.Store(int64(d)) }
+
+// Requests returns how many requests arrived; Faulted how many a fault
+// touched.
+func (f *Flaky) Requests() int64 { return f.requests.Load() }
+func (f *Flaky) Faulted() int64  { return f.faulted.Load() }
+
+// Handler returns the fault-injecting front end.
+func (f *Flaky) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.requests.Add(1)
+		mode := f.Fault()
+		if mode != FaultNone {
+			f.faulted.Add(1)
+		}
+		switch mode {
+		case FaultNone:
+			f.inner.ServeHTTP(w, r)
+		case FaultDrop:
+			// Sever the connection with no response at all. Panicking
+			// with ErrAbortHandler is net/http's sanctioned way to abort;
+			// hijacking closes harder when the connection allows it.
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+					return
+				}
+			}
+			panic(http.ErrAbortHandler)
+		case FaultDelay:
+			time.Sleep(time.Duration(f.delay.Load()))
+			f.inner.ServeHTTP(w, r)
+		case Fault500:
+			http.Error(w, "injected failure", http.StatusInternalServerError)
+		case FaultTruncate:
+			f.rewrite(w, r, func(body []byte) []byte {
+				return body[:len(body)/2]
+			})
+		case FaultCorrupt:
+			f.rewrite(w, r, func(body []byte) []byte {
+				if len(body) == 0 {
+					return body
+				}
+				b := append([]byte(nil), body...)
+				b[len(b)/2] ^= 0x40
+				return b
+			})
+		case FaultSkew:
+			f.rewrite(w, r, nil)
+			// rewrite already replayed headers; stamp the skewed version
+			// over ours in rewrite via the skew flag below.
+		}
+	})
+}
+
+// rewrite runs the real handler into a recorder, applies mangle to the
+// body, and replays the response. A FaultSkew caller passes nil mangle
+// and gets the version header replaced instead.
+func (f *Flaky) rewrite(w http.ResponseWriter, r *http.Request, mangle func([]byte) []byte) {
+	rec := httptest.NewRecorder()
+	f.inner.ServeHTTP(rec, r)
+	body := rec.Body.Bytes()
+	if mangle != nil {
+		body = mangle(body)
+	}
+	for k, vs := range rec.Header() {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	// Replace, not append: the inner handler already set the real version.
+	if mangle == nil {
+		w.Header().Set(cache.RemoteProtoHeader, "999")
+	}
+	w.Header().Del("Content-Length") // body length may have changed
+	w.WriteHeader(rec.Code)
+	w.Write(body) //nolint:errcheck // client disconnects are fine in tests
+}
+
+// Serve starts an httptest server over the flaky handler. The caller
+// owns Close (or passes cleanup to t.Cleanup).
+func (f *Flaky) Serve() *httptest.Server {
+	return httptest.NewServer(f.Handler())
+}

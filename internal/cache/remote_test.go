@@ -1,0 +1,251 @@
+package cache_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cache/cachetest"
+)
+
+// remotePair starts a flaky cacheserver and returns it plus a Remote
+// client tuned for fast tests (short timeout, tight breaker).
+func remotePair(t *testing.T) (*cachetest.Flaky, *cache.Remote) {
+	t.Helper()
+	flaky := cachetest.NewFlaky(0)
+	ts := flaky.Serve()
+	t.Cleanup(ts.Close)
+	r := cache.NewRemote(cache.RemoteConfig{
+		URL:              ts.URL,
+		Timeout:          500 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  200 * time.Millisecond,
+	})
+	return flaky, r
+}
+
+func testKey(s string) cache.Key {
+	h := cache.NewHasher("test/remote/v1")
+	h.Str(s)
+	return h.Sum()
+}
+
+func TestRemoteTierSharesEntriesAcrossCaches(t *testing.T) {
+	_, r := remotePair(t)
+
+	// Two daemons' local caches sharing one remote tier.
+	a, b := cache.New(), cache.New()
+	a.SetRemote(r)
+	b.SetRemote(r)
+
+	k := testKey("shared-entry")
+	payload := []byte("compiled method bytes")
+	a.Put(k, payload)
+
+	got, ok := b.Get(k)
+	if !ok {
+		t.Fatal("entry published by cache A not visible to cache B through the remote tier")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted in transit: got %q want %q", got, payload)
+	}
+	if st := b.Stats(); st.RemoteHits != 1 {
+		t.Fatalf("RemoteHits = %d, want 1", st.RemoteHits)
+	}
+	// The hit was promoted into B's memory tier: the next Get must not
+	// touch the network.
+	reqs := r.Stats().Hits
+	if _, ok := b.Get(k); !ok {
+		t.Fatal("promoted entry lost")
+	}
+	if r.Stats().Hits != reqs {
+		t.Fatal("second Get went remote despite promotion")
+	}
+}
+
+// TestRemoteDegradeToMiss is the fault-injection matrix: every failure
+// mode must read as a clean miss — no error surfaced, no panic, no hang
+// past the bounded deadline — and the tier must heal when the fault
+// clears.
+func TestRemoteDegradeToMiss(t *testing.T) {
+	faults := []struct {
+		name  string
+		fault cachetest.Fault
+		// counter inspects the failure's classification so a fault is
+		// not just absorbed but attributed: operators can tell a down
+		// server from a poisoned one.
+		counter func(cache.RemoteStats) int64
+	}{
+		{"drop", cachetest.FaultDrop, func(s cache.RemoteStats) int64 { return s.Errors }},
+		{"delay", cachetest.FaultDelay, func(s cache.RemoteStats) int64 { return s.Errors }},
+		{"500", cachetest.Fault500, func(s cache.RemoteStats) int64 { return s.Errors }},
+		{"truncate", cachetest.FaultTruncate, func(s cache.RemoteStats) int64 { return s.Corrupt }},
+		{"corrupt", cachetest.FaultCorrupt, func(s cache.RemoteStats) int64 { return s.Corrupt }},
+		{"skew", cachetest.FaultSkew, func(s cache.RemoteStats) int64 { return s.Skew }},
+	}
+	for _, tc := range faults {
+		t.Run(tc.name, func(t *testing.T) {
+			flaky, r := remotePair(t)
+			k := testKey("degrade-" + tc.name)
+			payload := []byte(strings.Repeat("artifact ", 64))
+
+			// Seed the entry while healthy so faulted responses carry a
+			// real body to mangle.
+			if !r.Put(k, cache.Seal(payload)) {
+				t.Fatal("healthy Put failed")
+			}
+			flaky.SetFault(tc.fault)
+			flaky.SetDelay(2 * time.Second) // past the client's 500ms deadline
+
+			before := tc.counter(r.Stats())
+			start := time.Now()
+			if _, ok := r.Get(k); ok {
+				t.Fatalf("fault %s: Get succeeded, want degrade to miss", tc.name)
+			}
+			if el := time.Since(start); el > 5*time.Second {
+				t.Fatalf("fault %s: Get stalled %s, deadline not enforced", tc.name, el)
+			}
+			if after := tc.counter(r.Stats()); after <= before {
+				t.Fatalf("fault %s: failure not attributed (counter still %d)", tc.name, after)
+			}
+			// A faulted Put must also be swallowed, never surfaced.
+			r.Put(testKey("degrade-put-"+tc.name), cache.Seal(payload))
+
+			// Heal: the same tier, no new client, serves hits again.
+			flaky.SetFault(cachetest.FaultNone)
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				if _, ok := r.Get(k); ok {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("fault %s: tier did not heal", tc.name)
+				}
+				time.Sleep(50 * time.Millisecond) // breaker cooldown may gate the probe
+			}
+		})
+	}
+}
+
+// TestRemoteCorruptFrameNotPromoted pins that a corrupted fetch can
+// never poison the local cache: the frame fails validation client-side
+// and nothing is inserted.
+func TestRemoteCorruptFrameNotPromoted(t *testing.T) {
+	flaky, r := remotePair(t)
+	c := cache.New()
+	c.SetRemote(r)
+	k := testKey("poison")
+	if !r.Put(k, cache.Seal([]byte("clean payload"))) {
+		t.Fatal("seed Put failed")
+	}
+	flaky.SetFault(cachetest.FaultCorrupt)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("corrupt remote frame served as a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatal("corrupt frame promoted into the memory tier")
+	}
+}
+
+func TestRemoteBreakerOpensAndRecovers(t *testing.T) {
+	flaky, r := remotePair(t)
+	k := testKey("breaker")
+
+	flaky.SetFault(cachetest.FaultDrop)
+	for i := 0; i < 3; i++ { // threshold consecutive transport failures
+		r.Get(k)
+	}
+	st := r.Stats()
+	if st.BreakerOpens != 1 {
+		t.Fatalf("BreakerOpens = %d, want 1", st.BreakerOpens)
+	}
+
+	// Open breaker: requests are swallowed without touching the server.
+	reqs := flaky.Requests()
+	r.Get(k)
+	r.Put(k, cache.Seal([]byte("x")))
+	if flaky.Requests() != reqs {
+		t.Fatal("open breaker let requests through")
+	}
+	if r.Stats().BreakerSkips < 2 {
+		t.Fatalf("BreakerSkips = %d, want >= 2", r.Stats().BreakerSkips)
+	}
+
+	// After cooldown a single probe goes through; its success closes the
+	// breaker and normal service resumes.
+	flaky.SetFault(cachetest.FaultNone)
+	time.Sleep(250 * time.Millisecond)
+	if !r.Put(k, cache.Seal([]byte("recovered"))) {
+		t.Fatal("probe Put failed after heal")
+	}
+	if _, ok := r.Get(k); !ok {
+		t.Fatal("breaker did not close after successful probe")
+	}
+}
+
+func TestRemoteClaimSingleFlight(t *testing.T) {
+	_, r := remotePair(t)
+	k := testKey("claim")
+
+	res, ok := r.Claim(k)
+	if !ok || !res.Winner || res.Ready {
+		t.Fatalf("first claim = %+v, %v; want winner", res, ok)
+	}
+	res, ok = r.Claim(k)
+	if !ok || res.Winner {
+		t.Fatalf("second claim = %+v, %v; want loser", res, ok)
+	}
+
+	// The winner publishes; the next claimant is told the artifact is
+	// ready instead of being made to build or wait.
+	if !r.Put(k, cache.Seal([]byte("artifact"))) {
+		t.Fatal("winner Put failed")
+	}
+	res, ok = r.Claim(k)
+	if !ok || res.Winner || !res.Ready {
+		t.Fatalf("post-publish claim = %+v, %v; want ready", res, ok)
+	}
+}
+
+func TestRemoteGetWaitCoalesces(t *testing.T) {
+	_, r := remotePair(t)
+	k := testKey("getwait")
+	payload := cache.Seal([]byte("late artifact"))
+
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		r.Put(k, payload)
+	}()
+	sealed, ok := r.GetWait(context.Background(), k, 10*time.Second)
+	if !ok {
+		t.Fatal("GetWait missed an artifact published within the window")
+	}
+	if !bytes.Equal(sealed, payload) {
+		t.Fatal("GetWait returned different bytes than published")
+	}
+
+	// A wait with no publisher ends at the bound, as a miss.
+	start := time.Now()
+	if _, ok := r.GetWait(context.Background(), testKey("never"), 300*time.Millisecond); ok {
+		t.Fatal("GetWait hit a never-published key")
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("GetWait overran its bound: %s", el)
+	}
+}
+
+func TestParseKey(t *testing.T) {
+	k := testKey("roundtrip")
+	parsed, err := cache.ParseKey(k.String())
+	if err != nil || parsed != k {
+		t.Fatalf("ParseKey(%q) = %v, %v", k.String(), parsed, err)
+	}
+	for _, bad := range []string{"", "abc", strings.Repeat("z", 64), strings.Repeat("ab", 33)} {
+		if _, err := cache.ParseKey(bad); err == nil {
+			t.Fatalf("ParseKey(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package fleet routes work across a set of calibrod daemons with a
+// consistent-hash ring. The router's job is affinity, not correctness:
+// sending the same app/config to the same daemon maximizes that daemon's
+// warm-cache hit rate, while the shared remote tier guarantees a job
+// landing anywhere still builds the identical image. Consistent hashing
+// (virtual nodes on a 64-bit ring) keeps the mapping stable when the
+// daemon list changes: removing one daemon remaps only the keys it
+// owned, not the whole fleet's affinity.
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultReplicas is how many virtual nodes each address gets on the
+// ring. More replicas smooth the load split between daemons at the cost
+// of a larger (still tiny) ring; 64 keeps the imbalance low for the
+// 2-10 daemon fleets the CLIs drive.
+const DefaultReplicas = 64
+
+// Ring is an immutable consistent-hash ring over daemon addresses.
+// Create with New; methods are safe for concurrent use.
+type Ring struct {
+	addrs  []string
+	hashes []uint64 // sorted virtual-node positions
+	owner  []string // owner[i] is the addr at hashes[i]
+}
+
+// New builds a ring over addrs with the given virtual-node count per
+// address (<= 0 selects DefaultReplicas). Duplicate and empty addresses
+// are dropped; an empty list yields a ring whose Pick returns "".
+func New(addrs []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{}
+	seen := map[string]bool{}
+	for _, a := range addrs {
+		if a == "" || seen[a] {
+			continue
+		}
+		seen[a] = true
+		r.addrs = append(r.addrs, a)
+	}
+	type vnode struct {
+		h    uint64
+		addr string
+	}
+	nodes := make([]vnode, 0, len(r.addrs)*replicas)
+	for _, a := range r.addrs {
+		for i := 0; i < replicas; i++ {
+			nodes = append(nodes, vnode{hashString(a + "#" + strconv.Itoa(i)), a})
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].h != nodes[j].h {
+			return nodes[i].h < nodes[j].h
+		}
+		// Tie-break hash collisions by address so the ring is a pure
+		// function of its membership, not of input order.
+		return nodes[i].addr < nodes[j].addr
+	})
+	r.hashes = make([]uint64, len(nodes))
+	r.owner = make([]string, len(nodes))
+	for i, n := range nodes {
+		r.hashes[i] = n.h
+		r.owner[i] = n.addr
+	}
+	return r
+}
+
+// hashString is FNV-1a 64 with a murmur3 finalizer: FNV alone clumps on
+// the short, similar strings vnode labels are made of, which skews the
+// load split; the finalizer's avalanche restores uniform positions. The
+// content addresses themselves stay SHA-256 — this hash only places.
+func hashString(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s)) //nolint:errcheck // fnv never errors
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Pick returns the daemon owning key: the first virtual node clockwise
+// from the key's position. Empty ring picks "".
+func (r *Ring) Pick(key string) string {
+	if len(r.hashes) == 0 {
+		return ""
+	}
+	h := hashString(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0 // wrap: the ring is circular
+	}
+	return r.owner[i]
+}
+
+// Addrs returns the distinct addresses on the ring, in input order.
+func (r *Ring) Addrs() []string {
+	return append([]string(nil), r.addrs...)
+}
+
+// ParseList splits a comma-separated daemon list ("-fleet a:1,b:2"),
+// trimming whitespace and dropping empty elements.
+func ParseList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingDeterministicAndOrderIndependent(t *testing.T) {
+	a := New([]string{"h1:7741", "h2:7741", "h3:7741"}, 0)
+	b := New([]string{"h3:7741", "h1:7741", "h2:7741", "h1:7741", ""}, 0)
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("Taobao|ltbo|v%d", i)
+		if a.Pick(k) != b.Pick(k) {
+			t.Fatalf("ring is not a pure function of membership: key %q", k)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	addrs := []string{"h1:7741", "h2:7741", "h3:7741", "h4:7741"}
+	r := New(addrs, 0)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Pick(fmt.Sprintf("app-%d|config|v1", i))]++
+	}
+	if len(counts) != len(addrs) {
+		t.Fatalf("only %d of %d daemons received keys: %v", len(counts), len(addrs), counts)
+	}
+	// With 64 vnodes/daemon the split should be within a loose 2x band of
+	// even — this guards against a broken hash, not a perfect balance.
+	for addr, n := range counts {
+		if n < keys/len(addrs)/2 || n > keys/len(addrs)*2 {
+			t.Errorf("daemon %s owns %d/%d keys, outside the 2x band", addr, n, keys)
+		}
+	}
+}
+
+// TestRingStability pins the consistent-hashing property: removing one
+// daemon remaps only the keys that daemon owned.
+func TestRingStability(t *testing.T) {
+	full := New([]string{"h1:7741", "h2:7741", "h3:7741", "h4:7741"}, 0)
+	less := New([]string{"h1:7741", "h2:7741", "h3:7741"}, 0)
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("app-%d|config|v1", i)
+		before, after := full.Pick(k), less.Pick(k)
+		if before != "h4:7741" && before != after {
+			t.Fatalf("key %q moved from surviving daemon %s to %s", k, before, after)
+		}
+		if before != after {
+			moved++
+		}
+	}
+	// Roughly 1/4 of keys lived on the removed daemon; all of them (and
+	// only them) remap.
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("removal remapped %d/%d keys, want ~%d", moved, keys, keys/4)
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := New(nil, 0).Pick("anything"); got != "" {
+		t.Fatalf("empty ring picked %q", got)
+	}
+	one := New([]string{"solo:7741"}, 0)
+	for i := 0; i < 50; i++ {
+		if got := one.Pick(fmt.Sprintf("k%d", i)); got != "solo:7741" {
+			t.Fatalf("single-daemon ring picked %q", got)
+		}
+	}
+}
+
+func TestParseList(t *testing.T) {
+	got := ParseList(" h1:7741, h2:7741 ,,h3:7741 ")
+	want := []string{"h1:7741", "h2:7741", "h3:7741"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseList = %v, want %v", got, want)
+	}
+	if ParseList("") != nil {
+		t.Fatal("ParseList of empty string should be nil")
+	}
+	if ParseList(" , ,") != nil {
+		t.Fatal("ParseList of separators should be nil")
+	}
+}

@@ -183,6 +183,14 @@ type JobStats struct {
 	// LintFindings counts warnings and errors when the request asked for
 	// lint; -1 means lint was not requested.
 	LintFindings int `json:"lint_findings"`
+
+	// FleetSource records how the fleet layer satisfied the job:
+	// "artifact" (fetched another daemon's finished build from the remote
+	// store), "coalesced" (long-polled a concurrent winner's artifact),
+	// or empty for a job this daemon built itself. Timing fields of a
+	// fleet-served job are zero except QueueWaitUS — the work happened
+	// elsewhere.
+	FleetSource string `json:"fleet_source,omitempty"`
 }
 
 // JobStatus is the poll response.
@@ -348,9 +356,11 @@ func ladder(req JobRequest) core.Config {
 	}
 }
 
-// build runs one job under its context. Every job shares the server's
-// cache and tracer; everything else is per-job.
-func (s *Server) build(ctx context.Context, req JobRequest, queueWait time.Duration) (*buildOutput, error) {
+// buildLocal runs one job under its context on this daemon's own
+// workers. Every job shares the server's cache and tracer; everything
+// else is per-job. The fleet layer (fleet.go) wraps this with the
+// artifact fetch and cross-daemon single-flight.
+func (s *Server) buildLocal(ctx context.Context, req JobRequest, queueWait time.Duration) (*buildOutput, error) {
 	if req.Kind == KindDebloat {
 		return s.debloat(ctx, req, queueWait)
 	}

@@ -36,10 +36,24 @@ type Metrics struct {
 	QueueWait   obs.TaskStats `json:"queue_wait"`
 	JobDuration obs.TaskStats `json:"job_duration"`
 
+	// Fleet outcomes; all zero without a remote tier. FleetHits are jobs
+	// served whole from a published artifact, FleetWins builds this
+	// daemon won and published, FleetCoalesced jobs that long-polled a
+	// peer's build, FleetFallbacks losers that gave up waiting and built
+	// locally.
+	FleetHits      int64 `json:"fleet_hits"`
+	FleetWins      int64 `json:"fleet_wins"`
+	FleetCoalesced int64 `json:"fleet_coalesced"`
+	FleetFallbacks int64 `json:"fleet_fallbacks"`
+
 	// Cache is the shared cache's accounting and its derived hit rate;
 	// absent when the daemon runs uncached.
 	Cache        *cache.Stats `json:"cache,omitempty"`
 	CacheHitRate float64      `json:"cache_hit_rate"`
+
+	// Remote is the fleet tier's client-side accounting (every failure
+	// class counted separately); absent without a remote tier.
+	Remote *cache.RemoteStats `json:"remote,omitempty"`
 
 	// Telemetry is the shared tracer's full snapshot (stage totals, task
 	// distributions, worker occupancy); absent when tracing is off.
@@ -59,6 +73,11 @@ func (s *Server) Metrics() *Metrics {
 		JobsCanceled: s.canceled.Load(),
 		JobsRejected: s.rejected.Load(),
 		JobsInvalid:  s.invalid.Load(),
+
+		FleetHits:      s.fleetHits.Load(),
+		FleetWins:      s.fleetWins.Load(),
+		FleetCoalesced: s.fleetCoalesced.Load(),
+		FleetFallbacks: s.fleetFallbacks.Load(),
 	}
 	m.QueueWait = s.queueWait.Stats()
 	m.JobDuration = s.jobDur.Stats()
@@ -66,6 +85,10 @@ func (s *Server) Metrics() *Metrics {
 		st := s.cfg.Cache.Stats()
 		m.Cache = &st
 		m.CacheHitRate = st.HitRate()
+	}
+	if r := s.remote(); r != nil {
+		rst := r.Stats()
+		m.Remote = &rst
 	}
 	if s.cfg.Tracer != nil {
 		m.Telemetry = s.cfg.Tracer.Snapshot()

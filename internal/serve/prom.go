@@ -49,6 +49,34 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	p.Family("calibrod_job_duration_seconds", "histogram", "End-to-end job latency, submit to terminal state.")
 	p.Histo(nil, &s.jobDur)
 
+	if s.remote() != nil {
+		p.Family("calibrod_fleet_jobs_total", "counter", "Jobs satisfied through the fleet layer by source.")
+		p.Sample("", []obs.Label{{Key: "source", Value: "artifact"}}, float64(s.fleetHits.Load()))
+		p.Sample("", []obs.Label{{Key: "source", Value: "coalesced"}}, float64(s.fleetCoalesced.Load()))
+		p.Family("calibrod_fleet_wins_total", "counter", "Single-flight elections won, built, and published.")
+		p.Sample("", nil, float64(s.fleetWins.Load()))
+		p.Family("calibrod_fleet_fallbacks_total", "counter", "Single-flight losers that gave up waiting and built locally.")
+		p.Sample("", nil, float64(s.fleetFallbacks.Load()))
+
+		rst := s.remote().Stats()
+		p.Family("calibrod_cache_remote_hits_total", "counter", "Remote-tier fetches that returned a validated frame.")
+		p.Sample("", nil, float64(rst.Hits))
+		p.Family("calibrod_cache_remote_misses_total", "counter", "Remote-tier fetches that missed cleanly (404).")
+		p.Sample("", nil, float64(rst.Misses))
+		p.Family("calibrod_cache_remote_errors_total", "counter", "Remote-tier failures by class, all degraded to misses.")
+		p.Sample("", []obs.Label{{Key: "class", Value: "transport"}}, float64(rst.Errors))
+		p.Sample("", []obs.Label{{Key: "class", Value: "corrupt"}}, float64(rst.Corrupt))
+		p.Sample("", []obs.Label{{Key: "class", Value: "skew"}}, float64(rst.Skew))
+		p.Family("calibrod_cache_remote_puts_total", "counter", "Entries published to the remote tier.")
+		p.Sample("", nil, float64(rst.Puts))
+		p.Family("calibrod_cache_remote_put_errors_total", "counter", "Publishes that failed (swallowed).")
+		p.Sample("", nil, float64(rst.PutErrors))
+		p.Family("calibrod_cache_remote_breaker_opens_total", "counter", "Circuit-breaker closed-to-open transitions.")
+		p.Sample("", nil, float64(rst.BreakerOpens))
+		p.Family("calibrod_cache_remote_breaker_skips_total", "counter", "Requests swallowed while the breaker was open.")
+		p.Sample("", nil, float64(rst.BreakerSkips))
+	}
+
 	if s.cfg.Cache != nil {
 		st := s.cfg.Cache.Stats()
 		p.Family("calibrod_cache_entries", "gauge", "Live cache entries.")

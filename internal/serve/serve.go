@@ -63,6 +63,15 @@ type Config struct {
 	// repeated submissions of the same compilation inputs hit instead of
 	// recompiling. Bound it with cache.SetLimits in a long-lived process.
 	Cache *cache.Cache
+	// Remote, when non-nil, enables the fleet layer: eligible jobs are
+	// served from published whole-build artifacts and coalesced across
+	// daemons via single-flight claims (see fleet.go). Defaults to the
+	// remote tier attached to Cache, so wiring -remote-cache once covers
+	// both the method cache and the fleet layer.
+	Remote *cache.Remote
+	// FleetWait bounds how long a single-flight loser waits for the
+	// winner's artifact before building locally anyway. Default 30s.
+	FleetWait time.Duration
 	// Tracer, when non-nil, records every job's build telemetry into one
 	// process-wide recording, exported by /metrics. Job lifecycle spans
 	// (queued, terminal state) are stitched into it on obs.LaneServe with
@@ -102,6 +111,12 @@ func (c Config) withDefaults() Config {
 	if c.Retention == 0 {
 		c.Retention = 1024
 	}
+	if c.Remote == nil && c.Cache != nil {
+		c.Remote = c.Cache.Remote()
+	}
+	if c.FleetWait <= 0 {
+		c.FleetWait = 30 * time.Second
+	}
 	return c
 }
 
@@ -140,6 +155,15 @@ type Server struct {
 	canceled atomic.Int64
 	rejected atomic.Int64 // 429s
 	invalid  atomic.Int64 // submits refused as unparseable/invalid (400/413)
+
+	// Fleet outcomes (zero without a remote tier): jobs served from a
+	// published artifact, builds this daemon won and published, jobs
+	// coalesced onto a peer's build, and long-poll losers that gave up
+	// and built locally.
+	fleetHits      atomic.Int64
+	fleetWins      atomic.Int64
+	fleetCoalesced atomic.Int64
+	fleetFallbacks atomic.Int64
 
 	// Bounded distributions: fixed-size histograms, so a daemon serving
 	// millions of jobs holds the same few KB it held after the first one.

@@ -5,12 +5,20 @@
 # BENCH_serve.json via cmd/benchjson -append, which stamps host CPU
 # count, GOMAXPROCS, and Go version next to the numbers so runs stay
 # comparable across machines.
+#
+# Two configurations land in the archive per invocation: the
+# single-daemon baseline, then a two-daemon fleet sharing a calibrocached
+# remote tier and replaying the identical plan through the
+# consistent-hash router (calibroload stamps the bench name with
+# /fleet=2, so the rows stay distinguishable).
 set -eu
 
 GO="${GO:-go}"
 DIR="$(mktemp -d)"
-LOG="$DIR/calibrod.log"
 PID=""
+APID=""
+BPID=""
+CPID=""
 
 SEED="${SEED:-1}"
 N="${N:-120}"
@@ -19,37 +27,45 @@ SCALE="${SCALE:-0.1}"
 
 cleanup() {
 	status=$?
-	if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
-		kill "$PID" 2>/dev/null || true
-		wait "$PID" 2>/dev/null || true
-	fi
+	for pid in "$PID" "$APID" "$BPID" "$CPID"; do
+		if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+			kill "$pid" 2>/dev/null || true
+			wait "$pid" 2>/dev/null || true
+		fi
+	done
 	if [ "$status" -ne 0 ]; then
-		echo "bench-serve: FAILED; daemon log:" >&2
-		cat "$LOG" >&2 || true
+		echo "bench-serve: FAILED; logs:" >&2
+		cat "$DIR"/*.log >&2 || true
 	fi
 	rm -rf "$DIR"
 	exit "$status"
 }
 trap cleanup EXIT INT TERM
 
+# wait_addr LOG PREFIX PID
+wait_addr() {
+	_addr=""
+	i=0
+	while [ $i -lt 100 ]; do
+		_addr="$(sed -n "s/^$2: listening on //p" "$1")"
+		[ -n "$_addr" ] && break
+		kill -0 "$3" 2>/dev/null || { echo "bench-serve: $2 died at startup" >&2; exit 1; }
+		sleep 0.1
+		i=$((i + 1))
+	done
+	[ -n "$_addr" ] || { echo "bench-serve: $2 never announced its address" >&2; exit 1; }
+	echo "$_addr"
+}
+
 echo "bench-serve: building binaries"
 $GO build -o "$DIR/calibrod" ./cmd/calibrod
+$GO build -o "$DIR/calibrocached" ./cmd/calibrocached
 $GO build -o "$DIR/calibroload" ./cmd/calibroload
 
 "$DIR/calibrod" -addr 127.0.0.1:0 -scale "$SCALE" -queue 64 -jobs 2 \
-	-max-body 65536 >"$LOG" 2>&1 &
+	-max-body 65536 >"$DIR/calibrod.log" 2>&1 &
 PID=$!
-
-ADDR=""
-i=0
-while [ $i -lt 100 ]; do
-	ADDR="$(sed -n 's/^calibrod: listening on //p' "$LOG")"
-	[ -n "$ADDR" ] && break
-	kill -0 "$PID" 2>/dev/null || { echo "bench-serve: calibrod died at startup" >&2; exit 1; }
-	sleep 0.1
-	i=$((i + 1))
-done
-[ -n "$ADDR" ] || { echo "bench-serve: calibrod never announced its address" >&2; exit 1; }
+ADDR="$(wait_addr "$DIR/calibrod.log" calibrod "$PID")"
 echo "bench-serve: daemon at $ADDR, replaying seed=$SEED n=$N rate=$RATE"
 
 "$DIR/calibroload" -addr "$ADDR" -seed "$SEED" -n "$N" -rate "$RATE" -bench \
@@ -59,4 +75,30 @@ echo "bench-serve: daemon at $ADDR, replaying seed=$SEED n=$N rate=$RATE"
 kill -TERM "$PID"
 wait "$PID" || { echo "bench-serve: calibrod exited non-zero" >&2; exit 1; }
 PID=""
+
+echo "bench-serve: fleet run — 2 calibrod + calibrocached"
+"$DIR/calibrocached" -addr 127.0.0.1:0 >"$DIR/calibrocached.log" 2>&1 &
+CPID=$!
+CACHED="$(wait_addr "$DIR/calibrocached.log" calibrocached "$CPID")"
+"$DIR/calibrod" -addr 127.0.0.1:0 -scale "$SCALE" -queue 64 -jobs 2 \
+	-max-body 65536 -remote-cache "http://$CACHED" >"$DIR/calibrod-a.log" 2>&1 &
+APID=$!
+"$DIR/calibrod" -addr 127.0.0.1:0 -scale "$SCALE" -queue 64 -jobs 2 \
+	-max-body 65536 -remote-cache "http://$CACHED" >"$DIR/calibrod-b.log" 2>&1 &
+BPID=$!
+A="$(wait_addr "$DIR/calibrod-a.log" calibrod "$APID")"
+B="$(wait_addr "$DIR/calibrod-b.log" calibrod "$BPID")"
+echo "bench-serve: fleet at $A,$B via $CACHED"
+
+"$DIR/calibroload" -fleet "$A,$B" -seed "$SEED" -n "$N" -rate "$RATE" -bench \
+	| $GO run ./cmd/benchjson -append -o BENCH_serve.json \
+		-note "seed=$SEED n=$N rate=$RATE scale=$SCALE fleet=2"
+
+for pid in "$APID" "$BPID" "$CPID"; do
+	kill -TERM "$pid"
+done
+wait "$APID" || { echo "bench-serve: calibrod A exited non-zero" >&2; exit 1; }
+wait "$BPID" || { echo "bench-serve: calibrod B exited non-zero" >&2; exit 1; }
+wait "$CPID" || { echo "bench-serve: calibrocached exited non-zero" >&2; exit 1; }
+APID=""; BPID=""; CPID=""
 echo "bench-serve: OK"

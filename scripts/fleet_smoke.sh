@@ -1,0 +1,156 @@
+#!/bin/sh
+# fleet_smoke.sh — the ci guard for fleet mode: one calibrocached plus
+# two calibrod daemons sharing it as a remote cache tier, driven by the
+# fixed-seed calibroload plan twice.
+#
+# Phase 1 replays the plan against daemon A alone: A builds everything
+# and publishes its artifacts to the shared tier. Phase 2 replays the
+# identical plan across the {A,B} fleet through the consistent-hash
+# router: submits that land on the cold daemon B must be answered from
+# A's published artifacts, not rebuilt. The plan is a pure function of
+# the seed, so both phases assert the exact same served/413 split —
+# routing and the remote tier must not change what gets served — and
+# phase 2 additionally asserts cross-daemon hits actually happened
+# (daemon B's fleet_hits > 0, the cache server's get_hits > 0).
+set -eu
+
+GO="${GO:-go}"
+DIR="$(mktemp -d)"
+CLOG="$DIR/calibrocached.log"
+ALOG="$DIR/calibrod-a.log"
+BLOG="$DIR/calibrod-b.log"
+CPID=""
+APID=""
+BPID=""
+
+# Constants of the seed (see replay_smoke.sh): 38 served, 2 hostile
+# submits bounced with 413.
+SEED=1
+N=40
+WANT_SERVED=38
+WANT_413=2
+
+cleanup() {
+	status=$?
+	for pid in "$APID" "$BPID" "$CPID"; do
+		if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+			kill "$pid" 2>/dev/null || true
+			wait "$pid" 2>/dev/null || true
+		fi
+	done
+	if [ "$status" -ne 0 ]; then
+		echo "fleet-smoke: FAILED; logs:" >&2
+		for log in "$CLOG" "$ALOG" "$BLOG"; do
+			echo "--- $log" >&2
+			cat "$log" >&2 || true
+		done
+	fi
+	rm -rf "$DIR"
+	exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+# wait_addr LOG PREFIX PID: scrape the announced listen address.
+wait_addr() {
+	_addr=""
+	i=0
+	while [ $i -lt 100 ]; do
+		_addr="$(sed -n "s/^$2: listening on //p" "$1")"
+		[ -n "$_addr" ] && break
+		kill -0 "$3" 2>/dev/null || { echo "fleet-smoke: $2 died at startup" >&2; exit 1; }
+		sleep 0.1
+		i=$((i + 1))
+	done
+	[ -n "$_addr" ] || { echo "fleet-smoke: $2 never announced its address" >&2; exit 1; }
+	echo "$_addr"
+}
+
+# counter FILE NAME: extract an integer JSON field from a metrics dump.
+counter() {
+	sed -n "s/.*\"$2\": \([0-9][0-9]*\).*/\1/p" "$1" | head -n 1
+}
+
+echo "fleet-smoke: building binaries"
+$GO build -o "$DIR/calibrocached" ./cmd/calibrocached
+$GO build -o "$DIR/calibrod" ./cmd/calibrod
+$GO build -o "$DIR/calibroload" ./cmd/calibroload
+
+"$DIR/calibrocached" -addr 127.0.0.1:0 >"$CLOG" 2>&1 &
+CPID=$!
+CACHED="$(wait_addr "$CLOG" calibrocached "$CPID")"
+echo "fleet-smoke: cache server at $CACHED"
+
+"$DIR/calibrod" -addr 127.0.0.1:0 -scale 0.05 -queue 64 -jobs 2 \
+	-max-body 65536 -remote-cache "http://$CACHED" >"$ALOG" 2>&1 &
+APID=$!
+"$DIR/calibrod" -addr 127.0.0.1:0 -scale 0.05 -queue 64 -jobs 2 \
+	-max-body 65536 -remote-cache "http://$CACHED" >"$BLOG" 2>&1 &
+BPID=$!
+A="$(wait_addr "$ALOG" calibrod "$APID")"
+B="$(wait_addr "$BLOG" calibrod "$BPID")"
+echo "fleet-smoke: daemons at $A and $B"
+
+# check_split OUT PHASE: the exact served/rejected split the seed
+# dictates, and zero transport errors.
+check_split() {
+	counts="$(sed -n 's/^calibroload: \(served=.*\)$/\1/p' "$1")"
+	case "$counts" in
+	*"served=$WANT_SERVED "*) ;;
+	*) echo "fleet-smoke: $2 served count drifted (want served=$WANT_SERVED): $counts" >&2; exit 1 ;;
+	esac
+	case "$counts" in
+	*"413=$WANT_413 "*) ;;
+	*) echo "fleet-smoke: $2 413 count drifted (want 413=$WANT_413): $counts" >&2; exit 1 ;;
+	esac
+	case "$counts" in
+	*"errors=0"*) ;;
+	*) echo "fleet-smoke: $2 transport errors: $counts" >&2; exit 1 ;;
+	esac
+}
+
+echo "fleet-smoke: phase 1 — warm daemon A through the remote tier"
+"$DIR/calibroload" -addr "$A" -seed "$SEED" -n "$N" -rate 40 >"$DIR/phase1.out"
+cat "$DIR/phase1.out"
+check_split "$DIR/phase1.out" "phase 1"
+
+# Daemon A published its artifacts to the shared tier.
+curl -fsS "http://$CACHED/metrics" >"$DIR/cached1.json"
+PUTS="$(counter "$DIR/cached1.json" puts)"
+[ "${PUTS:-0}" -gt 0 ] || { echo "fleet-smoke: daemon A published no artifacts (puts=$PUTS)" >&2; exit 1; }
+
+echo "fleet-smoke: phase 2 — identical plan across the {A,B} fleet"
+"$DIR/calibroload" -fleet "$A,$B" -seed "$SEED" -n "$N" -rate 40 >"$DIR/phase2.out"
+cat "$DIR/phase2.out"
+check_split "$DIR/phase2.out" "phase 2"
+
+# Cross-daemon sharing happened: the cold daemon B answered jobs from
+# the fleet tier instead of rebuilding, and the cache server served
+# those fetches.
+curl -fsS "http://$B/metrics" >"$DIR/b.json"
+B_FLEET_HITS="$(counter "$DIR/b.json" fleet_hits)"
+B_DONE="$(counter "$DIR/b.json" jobs_done)"
+[ "${B_DONE:-0}" -gt 0 ] || { echo "fleet-smoke: router sent daemon B no jobs" >&2; exit 1; }
+[ "${B_FLEET_HITS:-0}" -gt 0 ] || { echo "fleet-smoke: daemon B served $B_DONE jobs but hit no fleet artifacts" >&2; exit 1; }
+curl -fsS "http://$CACHED/metrics" >"$DIR/cached2.json"
+GET_HITS="$(counter "$DIR/cached2.json" get_hits)"
+[ "${GET_HITS:-0}" -gt 0 ] || { echo "fleet-smoke: cache server served no hits (get_hits=$GET_HITS)" >&2; exit 1; }
+echo "fleet-smoke: daemon B: jobs_done=$B_DONE fleet_hits=$B_FLEET_HITS; cached: puts=$PUTS get_hits=$GET_HITS"
+
+# The remote-tier counter families are on daemon B's prom exposition.
+curl -fsS "http://$B/metrics?format=prom" >"$DIR/b.prom"
+for fam in calibrod_fleet_jobs_total calibrod_cache_remote_hits_total calibrod_cache_remote_errors_total; do
+	grep -q "^# TYPE $fam counter\$" "$DIR/b.prom" \
+		|| { echo "fleet-smoke: prom exposition missing $fam" >&2; exit 1; }
+done
+
+echo "fleet-smoke: stopping fleet"
+for pid in "$APID" "$BPID" "$CPID"; do
+	kill -TERM "$pid"
+done
+wait "$APID" || { echo "fleet-smoke: calibrod A exited non-zero" >&2; exit 1; }
+wait "$BPID" || { echo "fleet-smoke: calibrod B exited non-zero" >&2; exit 1; }
+wait "$CPID" || { echo "fleet-smoke: calibrocached exited non-zero" >&2; exit 1; }
+APID=""; BPID=""; CPID=""
+grep -q '^calibrocached: bye$' "$CLOG" || { echo "fleet-smoke: cache server did not exit cleanly" >&2; exit 1; }
+
+echo "fleet-smoke: OK"

@@ -1,15 +1,15 @@
 GO ?= go
 
-.PHONY: ci build vet lint test test-short race fuzz bench bench-obs bench-cache bench-smoke serve-smoke replay-smoke fleet-smoke bench-serve
+.PHONY: ci build vet lint test test-short race fuzz bench bench-obs bench-cache bench-smoke serve-smoke replay-smoke fleet-smoke bench-serve reoutline-smoke bench-reoutline
 
 # ci is the gate every change must pass: compile everything, lint
 # everything (vet always, staticcheck when installed), run the full test
 # suite, run the short suite under the race detector (the build pipeline
 # fans out per-method work since -j), smoke the observability benchmarks,
 # smoke the serving daemon, replay the fixed-seed workload with its
-# asserted served/rejected counts, and smoke the multi-daemon fleet
-# against a shared calibrocached.
-ci: build lint test race bench-smoke serve-smoke replay-smoke fleet-smoke
+# asserted served/rejected counts, smoke the multi-daemon fleet against a
+# shared calibrocached, and smoke the post-hoc re-outlining pipeline.
+ci: build lint test race bench-smoke serve-smoke replay-smoke fleet-smoke reoutline-smoke
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,7 @@ fuzz:
 	$(GO) test ./internal/cache -run xxx -fuzz FuzzRemoteFrame -fuzztime 20s
 	$(GO) test ./internal/cache/cacheserver -run xxx -fuzz FuzzRemoteRequest -fuzztime 20s
 	$(GO) test ./internal/analysis -run xxx -fuzz FuzzCallGraph -fuzztime 20s
+	$(GO) test ./internal/reoutline -run xxx -fuzz FuzzLift -fuzztime 20s
 
 # bench regenerates the paper's tables and figures.
 bench:
@@ -96,6 +97,20 @@ replay-smoke:
 # served/413 split plus actual cross-daemon artifact hits.
 fleet-smoke:
 	GO=$(GO) sh scripts/fleet_smoke.sh
+
+# reoutline-smoke builds the fixed-seed app without link-time outlining,
+# re-outlines it post hoc through the calibro CLI, and asserts savings,
+# the gap to the link-time build, lint-clean output, provenance in
+# oatdump, and the -debloat composition.
+reoutline-smoke:
+	GO=$(GO) sh scripts/reoutline_smoke.sh
+
+# bench-reoutline measures the post-hoc re-outlining pass per ladder app
+# (bytes saved plus per-stage wall clocks) and appends a timestamped run
+# to BENCH_reoutline.json via cmd/benchjson -append.
+bench-reoutline:
+	$(GO) test -run xxx -bench 'BenchmarkReoutline' -benchmem ./internal/reoutline \
+		| $(GO) run ./cmd/benchjson -append -o BENCH_reoutline.json
 
 # bench-serve replays the seeded serving workload at full scale and
 # appends client-observed latency percentiles, queue wait, cache hit

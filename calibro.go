@@ -35,6 +35,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/outline"
 	"repro/internal/profiler"
+	"repro/internal/reoutline"
 	"repro/internal/workload"
 )
 
@@ -112,6 +113,10 @@ type (
 	DebloatConfig = core.DebloatConfig
 	// DebloatStats reports what a debloat pass removed.
 	DebloatStats = analysis.DebloatStats
+	// ReoutlineConfig configures ReoutlineImage.
+	ReoutlineConfig = core.ReoutlineConfig
+	// ReoutlineStats reports what a post-hoc re-outlining pass did.
+	ReoutlineStats = reoutline.Stats
 	// LintRule is one named verifier check in the oatlint rule registry.
 	LintRule = analysis.Rule
 	// LintRuleSpec selects which rules a lint run evaluates and at what
@@ -290,6 +295,17 @@ func BuildCallGraph(img *Image) (*CallGraph, []Finding) {
 // idempotent: debloating a debloated image is byte-identical.
 func DebloatImage(img *Image, cfg DebloatConfig) (*Image, *DebloatStats, error) {
 	return core.DebloatImage(img, cfg)
+}
+
+// ReoutlineImage re-outlines an already-linked image with no access to
+// compile-time state: it lifts every precisely-recovered method back into
+// rewritable form (inlining existing outlined bodies), re-runs the suffix
+// detector, relinks preserving region order, and re-verifies the result
+// against the input with the paired equivalence rules. Imprecise methods
+// are byte-preserved. The pass is idempotent: re-outlining a re-outlined
+// image is byte-identical.
+func ReoutlineImage(img *Image, cfg ReoutlineConfig) (*Image, *ReoutlineStats, error) {
+	return core.ReoutlineImage(img, cfg)
 }
 
 // LintRules lists the registered oatlint rules in registration order.

@@ -9,7 +9,8 @@
 //	        [-trees 8] [-shards 1] [-j N] [-runs 20] [-measure] [-o out.oat]
 //	        [-trace t.json] [-metrics m.json] [-stats] [-pprof cpu.out|mem.out]
 //	        [-cache] [-cache-dir DIR] [-remote-cache URL]
-//	calibro -debloat app.oat [-roots 0,1,2] [-o smaller.oat]
+//	calibro -debloat app.oat [-roots 0,1,2] [-reoutline] [-o smaller.oat]
+//	calibro -app Wechat -config cto -reoutline [-o out.oat]
 //
 // Telemetry: -trace writes a Chrome trace-event JSON of the whole build
 // (open in Perfetto or chrome://tracing; worker lanes appear as threads),
@@ -33,6 +34,14 @@
 // with no recovered caller), re-verifies the result with the full oatlint
 // pass, and writes the smaller image with -o. The pass refuses unsound
 // inputs and removes nothing when the analysis is imprecise.
+//
+// Re-outlining: -reoutline additionally runs the post-hoc re-outliner on
+// whatever image the invocation produced — the freshly built one, or the
+// debloated one when composed with -debloat. The pass lifts every method
+// the legality mask admits back into rewritable form, re-runs the
+// link-time detector over it, relinks, and re-verifies against the input
+// with the paired lint rules; methods it cannot prove liftable ride
+// through byte-for-byte.
 package main
 
 import (
@@ -102,6 +111,7 @@ func run(args []string, out io.Writer) error {
 
 		debloatPath = fs.String("debloat", "", "debloat this existing OAT image instead of building: remove code unreachable from -roots and write the result to -o")
 		rootsSpec   = fs.String("roots", "", "comma-separated method IDs rooting the debloat reachability (default: no-caller inference)")
+		reoutline   = fs.Bool("reoutline", false, "additionally re-outline the produced image post hoc (after the build, or after -debloat)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -138,7 +148,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *debloatPath != "" {
-		if err := runDebloat(out, *debloatPath, *rootsSpec, *outPath, *workers, tracer); err != nil {
+		if err := runDebloat(out, *debloatPath, *rootsSpec, *outPath, *reoutline, *workers, tracer); err != nil {
 			return err
 		}
 		return flushTelemetry(out, tracer, *tracePath, *metricsPath, *statsFlag, stopProfile, *pprofPath)
@@ -212,6 +222,13 @@ func run(args []string, out io.Writer) error {
 	}
 	if err != nil {
 		return err
+	}
+	if *reoutline {
+		img, err := applyReoutline(out, res.Image, *workers, tracer)
+		if err != nil {
+			return err
+		}
+		res.Image = img
 	}
 
 	fmt.Fprintf(out, "config %s: text %s, build %s at -j %d (compile %s, outline %s, link %s; stage sum %s)\n",
@@ -295,9 +312,10 @@ func flushTelemetry(out io.Writer, tracer *obs.Tracer, tracePath, metricsPath st
 }
 
 // runDebloat implements -debloat: parse an existing OAT image, remove
-// everything unreachable from the root set, report what was removed, and
-// (with -o) write the smaller image.
-func runDebloat(out io.Writer, inPath, rootsSpec, outPath string, workers int, tracer *obs.Tracer) error {
+// everything unreachable from the root set, report what was removed,
+// optionally re-outline the survivor, and (with -o) write the smaller
+// image.
+func runDebloat(out io.Writer, inPath, rootsSpec, outPath string, reoutline bool, workers int, tracer *obs.Tracer) error {
 	data, err := os.ReadFile(inPath)
 	if err != nil {
 		return err
@@ -338,6 +356,11 @@ func runDebloat(out io.Writer, inPath, rootsSpec, outPath string, workers int, t
 	if stats.Imprecise {
 		fmt.Fprintln(out, "debloat: analysis was imprecise; everything kept")
 	}
+	if reoutline {
+		if res, err = applyReoutline(out, res, workers, tracer); err != nil {
+			return err
+		}
+	}
 	if outPath != "" {
 		data, err := res.Marshal()
 		if err != nil {
@@ -349,6 +372,21 @@ func runDebloat(out io.Writer, inPath, rootsSpec, outPath string, workers int, t
 		fmt.Fprintf(out, "wrote %s (%s on disk)\n", outPath, report.Bytes(len(data)))
 	}
 	return nil
+}
+
+// applyReoutline runs the post-hoc re-outliner on an image and reports
+// what it did, returning the rewritten image.
+func applyReoutline(out io.Writer, img *oat.Image, workers int, tracer *obs.Tracer) (*oat.Image, error) {
+	res, st, err := core.ReoutlineImage(img, core.ReoutlineConfig{Workers: workers, Tracer: tracer})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "reoutline: text %s -> %s (%d bytes saved)\n",
+		report.Bytes(st.TextBefore), report.Bytes(st.TextAfter), st.Saved())
+	fmt.Fprintf(out, "reoutline: %d/%d methods lifted (%d frozen, %d stubs), %d functions created, %d retained, %d merged\n",
+		st.MethodsLifted, st.MethodsTotal, st.MethodsFrozen, st.MethodsStub,
+		st.BlobsCreated, st.BlobsRetained, st.BlobsDeduped)
+	return res, nil
 }
 
 // writeFileWith streams an exporter into a freshly created file.

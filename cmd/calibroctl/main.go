@@ -1,5 +1,6 @@
-// Command calibroctl is the calibrod client: submit build jobs, wait for
-// them, and fetch their artifacts over the daemon's HTTP API.
+// Command calibroctl is the calibrod client: submit build, debloat, and
+// reoutline jobs, wait for them, and fetch their artifacts over the
+// daemon's HTTP API.
 //
 // Usage:
 //
@@ -58,6 +59,8 @@ commands:
   submit   -app NAME | -dex FILE  [-config C] [-scale F] [-trees N] [-shards N]
            [-rounds N] [-dedup] [-j N] [-runs N] [-verify] [-lint] [-timeout d]
            [-version N] [-delta F]
+           -kind debloat|reoutline -oat FILE  [-roots 0,1,2] rewrites an
+           existing image instead of building one
   wait     JOB [-poll d]
   status   JOB
   stats    JOB
@@ -170,6 +173,9 @@ func (c *client) submit(args []string) error {
 	var (
 		app     = fs.String("app", "", "benchmark app profile (Toutiao, Taobao, Fanqie, Meituan, Kuaishou, Wechat)")
 		dexFile = fs.String("dex", "", "submit this dex container or assembly-text file instead of a profile")
+		kind    = fs.String("kind", "", "job kind: build (default), debloat, reoutline")
+		oatFile = fs.String("oat", "", "serialized OAT image a debloat or reoutline job rewrites")
+		roots   = fs.String("roots", "", "comma-separated reachability root method IDs (debloat)")
 		config  = fs.String("config", "plopti", "ladder config: baseline|cto|ltbo|plopti|hfopti")
 		scale   = fs.Float64("scale", 0, "app scale; 0 = server default")
 		trees   = fs.Int("trees", 0, "parallel suffix trees; 0 = server default")
@@ -187,7 +193,14 @@ func (c *client) submit(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	req := map[string]any{"config": *config}
+	req := map[string]any{}
+	if *kind != "" {
+		req["kind"] = *kind
+	}
+	if *oatFile == "" {
+		// Rewrite kinds take an image, not a ladder config.
+		req["config"] = *config
+	}
 	if *app != "" {
 		req["app"] = *app
 	}
@@ -197,6 +210,24 @@ func (c *client) submit(args []string) error {
 			return err
 		}
 		req["dex"] = data
+	}
+	if *oatFile != "" {
+		data, err := os.ReadFile(*oatFile)
+		if err != nil {
+			return err
+		}
+		req["oat"] = data
+	}
+	if *roots != "" {
+		var ids []uint32
+		for _, s := range strings.Split(*roots, ",") {
+			n, err := strconv.ParseUint(strings.TrimSpace(s), 10, 32)
+			if err != nil {
+				return fmt.Errorf("parsing -roots: %w", err)
+			}
+			ids = append(ids, uint32(n))
+		}
+		req["roots"] = ids
 	}
 	if *scale > 0 {
 		req["scale"] = *scale
@@ -245,6 +276,9 @@ func (c *client) submit(args []string) error {
 		key := *app + "|" + *config + "|v" + strconv.Itoa(*version)
 		if *dexFile != "" {
 			key = "dex|" + *dexFile
+		}
+		if *oatFile != "" {
+			key = *kind + "|" + *oatFile
 		}
 		if a := c.ring.Pick(key); a != "" {
 			base, suffix = "http://"+a, "@"+a

@@ -68,7 +68,17 @@ func run(args []string, out, errOut io.Writer) int {
 	if *thunks {
 		dumpFuncs := func(kind string, funcs []oat.FuncRecord) {
 			for _, f := range funcs {
-				fmt.Fprintf(out, "\n%s %s at +%#x (%d bytes):\n", kind, codegen.SymName(f.Sym), f.Offset, f.Size)
+				// Outlined bodies carry their provenance in the symbol
+				// kind: created by the link-time outliner, or by a later
+				// post-hoc reoutline pass over the sealed image.
+				prov := ""
+				if kind == "outlined" {
+					prov = " [link-time]"
+					if k, _ := codegen.UnpackSym(f.Sym); k == codegen.SymKindReoutlined {
+						prov = " [reoutlined]"
+					}
+				}
+				fmt.Fprintf(out, "\n%s %s%s at +%#x (%d bytes):\n", kind, codegen.SymName(f.Sym), prov, f.Offset, f.Size)
 				words := img.Text[f.Offset/4 : (f.Offset+f.Size)/4]
 				for _, line := range a64.Disassemble(words, int(abi.TextBase)+f.Offset) {
 					fmt.Fprintln(out, "  "+line)

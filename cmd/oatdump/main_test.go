@@ -83,6 +83,104 @@ func TestDumpGolden(t *testing.T) {
 	}
 }
 
+// dumpOutlineSrc repeats one long arithmetic body across methods so the
+// link-time outliner reliably creates outlined functions to dump.
+const dumpOutlineSrc = `
+.app DumpOutline
+.file classes.dex
+.class LMain
+.method f1 regs=6 ins=2
+    add v0, v4, v5
+    sub v1, v0, v4
+    add v2, v1, v0
+    add v3, v2, v1
+    sub v0, v3, v2
+    add v1, v0, v3
+    return v1
+.end method
+.method f2 regs=6 ins=2
+    add v0, v4, v5
+    sub v1, v0, v4
+    add v2, v1, v0
+    add v3, v2, v1
+    sub v0, v3, v2
+    add v1, v0, v3
+    return v1
+.end method
+.method f3 regs=6 ins=2
+    add v0, v4, v5
+    sub v1, v0, v4
+    add v2, v1, v0
+    add v3, v2, v1
+    sub v0, v3, v2
+    add v1, v0, v3
+    return v1
+.end method
+.end class
+.end file
+`
+
+// TestDumpProvenanceGolden pins the outlined-body provenance tags: a
+// link-time build dumps its outlined functions as [link-time]; the same
+// image re-outlined post hoc dumps them as [reoutlined]. Regenerate with
+// `go test ./cmd/oatdump -update`.
+func TestDumpProvenanceGolden(t *testing.T) {
+	app, err := calibro.Assemble(dumpOutlineSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := calibro.Build(app, calibro.CTOLTBO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reout, _, err := calibro.ReoutlineImage(res.Image, calibro.ReoutlineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		golden string
+		img    interface {
+			Marshal() ([]byte, error)
+		}
+		tag string
+	}{
+		{"dump_linktime.golden", res.Image, "[link-time]"},
+		{"dump_reoutlined.golden", reout, "[reoutlined]"},
+	}
+	for _, tc := range cases {
+		data, err := tc.img.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "app.oat")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-i", path, "-thunks", "-verify"}, &out, &errOut); code != 0 {
+			t.Fatalf("%s: exit %d; stderr: %s", tc.golden, code, errOut.String())
+		}
+		if !strings.Contains(out.String(), tc.tag) {
+			t.Errorf("%s: dump has no %s outlined body:\n%s", tc.golden, tc.tag, out.String())
+		}
+		golden := filepath.Join("testdata", tc.golden)
+		if *update {
+			if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("%v (regenerate with -update)", err)
+		}
+		if !bytes.Equal(out.Bytes(), want) {
+			t.Errorf("output differs from %s (regenerate with -update):\n got:\n%s\nwant:\n%s",
+				golden, out.String(), string(want))
+		}
+	}
+}
+
 func TestDumpDisasmFlag(t *testing.T) {
 	path := writeTestImage(t)
 	var out, errOut bytes.Buffer

@@ -10,15 +10,19 @@
 //
 // Usage:
 //
-//	oatlint [-v] [-rule name] [-rules spec] [-roots ids] [-json]
-//	        [-callgraph] [-reach] [-j N] [-trace t.json] [-metrics m.json]
-//	        [-pprof cpu.out|mem.out] app.oat
+//	oatlint [-v] [-rule name] [-rules spec] [-orig pre.oat] [-roots ids]
+//	        [-json] [-callgraph] [-reach] [-j N] [-trace t.json]
+//	        [-metrics m.json] [-pprof cpu.out|mem.out] app.oat
 //
 // Per-method checks run on -j worker goroutines (0 = all CPUs); findings
 // and their order are identical for every -j. -rules selects and
 // re-grades checks through the pluggable rule engine ("all", "legacy",
 // "interproc", NAME, -NAME, NAME=info|warn|error, comma-separated); its
-// default output is byte-identical to the classic path. -roots supplies
+// default output is byte-identical to the classic path. -orig supplies
+// the pre-pass image for the paired equivalence rules
+// (reoutlined-body-equivalent, lift-frozen-untouched), which verify a
+// re-outlined image against the one it was produced from; without it
+// those rules have nothing to compare and stay silent. -roots supplies
 // the reachability root set for the interprocedural rules and reports as
 // comma-separated method IDs (default: every method with no recovered
 // caller). -callgraph prints the recovered whole-image call graph and
@@ -58,13 +62,14 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("oatlint", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	fs.Usage = func() {
-		fmt.Fprintln(errOut, "usage: oatlint [-v] [-rule name] [-rules spec] [-roots ids] [-json] [-callgraph] [-reach] [-j N] [-trace t.json] [-metrics m.json] [-pprof out] app.oat")
+		fmt.Fprintln(errOut, "usage: oatlint [-v] [-rule name] [-rules spec] [-orig pre.oat] [-roots ids] [-json] [-callgraph] [-reach] [-j N] [-trace t.json] [-metrics m.json] [-pprof out] app.oat")
 		fs.PrintDefaults()
 	}
 	var (
 		verbose = fs.Bool("v", false, "report advisory findings and per-method statistics")
 		rule    = fs.String("rule", "", "only report findings under this rule")
 		rules   = fs.String("rules", "", "rule-engine spec: all|legacy|interproc|NAME|-NAME|NAME=info|warn|error, comma-separated")
+		origIn  = fs.String("orig", "", "pre-pass image for the paired equivalence rules (reoutlined-body-equivalent, lift-frozen-untouched); implies -rules all when -rules is unset")
 		roots   = fs.String("roots", "", "comma-separated method IDs rooting reachability (default: no-caller inference)")
 		asJSON  = fs.Bool("json", false, "emit findings as a JSON array instead of text")
 		dumpCG  = fs.Bool("callgraph", false, "print the recovered whole-image call graph")
@@ -112,6 +117,22 @@ func run(args []string, out, errOut io.Writer) int {
 		return 2
 	}
 
+	var orig *oat.Image
+	if *origIn != "" {
+		origData, err := os.ReadFile(*origIn)
+		if err != nil {
+			fmt.Fprintln(errOut, "oatlint:", err)
+			return 2
+		}
+		if orig, err = oat.Unmarshal(origData); err != nil {
+			fmt.Fprintln(errOut, "oatlint: -orig:", err)
+			return 2
+		}
+		if *rules == "" {
+			*rules = "all"
+		}
+	}
+
 	sp := tracer.Start("stage", "lint").Arg("methods", int64(len(img.Methods)))
 	var rep *analysis.Report
 	if *rules == "" {
@@ -123,7 +144,11 @@ func run(args []string, out, errOut io.Writer) int {
 			fmt.Fprintln(errOut, "oatlint:", err)
 			return 2
 		}
-		rep, err = analysis.RunRules(context.Background(), img, spec, rootSet, *workers, tracer)
+		if orig != nil {
+			rep, err = analysis.RunRulesPaired(context.Background(), img, orig, spec, rootSet, *workers, tracer)
+		} else {
+			rep, err = analysis.RunRules(context.Background(), img, spec, rootSet, *workers, tracer)
+		}
 		if err != nil {
 			sp.End()
 			fmt.Fprintln(errOut, "oatlint:", err)

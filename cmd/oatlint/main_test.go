@@ -226,3 +226,54 @@ func TestLintRulesFlag(t *testing.T) {
 		t.Errorf("exit %d on a bad -rules spec, want 2", code)
 	}
 }
+
+// TestLintPairedOrig drives the paired equivalence rules from the CLI: a
+// re-outlined image checked with -orig against its input must come out
+// clean, and a tampered re-outlined image must be caught by the
+// reoutlined-body-equivalent rule.
+func TestLintPairedOrig(t *testing.T) {
+	app, err := calibro.Assemble(lintTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := calibro.Build(app, calibro.CTOOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reout, _, err := calibro.ReoutlineImage(res.Image, calibro.ReoutlineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, img *calibro.Image) string {
+		data, err := calibro.MarshalImage(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	origPath := write("orig.oat", res.Image)
+	reoutPath := write("reout.oat", reout)
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-orig", origPath, reoutPath}, &out, &errOut); code != 0 {
+		t.Fatalf("paired lint of a sound reoutline: exit %d; output:\n%s%s", code, out.String(), errOut.String())
+	}
+
+	// Swap two instruction words inside the first method: still a valid
+	// image by the unpaired rules' lights is too much to ask, but the
+	// paired replay must flag the divergence from the original either way.
+	bad := *reout
+	bad.Text = append([]uint32(nil), reout.Text...)
+	w := bad.Methods[0].Offset / 4
+	bad.Text[w+1], bad.Text[w+2] = bad.Text[w+2], bad.Text[w+1]
+	badPath := write("bad.oat", &bad)
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-orig", origPath, badPath}, &out, &errOut); code != 1 {
+		t.Fatalf("paired lint of a tampered reoutline: exit %d, want 1; output:\n%s%s", code, out.String(), errOut.String())
+	}
+}

@@ -72,6 +72,15 @@ type Edge struct {
 	Kind   EdgeKind
 	Target dex.MethodID // EdgeMethod: the callee
 	Sym    int          // EdgeOutlined / EdgeThunk: the callee symbol
+	// Entry marks an indirect call dispatched through the entry-point
+	// field of an ArtMethod (`ldr lr, [x0, #EntryPointOffset]; blr lr`).
+	// Such a call is layout-independent — the runtime resolves the target
+	// address from the method table, not from a constant baked into the
+	// code — which is what lets the post-hoc re-outliner relocate the
+	// callee. A blr edge without Entry that still resolves into the text
+	// segment went through a materialized absolute address and pins its
+	// target in place.
+	Entry bool
 }
 
 // CGNode is the per-method view of the call graph.
@@ -444,7 +453,9 @@ func classifyBlr(l *layout, r region, fs *findings, st *walkState, off int, inst
 	defer clobberCallRegs(st)
 	switch val.kind {
 	case valEntry:
-		return resolveJavaCall(l, fs, dexID(r.method), off, absVal{kind: valConst, v: abi.ArtMethodAddr(uint32(val.v))})
+		edge := resolveJavaCall(l, fs, dexID(r.method), off, absVal{kind: valConst, v: abi.ArtMethodAddr(uint32(val.v))})
+		edge.Entry = true
+		return edge
 	case valConst:
 		text := int64(l.img.TextBytes())
 		if val.v < abi.TextBase || val.v >= abi.TextBase+text {

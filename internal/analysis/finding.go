@@ -96,6 +96,17 @@ const (
 	// forbids; an image with one can re-enter a blob recursively with a
 	// clobbered return address.
 	RuleOutlineCycle = "recursive-outline-cycle"
+	// RuleReoutlinedBody: in a paired run (oatlint -orig, or the
+	// re-outliner's self-check), a method of the new image does not
+	// flatten to the same instruction stream as its counterpart in the
+	// original image — inlining every outlined call and normalizing
+	// PC-relative displacements to logical targets yields different code.
+	RuleReoutlinedBody = "reoutlined-body-equivalent"
+	// RuleLiftFrozen: in a paired run, a method the lift legality mask
+	// froze (native, indirect-jump, unknown call target, or a
+	// layout-pinned indirect call) was modified beyond the permitted
+	// re-binding of bl displacements to relocated region heads.
+	RuleLiftFrozen = "lift-frozen-untouched"
 )
 
 // NoMethod marks findings that concern a thunk, an outlined function, or

@@ -54,6 +54,14 @@ type RuleContext struct {
 
 	reach *Reachability
 
+	// orig is the pre-pass image of a paired run (oatlint -orig, or the
+	// re-outliner's self-check); nil on single-image runs, in which case
+	// the paired rules emit nothing. Its layout and call graph are built
+	// lazily like the primary image's.
+	orig    *oat.Image
+	origLay *layout
+	origCG  *CallGraph
+
 	spec *RuleSpec
 	out  findings
 	err  error
@@ -61,6 +69,39 @@ type RuleContext struct {
 
 // Image returns the image under analysis.
 func (rc *RuleContext) Image() *oat.Image { return rc.img }
+
+// Orig returns the original (pre-pass) image of a paired run, or nil.
+func (rc *RuleContext) Orig() *oat.Image { return rc.orig }
+
+// origLayout returns the memoized layout of the original image, with blob
+// bodies decoded. Structural findings on the original image are not the
+// paired rules' business — the original was linted in its own run — so
+// they are discarded here.
+func (rc *RuleContext) origLayout() *layout {
+	if rc.origLay == nil && rc.orig != nil {
+		var fs findings
+		rc.origLay = buildLayout(rc.orig, &fs)
+		for _, r := range rc.origLay.regions {
+			if r.kind == regionBlob {
+				rc.origLay.checkBlob(r, &fs)
+			}
+		}
+	}
+	return rc.origLay
+}
+
+// origCallGraph returns the memoized call graph of the original image.
+func (rc *RuleContext) origCallGraph() (*CallGraph, error) {
+	if rc.origCG == nil && rc.orig != nil {
+		var fs findings
+		cg, err := buildCallGraphFrom(rc.ctx, rc.origLayout(), rc.workers, &fs)
+		if err != nil {
+			return nil, err
+		}
+		rc.origCG = cg
+	}
+	return rc.origCG, nil
+}
 
 // Analysis returns the shared per-method verification pass (layout,
 // thunk/blob checks, CFG recovery, dataflow), running it on first use.
@@ -346,6 +387,8 @@ func buildRegistry() []Rule {
 		unreachableRule{},
 		deadOutlineRule{},
 		outlineCycleRule{},
+		reoutlinedBodyRule{},
+		liftFrozenRule{},
 	)
 	return rs
 }
@@ -504,6 +547,17 @@ func (s *RuleSpec) String() string {
 // byte-identical to AnalyzeCtx. Roots configures the interprocedural
 // rules; the zero RootSet means DefaultRoots (no-caller inference).
 func RunRules(ctx context.Context, img *oat.Image, spec *RuleSpec, roots RootSet, workers int, tracer *obs.Tracer) (*Report, error) {
+	return RunRulesPaired(ctx, img, nil, spec, roots, workers, tracer)
+}
+
+// RunRulesPaired is RunRules over a pair of images: the image under
+// analysis plus the original it was derived from by a binary rewrite
+// (debloat, re-outline). The paired rules — reoutlined-body-equivalent
+// and lift-frozen-untouched — compare the two and prove the rewrite
+// preserved every method's flattened instruction stream and every frozen
+// method's bytes; on a nil orig they emit nothing, which keeps
+// single-image runs (and their goldens) unchanged.
+func RunRulesPaired(ctx context.Context, img, orig *oat.Image, spec *RuleSpec, roots RootSet, workers int, tracer *obs.Tracer) (*Report, error) {
 	if spec == nil {
 		spec = DefaultRuleSpec()
 	}
@@ -512,7 +566,7 @@ func RunRules(ctx context.Context, img *oat.Image, spec *RuleSpec, roots RootSet
 	}
 	rc := &RuleContext{
 		ctx: ctx, img: img, workers: workers, tracer: tracer,
-		roots: roots, spec: spec,
+		roots: roots, spec: spec, orig: orig,
 	}
 	names := make([]string, 0, len(spec.enabled))
 	for name, on := range spec.enabled {

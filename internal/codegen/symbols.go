@@ -22,6 +22,17 @@ const (
 	// SymKindOutlined is a function created by link-time outlining; value
 	// is an index assigned by the outliner.
 	SymKindOutlined = 4
+	// SymKindReoutlined is a function created by the post-hoc re-outliner
+	// (internal/reoutline) on an already-linked image; value is an index
+	// assigned by the pass. The distinct kind is the provenance bit: the
+	// symbol travels through the serialized FuncRecord unchanged, so dumps
+	// and lint rules can tell link-time from post-hoc outlining apart.
+	SymKindReoutlined = 5
+	// SymKindMethod is a direct method call resolved during lifting; value
+	// is the callee's dex.MethodID. It exists only inside a lifted method's
+	// Ext table while the re-outliner rewrites it — the relink rebinds and
+	// removes it, and it is never serialized into an image.
+	SymKindMethod = 6
 )
 
 // PackSym builds a symbol int from kind and value.
@@ -49,6 +60,10 @@ func SymName(sym int) string {
 		return "thunk_stack_check"
 	case SymKindOutlined:
 		return fmt.Sprintf("OutlinedFunction_%d", v)
+	case SymKindReoutlined:
+		return fmt.Sprintf("ReoutlinedFunction_%d", v)
+	case SymKindMethod:
+		return fmt.Sprintf("method_%d", v)
 	}
 	return fmt.Sprintf("sym_%d", sym)
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/outline"
 	"repro/internal/par"
 	"repro/internal/profiler"
+	"repro/internal/reoutline"
 	"repro/internal/workload"
 )
 
@@ -325,4 +326,55 @@ func DebloatImage(img *oat.Image, cfg DebloatConfig) (*oat.Image, *analysis.Debl
 func DebloatImageCtx(ctx context.Context, img *oat.Image, cfg DebloatConfig) (*oat.Image, *analysis.DebloatStats, error) {
 	roots := analysis.RootSet{Methods: cfg.Roots, NoCallers: cfg.NoCallerRoots}
 	return analysis.DebloatCtx(ctx, img, roots, cfg.Workers, cfg.Tracer)
+}
+
+// ReoutlineConfig configures the post-hoc re-outlining of an already
+// linked image (ReoutlineImage). The zero value runs a single global
+// suffix tree with the link-time default thresholds.
+type ReoutlineConfig struct {
+	// MinLength/MinBenefit tune the detector (defaults per §3.3).
+	MinLength  int
+	MinBenefit int
+	// ParallelTrees partitions the lifted methods into K suffix trees
+	// (PlOpti); <= 1 builds one global tree.
+	ParallelTrees int
+	// DetectShards shards detection inside each tree.
+	DetectShards int
+	// Rounds repeats the outlining cycle; DedupFunctions merges identical
+	// re-outlined bodies.
+	Rounds         int
+	DedupFunctions bool
+	// Detector selects the repeat-detection backend.
+	Detector outline.DetectorKind
+	// Workers bounds every parallel stage; <= 0 selects GOMAXPROCS. The
+	// output image is byte-identical at every width.
+	Workers int
+	// Tracer, when non-nil, records the per-stage spans and counters.
+	Tracer *obs.Tracer
+}
+
+// ReoutlineImage re-outlines a linked image without its compile-time
+// state: it lifts every method the legality mask admits back into
+// rewritable form (inlining existing outlined calls, re-symbolizing call
+// sites), runs the link-time detector over the lifted corpus, relinks
+// preserving region order, and re-verifies the result against the input
+// with the paired lint rules. Unsound or layout-pinned inputs are
+// refused; frozen methods ride through byte-for-byte.
+func ReoutlineImage(img *oat.Image, cfg ReoutlineConfig) (*oat.Image, *reoutline.Stats, error) {
+	return ReoutlineImageCtx(context.Background(), img, cfg)
+}
+
+// ReoutlineImageCtx is ReoutlineImage with cooperative cancellation.
+func ReoutlineImageCtx(ctx context.Context, img *oat.Image, cfg ReoutlineConfig) (*oat.Image, *reoutline.Stats, error) {
+	return reoutline.RunCtx(ctx, img, reoutline.Config{
+		MinLength:      cfg.MinLength,
+		MinBenefit:     cfg.MinBenefit,
+		ParallelTrees:  cfg.ParallelTrees,
+		DetectShards:   cfg.DetectShards,
+		Rounds:         cfg.Rounds,
+		DedupFunctions: cfg.DedupFunctions,
+		Detector:       cfg.Detector,
+		Workers:        cfg.Workers,
+		Tracer:         cfg.Tracer,
+	})
 }

@@ -48,6 +48,11 @@ type Options struct {
 	// the cross-tree duplication as the price of PlOpti (§3.4.1);
 	// deduplication recovers part of that loss for one cheap linear pass.
 	DedupFunctions bool
+	// SymKind is the codegen symbol kind minted for created functions;
+	// 0 selects codegen.SymKindOutlined (the link-time path). The post-hoc
+	// re-outliner passes codegen.SymKindReoutlined so the provenance of
+	// every outlined body survives in the image's symbol table.
+	SymKind int
 	// Detector selects the repeat-detection backend. The default suffix
 	// tree matches the paper; the suffix-array backend finds the identical
 	// repeat families with a far smaller memory footprint (the resource
@@ -106,6 +111,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DetectShards == 0 {
 		o.DetectShards = 1
+	}
+	if o.SymKind == 0 {
+		o.SymKind = codegen.SymKindOutlined
 	}
 	return o
 }
@@ -278,6 +286,15 @@ func runPass(ctx context.Context, methods []*codegen.CompiledMethod, opts Option
 		return nil, stats, nil
 	}
 
+	// Adapt the candidates onto the neutral detector input. The slice is
+	// indexed like methods, so unit coordinates are method coordinates and
+	// the rewrite plans below need no translation.
+	units := make([]Sequence, len(methods))
+	for _, mi := range candidates {
+		cm := methods[mi]
+		units[mi] = methodSeq{cm: cm, hot: opts.Hot != nil && opts.Hot[cm.M.ID]}
+	}
+
 	// §3.4.1: partition the candidates into K groups evenly.
 	k := opts.Parallel
 	if k > len(candidates) {
@@ -296,7 +313,7 @@ func runPass(ctx context.Context, methods []*codegen.CompiledMethod, opts Option
 		return fmt.Sprintf("tree %d (%d methods)", gi, len(groups[gi]))
 	})
 	results, err := par.MapObsCtx(ctx, opts.Workers, k, observer, func(gi int) (groupResult, error) {
-		funcs, st, err := outlineGroup(methods, groups[gi], opts)
+		funcs, st, err := outlineGroup(units, groups[gi], opts)
 		return groupResult{funcs: funcs, stats: st}, err
 	})
 	if err != nil {
@@ -339,7 +356,7 @@ func runPass(ctx context.Context, methods []*codegen.CompiledMethod, opts Option
 			})
 		}
 		for _, f := range res.funcs {
-			sym := codegen.PackSym(codegen.SymKindOutlined, int64(symBase+len(blobs)))
+			sym := codegen.PackSym(opts.SymKind, int64(symBase+len(blobs)))
 			body := append(append([]uint32(nil), f.words...),
 				a64.MustEncode(a64.Inst{Op: a64.OpBr, Rn: a64.LR}))
 			blobs = append(blobs, oat.Blob{Sym: sym, Code: body})

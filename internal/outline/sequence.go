@@ -11,10 +11,37 @@ import (
 	"repro/internal/suffixtree"
 )
 
-// position maps one sequence index back to a method word.
+// Sequence is one unit of detector input: a run of instruction words plus
+// the legality mask that marks positions no repeat may include. The
+// interface is deliberately free of compile-time types — the link-time
+// path adapts *codegen.CompiledMethod onto it (methodSeq), and the
+// post-hoc re-outliner (internal/reoutline) adapts lifted method bodies —
+// so both paths share one detection and selection machine.
+type Sequence interface {
+	// Words returns the unit's instruction words. The slice must stay
+	// valid and unchanged for the duration of the detection pass.
+	Words() []uint32
+	// Mask reports, per word, whether the position is a separator — a
+	// word that may not take part in any repeat (embedded data, control
+	// transfers, PC-relative sites and targets, and so on). len(Mask())
+	// must equal len(Words()).
+	Mask() []bool
+}
+
+// methodSeq adapts a compiled method (plus its hot-filtering state) onto
+// the neutral Sequence interface.
+type methodSeq struct {
+	cm  *codegen.CompiledMethod
+	hot bool
+}
+
+func (m methodSeq) Words() []uint32 { return m.cm.Code }
+func (m methodSeq) Mask() []bool    { return separatorWords(m.cm, m.hot) }
+
+// position maps one sequence index back to a unit word.
 type position struct {
-	method int32 // index into methods; -1 for separators
-	word   int32 // word index within the method code
+	method int32 // index into the units slice; -1 for separators
+	word   int32 // word index within the unit's words
 }
 
 // separatorWords computes, for one method, which word positions may not
@@ -133,10 +160,10 @@ func (s *symbolizer) wordsOf(label []uint32) []uint32 {
 	return out
 }
 
-// buildSequence symbolizes a group of methods into one sequence. The
-// per-method separator scans (metadata walks plus a decode of every word)
-// are independent and fan out on the worker pool; the symbol interning
-// that follows is inherently sequential — symbol identity depends on
+// buildSequence symbolizes a group of units into one sequence. The
+// per-unit mask scans (metadata walks plus a decode of every word) are
+// independent and fan out on the worker pool; the symbol interning that
+// follows is inherently sequential — symbol identity depends on
 // first-seen order — and stays a serial walk in group order, so the
 // sequence is identical for every worker count.
 //
@@ -145,29 +172,26 @@ func (s *symbolizer) wordsOf(label []uint32) []uint32 {
 // owns a worker lane, and spans from a nested pool would interleave with
 // the outer tasks on the same lanes. The per-group instant event carries
 // these durations instead.
-func buildSequence(methods []*codegen.CompiledMethod, group []int, opts Options, st *Stats) ([]uint32, []position) {
+func buildSequence(units []Sequence, group []int, opts Options, st *Stats) ([]uint32, []position) {
 	t0 := time.Now()
 	seps, _ := par.Map(opts.Workers, len(group), func(i int) ([]bool, error) {
-		cm := methods[group[i]]
-		hot := opts.Hot != nil && opts.Hot[cm.M.ID]
-		return separatorWords(cm, hot), nil
+		return units[group[i]].Mask(), nil
 	})
 	st.SepScan = time.Since(t0)
 	t1 := time.Now()
 	defer func() { st.Symbolize = time.Since(t1) }()
-	// One word per code word plus one separator per method: exact sizes,
+	// One word per code word plus one separator per unit: exact sizes,
 	// so the serial symbolize walk never reallocates.
 	total := len(group)
 	for _, mi := range group {
-		total += len(methods[mi].Code)
+		total += len(units[mi].Words())
 	}
 	sym := newSymbolizer(total)
 	seq := make([]uint32, 0, total)
 	pos := make([]position, 0, total)
 	for gi, mi := range group {
-		cm := methods[mi]
 		sep := seps[gi]
-		for w, word := range cm.Code {
+		for w, word := range units[mi].Words() {
 			if sep[w] {
 				seq = append(seq, sym.separator())
 				pos = append(pos, position{method: -1})
@@ -228,22 +252,22 @@ func detectRepeats(seq []uint32, opts Options, st *Stats) []repeatCand {
 	return cands
 }
 
-// outlineGroup runs detection and selection over one method group and
+// outlineGroup runs detection and selection over one unit group and
 // returns the functions to create (with their chosen occurrences).
 //
 // Two detection routes share this entry: the paper's global structure (one
 // sequence, one tree, selection in sequence coordinates) and the sharded
 // route of shard.go (DetectShards >= 2), which partitions the group's
-// sequence construction and detection and then selects globally in method
+// sequence construction and detection and then selects globally in unit
 // coordinates. With one shard the two routes are byte-identical — the
 // property shard_test.go pins — which is what makes DetectShards a tunable
 // rather than a fork.
-func outlineGroup(methods []*codegen.CompiledMethod, group []int, opts Options) ([]outlinedFunc, Stats, error) {
+func outlineGroup(units []Sequence, group []int, opts Options) ([]outlinedFunc, Stats, error) {
 	if opts.DetectShards > 1 || opts.forceSharded {
-		return outlineGroupSharded(methods, group, opts)
+		return outlineGroupSharded(units, group, opts)
 	}
 	var st Stats
-	seq, pos := buildSequence(methods, group, opts, &st)
+	seq, pos := buildSequence(units, group, opts, &st)
 	st.SequenceSymbols = len(seq)
 	if len(seq) == 0 {
 		return nil, st, nil
@@ -298,7 +322,7 @@ func outlineGroup(methods []*codegen.CompiledMethod, group []int, opts Options) 
 		f := outlinedFunc{}
 		first := chosen[0]
 		for p := first; p < first+rep.length; p++ {
-			f.words = append(f.words, methods[pos[p].method].Code[pos[p].word])
+			f.words = append(f.words, units[pos[p].method].Words()[pos[p].word])
 		}
 		for _, o := range chosen {
 			for p := o; p < o+rep.length; p++ {

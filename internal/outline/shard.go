@@ -23,7 +23,6 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/codegen"
 	"repro/internal/par"
 	"repro/internal/suffixtree"
 )
@@ -60,7 +59,7 @@ type mergedPart struct {
 
 // outlineGroupSharded is the DetectShards >= 2 route of outlineGroup (and,
 // under Options.forceSharded, the test route at one shard).
-func outlineGroupSharded(methods []*codegen.CompiledMethod, group []int, opts Options) ([]outlinedFunc, Stats, error) {
+func outlineGroupSharded(units []Sequence, group []int, opts Options) ([]outlinedFunc, Stats, error) {
 	var st Stats
 	n := opts.DetectShards
 	if n < 1 {
@@ -81,7 +80,7 @@ func outlineGroupSharded(methods []*codegen.CompiledMethod, group []int, opts Op
 		sub := group[s*len(group)/n : (s+1)*len(group)/n]
 		sd := &shardDetect{}
 		var seq []uint32
-		seq, sd.pos = buildSequence(methods, sub, opts, &sd.stats)
+		seq, sd.pos = buildSequence(units, sub, opts, &sd.stats)
 		sd.stats.SequenceSymbols = len(seq)
 		if len(seq) > 0 {
 			sd.cands = detectRepeats(seq, opts, &sd.stats)
@@ -110,7 +109,7 @@ func outlineGroupSharded(methods []*codegen.CompiledMethod, group []int, opts Op
 	}
 
 	t1 := time.Now()
-	funcs := selectMerged(methods, shards, mergeCandidates(methods, shards), opts)
+	funcs := selectMerged(units, shards, mergeCandidates(units, shards), opts)
 	st.Detect += time.Since(t1)
 	return funcs, st, nil
 }
@@ -119,7 +118,7 @@ func outlineGroupSharded(methods []*codegen.CompiledMethod, group []int, opts Op
 // content. Shards are folded in shard order after the barrier, so the
 // output order — and every merged ordinal — is deterministic regardless of
 // how the shard tasks were scheduled.
-func mergeCandidates(methods []*codegen.CompiledMethod, shards []*shardDetect) []*mergedCand {
+func mergeCandidates(units []Sequence, shards []*shardDetect) []*mergedCand {
 	byContent := map[string]*mergedCand{}
 	var out []*mergedCand
 	for si, sd := range shards {
@@ -127,7 +126,7 @@ func mergeCandidates(methods []*codegen.CompiledMethod, shards []*shardDetect) [
 			words := make([]uint32, c.length)
 			for k := range words {
 				p := sd.pos[c.first+k]
-				words[k] = methods[p.method].Code[p.word]
+				words[k] = units[p.method].Words()[p.word]
 			}
 			ord := si*shardOrdStride + c.ord
 			key := blobKey(words)
@@ -147,12 +146,12 @@ func mergeCandidates(methods []*codegen.CompiledMethod, shards []*shardDetect) [
 }
 
 // selectMerged runs the global greedy selection over the merged candidates
-// in method coordinates. It mirrors outlineGroup's sequence-coordinate
+// in unit coordinates. It mirrors outlineGroup's sequence-coordinate
 // selection exactly: rank by merged benefit (longest first among ties,
 // lowest ordinal last), take occurrences in sequence order, skip overlaps
 // with anything already outlined, and emit only families that still clear
 // the benefit bar with their surviving occurrences.
-func selectMerged(methods []*codegen.CompiledMethod, shards []*shardDetect, cands []*mergedCand, opts Options) []outlinedFunc {
+func selectMerged(units []Sequence, shards []*shardDetect, cands []*mergedCand, opts Options) []outlinedFunc {
 	sort.Slice(cands, func(a, b int) bool {
 		ba := suffixtree.Benefit(cands[a].length, cands[a].count)
 		bb := suffixtree.Benefit(cands[b].length, cands[b].count)
@@ -216,7 +215,7 @@ func selectMerged(methods []*codegen.CompiledMethod, shards []*shardDetect, cand
 		for _, o := range chosen {
 			tk := taken[o.method]
 			if tk == nil {
-				tk = make([]bool, len(methods[o.method].Code))
+				tk = make([]bool, len(units[o.method].Words()))
 				taken[o.method] = tk
 			}
 			for p := o.wordOff; p < o.wordOff+mc.length; p++ {

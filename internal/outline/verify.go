@@ -102,10 +102,11 @@ func verifyMethod(cm *codegen.CompiledMethod, mi int, before *Snapshot, bodyBySy
 	}
 
 	// Reconstruct the original stream. Ext entries are sorted by the
-	// rewriter; outlined call sites have SymKindOutlined symbols.
+	// rewriter; outlined call sites have SymKindOutlined symbols (or
+	// SymKindReoutlined when the post-hoc re-outliner drove the rewrite).
 	outlinedAt := map[int]int{} // new word index -> symbol
 	for _, e := range cm.Ext {
-		if kind, _ := codegen.UnpackSym(e.Symbol); kind == codegen.SymKindOutlined {
+		if kind, _ := codegen.UnpackSym(e.Symbol); kind == codegen.SymKindOutlined || kind == codegen.SymKindReoutlined {
 			outlinedAt[e.InstOff/a64.WordSize] = e.Symbol
 		}
 	}

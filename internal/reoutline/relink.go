@@ -1,0 +1,183 @@
+package reoutline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/a64"
+	"repro/internal/abi"
+	"repro/internal/codegen"
+	"repro/internal/oat"
+)
+
+// relink rebuilds the text segment after lifting and re-outlining. The
+// walk preserves the input's region order — the property that makes the
+// whole pass idempotent — replacing each lifted method's bytes with its
+// rewritten code, dropping outlined functions no frozen method calls
+// anymore, and appending the newly created bodies at the end. It cannot
+// call oat.Link: the linker lays out from scratch and refuses the
+// provenance symbol kinds, while relinking must keep frozen regions where
+// their neighbors expect them (modulo the shifts the offset map records).
+//
+// Two patch disciplines finish the job. Lifted methods carry symbolic
+// call sites (Ext), bound here exactly as the linker binds them. Frozen
+// methods carry physical bl displacements, repatched by the same total
+// decode-walk the debloat pass uses — admission guarantees every bl lands
+// on a region head, so the new-offset lookup never misses on a sound
+// image.
+func relink(img *oat.Image, lifted []*codegen.CompiledMethod, blobs []oat.Blob, retained map[int]bool) (*oat.Image, error) {
+	type region struct {
+		kind   int // 0 thunk, 1 blob, 2 method
+		sym    int
+		method int
+		off    int
+		size   int
+	}
+	var regions []region
+	for _, f := range img.Thunks {
+		regions = append(regions, region{kind: 0, sym: f.Sym, off: f.Offset, size: f.Size})
+	}
+	for _, f := range img.Outlined {
+		regions = append(regions, region{kind: 1, sym: f.Sym, off: f.Offset, size: f.Size})
+	}
+	for i, m := range img.Methods {
+		if m.Size > 0 {
+			regions = append(regions, region{kind: 2, method: i, off: m.Offset, size: m.Size})
+		}
+	}
+	sort.Slice(regions, func(a, b int) bool { return regions[a].off < regions[b].off })
+
+	out := &oat.Image{}
+	newOff := map[int]int{} // old region offset -> new offset
+	for _, r := range regions {
+		if r.kind == 1 && !retained[r.sym] {
+			continue
+		}
+		newOff[r.off] = out.TextBytes()
+		if r.kind == 2 && lifted[r.method] != nil {
+			out.Text = append(out.Text, lifted[r.method].Code...)
+			continue
+		}
+		out.Text = append(out.Text, img.Text[r.off/a64.WordSize:(r.off+r.size)/a64.WordSize]...)
+	}
+
+	for _, f := range img.Thunks {
+		out.Thunks = append(out.Thunks, oat.FuncRecord{Sym: f.Sym, Offset: newOff[f.Offset], Size: f.Size})
+	}
+	for _, f := range img.Outlined {
+		if retained[f.Sym] {
+			out.Outlined = append(out.Outlined, oat.FuncRecord{Sym: f.Sym, Offset: newOff[f.Offset], Size: f.Size})
+		}
+	}
+	taken := map[int]bool{}
+	for _, f := range out.Outlined {
+		taken[f.Sym] = true
+	}
+	for _, b := range blobs {
+		if taken[b.Sym] {
+			return nil, fmt.Errorf("reoutline: created symbol %s collides with a retained function", codegen.SymName(b.Sym))
+		}
+		off := out.TextBytes()
+		out.Text = append(out.Text, b.Code...)
+		out.Outlined = append(out.Outlined, oat.FuncRecord{Sym: b.Sym, Offset: off, Size: len(b.Code) * a64.WordSize})
+	}
+
+	end := out.TextBytes()
+	out.Methods = make([]oat.MethodRecord, len(img.Methods))
+	for i, m := range img.Methods {
+		switch {
+		case m.Size == 0:
+			// A debloated stub keeps its end-pointed zero-size slot.
+			out.Methods[i] = oat.MethodRecord{ID: m.ID, Offset: end, Size: 0}
+		case lifted[i] != nil:
+			cm := lifted[i]
+			out.Methods[i] = oat.MethodRecord{
+				ID: m.ID, Offset: newOff[m.Offset], Size: cm.CodeBytes(),
+				Meta: cm.Meta, StackMap: cm.StackMap,
+			}
+		default:
+			out.Methods[i] = oat.MethodRecord{
+				ID: m.ID, Offset: newOff[m.Offset], Size: m.Size,
+				Meta: m.Meta, StackMap: m.StackMap,
+			}
+		}
+	}
+
+	// Bind the lifted methods' symbolic call sites.
+	symAddr := map[int]int64{}
+	for _, f := range out.Thunks {
+		symAddr[f.Sym] = abi.TextBase + int64(f.Offset)
+	}
+	for _, f := range out.Outlined {
+		symAddr[f.Sym] = abi.TextBase + int64(f.Offset)
+	}
+	for i, cm := range lifted {
+		if cm == nil {
+			continue
+		}
+		base := abi.TextBase + int64(out.Methods[i].Offset)
+		for _, ref := range cm.Ext {
+			var target int64
+			if kind, val := codegen.UnpackSym(ref.Symbol); kind == codegen.SymKindMethod {
+				if val < 0 || val >= int64(len(out.Methods)) || out.Methods[val].Size == 0 {
+					return nil, fmt.Errorf("reoutline: m%d calls missing method m%d", cm.M.ID, val)
+				}
+				target = abi.TextBase + int64(out.Methods[val].Offset)
+			} else {
+				addr, ok := symAddr[ref.Symbol]
+				if !ok {
+					return nil, fmt.Errorf("reoutline: m%d: unresolved symbol %s", cm.M.ID, codegen.SymName(ref.Symbol))
+				}
+				target = addr
+			}
+			wordIdx := (out.Methods[i].Offset + ref.InstOff) / a64.WordSize
+			patched, err := a64.PatchRel(out.Text[wordIdx], target-(base+int64(ref.InstOff)))
+			if err != nil {
+				return nil, fmt.Errorf("reoutline: m%d: binding %s: %w", cm.M.ID, codegen.SymName(ref.Symbol), err)
+			}
+			out.Text[wordIdx] = patched
+		}
+	}
+
+	// Repatch the frozen methods' physical bl displacements against the
+	// new layout: the only cross-region relocations a frozen body holds.
+	// Its PC-relative instructions are intra-method (the branch-target and
+	// literal rules) and moved with it; its runtime- or entry-dispatched
+	// blr sites read their targets from tables, not from the code.
+	for i, m := range img.Methods {
+		if m.Size == 0 || lifted[i] != nil {
+			continue
+		}
+		data := make([]bool, m.Size/a64.WordSize)
+		for _, d := range m.Meta.EmbeddedData {
+			if d.Start < 0 || d.End < d.Start || d.End > m.Size || d.Start%a64.WordSize != 0 {
+				continue
+			}
+			for w := d.Start / a64.WordSize; w < d.End/a64.WordSize; w++ {
+				data[w] = true
+			}
+		}
+		no := out.Methods[i].Offset
+		for w := 0; w < m.Size/a64.WordSize; w++ {
+			if data[w] {
+				continue
+			}
+			word := img.Text[m.Offset/a64.WordSize+w]
+			inst, ok := a64.Decode(word)
+			if !ok || inst.Op != a64.OpBl {
+				continue
+			}
+			oldAbs := m.Offset + w*a64.WordSize + int(inst.Imm)
+			nt, ok := newOff[oldAbs]
+			if !ok {
+				return nil, fmt.Errorf("reoutline: frozen m%d calls a removed region +%#x", m.ID, oldAbs)
+			}
+			patched, err := a64.PatchRel(word, int64(nt-(no+w*a64.WordSize)))
+			if err != nil {
+				return nil, fmt.Errorf("reoutline: repatching frozen m%d+%#x: %w", m.ID, w*a64.WordSize, err)
+			}
+			out.Text[no/a64.WordSize+w] = patched
+		}
+	}
+	return out, nil
+}

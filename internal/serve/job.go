@@ -38,10 +38,12 @@ func terminal(state string) bool {
 // exactly one of App (a benchmark profile name, generated server-side) or
 // Dex (a serialized dex container or smali-like text, base64 in JSON)
 // selects the input. For a debloat job, Oat carries the linked image to
-// rewrite and Roots the reachability entry points.
+// rewrite and Roots the reachability entry points. For a reoutline job,
+// Oat carries the image to re-outline post hoc.
 type JobRequest struct {
 	// Kind selects the job: "build" (default) compiles an app, "debloat"
-	// rewrites an existing image removing unreachable code.
+	// rewrites an existing image removing unreachable code, "reoutline"
+	// re-outlines an existing image without its compile-time state.
 	Kind string `json:"kind,omitempty"`
 
 	App   string  `json:"app,omitempty"`   // profile name (Toutiao .. Wechat)
@@ -88,7 +90,11 @@ func (r JobRequest) withDefaults(scale float64) JobRequest {
 	if r.Scale == 0 {
 		r.Scale = scale
 	}
-	if r.Trees == 0 {
+	// Build jobs default to plopti's 8 parallel trees. Reoutline jobs
+	// inherit the reoutline package default (single global tree — what
+	// `calibro -reoutline` runs, so daemon and CLI outputs stay
+	// byte-identical) unless the client asks for trees explicitly.
+	if r.Trees == 0 && r.Kind != KindReoutline {
 		r.Trees = 8
 	}
 	if r.Runs == 0 {
@@ -102,8 +108,9 @@ func (r JobRequest) withDefaults(scale float64) JobRequest {
 
 // Job kinds.
 const (
-	KindBuild   = "build"
-	KindDebloat = "debloat"
+	KindBuild     = "build"
+	KindDebloat   = "debloat"
+	KindReoutline = "reoutline"
 )
 
 // validate rejects a request before it takes a queue slot.
@@ -118,11 +125,21 @@ func (r JobRequest) validate() error {
 			return errors.New("debloat takes oat, not app or dex")
 		}
 		return nil
+	case KindReoutline:
+		switch {
+		case len(r.Oat) == 0:
+			return errors.New("reoutline requires an oat image")
+		case r.App != "" || len(r.Dex) > 0:
+			return errors.New("reoutline takes oat, not app or dex")
+		case len(r.Roots) > 0:
+			return errors.New("roots apply to debloat jobs only")
+		}
+		return nil
 	default:
 		return fmt.Errorf("unknown job kind %q", r.Kind)
 	}
 	if len(r.Oat) > 0 || len(r.Roots) > 0 {
-		return errors.New("oat and roots apply to debloat jobs only")
+		return errors.New("oat and roots apply to rewrite jobs only")
 	}
 	switch r.Config {
 	case "baseline", "cto", "ltbo", "plopti", "hfopti":
@@ -168,6 +185,15 @@ type JobStats struct {
 	OutlinedRemoved int  `json:"outlined_removed,omitempty"`
 	ThunksRemoved   int  `json:"thunks_removed,omitempty"`
 	Imprecise       bool `json:"imprecise,omitempty"`
+
+	// Reoutline jobs report the lift census and what the second outlining
+	// pass did to the outlined-function table; other kinds leave these
+	// zero. TextBytesBefore is shared with debloat above.
+	MethodsLifted    int `json:"methods_lifted,omitempty"`
+	MethodsFrozen    int `json:"methods_frozen,omitempty"`
+	OutlinedCreated  int `json:"outlined_created,omitempty"`
+	OutlinedRetained int `json:"outlined_retained,omitempty"`
+	OutlinedMerged   int `json:"outlined_merged,omitempty"`
 
 	QueueWaitUS int64 `json:"queue_wait_us"`
 	CompileUS   int64 `json:"compile_us"`
@@ -364,6 +390,9 @@ func (s *Server) buildLocal(ctx context.Context, req JobRequest, queueWait time.
 	if req.Kind == KindDebloat {
 		return s.debloat(ctx, req, queueWait)
 	}
+	if req.Kind == KindReoutline {
+		return s.reoutline(ctx, req, queueWait)
+	}
 	app, man, err := loadApp(req)
 	if err != nil {
 		return nil, err
@@ -473,6 +502,70 @@ func (s *Server) debloat(ctx context.Context, req JobRequest, queueWait time.Dur
 		QueueWaitUS:     queueWait.Microseconds(),
 		WallUS:          wall.Microseconds(),
 		LintFindings:    -1,
+	}
+	if req.Lint {
+		findings, err := analysis.LintCtx(ctx, res, cfg.Workers, s.cfg.Tracer)
+		if err != nil {
+			return nil, err
+		}
+		out.lint = findings
+		stats.LintFindings = len(findings)
+	}
+	out.stats = stats
+	return out, nil
+}
+
+// reoutline runs a reoutline-kind job: parse the client's image, lift it
+// back into rewritable form, re-run outlining over it, and hand back the
+// smaller image. The pass re-verifies its own output (validation plus the
+// paired equivalence rules) before returning it.
+func (s *Server) reoutline(ctx context.Context, req JobRequest, queueWait time.Duration) (*buildOutput, error) {
+	img, err := oat.Unmarshal(req.Oat)
+	if err != nil {
+		return nil, fmt.Errorf("parsing oat image: %w", err)
+	}
+	cfg := core.ReoutlineConfig{Workers: req.Workers, Tracer: s.cfg.Tracer}
+	if cfg.Workers == 0 {
+		cfg.Workers = s.cfg.BuildWorkers
+	}
+	cfg.ParallelTrees = req.Trees
+	cfg.DetectShards = req.Shards
+	cfg.Rounds = req.Rounds
+	cfg.DedupFunctions = req.Dedup
+	start := time.Now()
+	res, rstats, err := core.ReoutlineImageCtx(ctx, img, cfg)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	data, err := res.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	out := &buildOutput{image: data}
+	stats := &JobStats{
+		Kind:             KindReoutline,
+		Methods:          rstats.MethodsTotal,
+		TextBytes:        rstats.TextAfter,
+		TextBytesBefore:  rstats.TextBefore,
+		ImageBytes:       len(data),
+		Workers:          cfg.Workers,
+		MethodsLifted:    rstats.MethodsLifted,
+		MethodsFrozen:    rstats.MethodsFrozen,
+		OutlinedCreated:  rstats.BlobsCreated,
+		OutlinedRetained: rstats.BlobsRetained,
+		OutlinedMerged:   rstats.BlobsDeduped,
+		QueueWaitUS:      queueWait.Microseconds(),
+		OutlineUS:        rstats.DetectTime.Microseconds(),
+		LinkUS:           rstats.RelinkTime.Microseconds(),
+		VerifyUS:         rstats.VerifyTime.Microseconds(),
+		WallUS:           wall.Microseconds(),
+		LintFindings:     -1,
+	}
+	if o := rstats.Outline; o != nil {
+		stats.OutlinedFunctions = o.OutlinedFunctions
+		stats.OutlinedOccurrences = o.OutlinedOccurrences
+		stats.NetWordsSaved = o.NetWordsSaved()
 	}
 	if req.Lint {
 		findings, err := analysis.LintCtx(ctx, res, cfg.Workers, s.cfg.Tracer)

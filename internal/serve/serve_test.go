@@ -730,6 +730,77 @@ func TestDebloatJob(t *testing.T) {
 	}
 }
 
+// TestReoutlineJob drives the reoutline job kind end to end over HTTP:
+// build an outlining-disabled image directly, submit it for post-hoc
+// re-outlining, and check the returned image is smaller, parses, and the
+// stats report the lift census.
+func TestReoutlineJob(t *testing.T) {
+	prof, ok := workload.AppByName("Taobao", 0.05)
+	if !ok {
+		t.Fatal("Taobao profile missing")
+	}
+	app, _, err := workload.Generate(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Build(app, core.CTOOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oatData, err := res.Image.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, st := postJob(t, ts, JobRequest{Kind: KindReoutline, Oat: oatData, Lint: true})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, st.Error)
+	}
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job state %s (%s), want done", final.State, final.Error)
+	}
+	stats := final.Stats
+	if stats == nil || stats.Kind != KindReoutline {
+		t.Fatalf("stats = %+v, want reoutline kind", stats)
+	}
+	if stats.TextBytes >= stats.TextBytesBefore {
+		t.Errorf("reoutline did not shrink text: %d -> %d", stats.TextBytesBefore, stats.TextBytes)
+	}
+	if stats.TextBytesBefore != res.Image.TextBytes() {
+		t.Errorf("stats.TextBytesBefore = %d, input had %d", stats.TextBytesBefore, res.Image.TextBytes())
+	}
+	if stats.MethodsLifted == 0 || stats.OutlinedCreated == 0 {
+		t.Errorf("lift census looks empty: lifted=%d created=%d", stats.MethodsLifted, stats.OutlinedCreated)
+	}
+	if stats.LintFindings != 0 {
+		t.Errorf("re-outlined image has %d lint findings", stats.LintFindings)
+	}
+	small := fetchImage(t, ts, st.ID)
+	img, err := oat.Unmarshal(small)
+	if err != nil {
+		t.Fatalf("re-outlined image does not parse: %v", err)
+	}
+	if img.TextBytes() != stats.TextBytes {
+		t.Errorf("fetched image text %d, stats say %d", img.TextBytes(), stats.TextBytes)
+	}
+
+	// The daemon adds scheduling, never output: its image must be
+	// byte-identical to a direct core.ReoutlineImage of the same input.
+	direct, _, err := core.ReoutlineImage(res.Image, core.ReoutlineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(small, want) {
+		t.Errorf("daemon re-outlined image differs from the direct pass (%d vs %d bytes)", len(small), len(want))
+	}
+}
+
 // TestDebloatJobValidation pins the request-shape errors for the new
 // kind.
 func TestDebloatJobValidation(t *testing.T) {
@@ -743,6 +814,9 @@ func TestDebloatJobValidation(t *testing.T) {
 		{"build with oat", JobRequest{App: "Taobao", Oat: []byte("x")}},
 		{"build with roots", JobRequest{App: "Taobao", Roots: []uint32{1}}},
 		{"unknown kind", JobRequest{Kind: "shrink", App: "Taobao"}},
+		{"reoutline without oat", JobRequest{Kind: KindReoutline}},
+		{"reoutline with app", JobRequest{Kind: KindReoutline, Oat: []byte("x"), App: "Taobao"}},
+		{"reoutline with roots", JobRequest{Kind: KindReoutline, Oat: []byte("x"), Roots: []uint32{1}}},
 	}
 	for _, tc := range cases {
 		resp, st := postJob(t, ts, tc.req)

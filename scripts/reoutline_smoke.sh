@@ -1,0 +1,62 @@
+#!/bin/sh
+# reoutline_smoke.sh — build the fixed-seed Taobao app without link-time
+# outlining, re-outline it post hoc through the calibro CLI, and assert
+# the pass saved bytes, closed the gap to the link-time build, survives
+# oatlint, dumps [reoutlined] provenance, and composes with -debloat.
+# This is the ci guard that the post-hoc pipeline works from the shipped
+# binaries, not just from the unit tests.
+set -eu
+
+GO="${GO:-go}"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT INT TERM
+
+echo "reoutline-smoke: building binaries"
+$GO build -o "$DIR/calibro" ./cmd/calibro
+$GO build -o "$DIR/oatlint" ./cmd/oatlint
+$GO build -o "$DIR/oatdump" ./cmd/oatdump
+
+APP="-app Taobao -scale 0.05"
+
+echo "reoutline-smoke: plain and link-time builds"
+"$DIR/calibro" $APP -config cto -o "$DIR/plain.oat" >/dev/null
+"$DIR/calibro" $APP -config ltbo -o "$DIR/linked.oat" >/dev/null
+
+echo "reoutline-smoke: re-outlining the plain build"
+"$DIR/calibro" $APP -config cto -reoutline -o "$DIR/reout.oat" >"$DIR/reout.log"
+SAVED="$(sed -n 's/^reoutline: text .* (\([0-9][0-9]*\) bytes saved)$/\1/p' "$DIR/reout.log")"
+if [ -z "$SAVED" ] || [ "$SAVED" -le 0 ]; then
+	echo "reoutline-smoke: no savings reported; calibro output:" >&2
+	cat "$DIR/reout.log" >&2
+	exit 1
+fi
+echo "reoutline-smoke: saved $SAVED bytes"
+
+# The re-outlined image must land within 10% of the link-time build.
+LINKED="$(wc -c <"$DIR/linked.oat")"
+REOUT="$(wc -c <"$DIR/reout.oat")"
+if [ "$REOUT" -gt $((LINKED + LINKED / 10)) ]; then
+	echo "reoutline-smoke: gap too wide: re-outlined $REOUT bytes vs link-time $LINKED bytes" >&2
+	exit 1
+fi
+
+echo "reoutline-smoke: linting the re-outlined image"
+"$DIR/oatlint" "$DIR/reout.oat" >/dev/null || {
+	echo "reoutline-smoke: oatlint found problems in the re-outlined image" >&2
+	"$DIR/oatlint" "$DIR/reout.oat" >&2 || true
+	exit 1
+}
+
+"$DIR/oatdump" -i "$DIR/reout.oat" -thunks | grep -q '\[reoutlined\]' || {
+	echo "reoutline-smoke: oatdump shows no [reoutlined] provenance" >&2
+	exit 1
+}
+
+echo "reoutline-smoke: debloat + reoutline composition"
+"$DIR/calibro" -debloat "$DIR/plain.oat" -roots 0,1,2 -reoutline -o "$DIR/dr.oat" >/dev/null
+"$DIR/oatlint" "$DIR/dr.oat" >/dev/null || {
+	echo "reoutline-smoke: oatlint found problems in the debloated+re-outlined image" >&2
+	exit 1
+}
+
+echo "reoutline-smoke: OK"
